@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fig. 6: speedup of Graphicionado and GraphDynS over Gunrock, per
+ * algorithm and dataset, with the geometric-mean column the paper quotes
+ * (GraphDynS 4.4x over Gunrock with half the memory bandwidth; 1.9x over
+ * Graphicionado with the same bandwidth). Also prints the Table 3 system
+ * configurations.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+
+using namespace gds;
+using harness::Table;
+
+int
+main()
+{
+    bench::banner("Fig. 6", "speedup over Gunrock (higher is better)");
+
+    std::printf("Table 3 systems: GraphDynS 1GHz 16xSIMT8, 32MB eDRAM, "
+                "512GB/s HBM | Graphicionado 1GHz 128 streams, 64MB eDRAM, "
+                "512GB/s HBM | Gunrock V100 1.25GHz 5120 cores, "
+                "900GB/s HBM2\n\n");
+
+    harness::ResultCache cache;
+    const auto records = harness::evaluationMatrix(cache);
+
+    Table table({"algo", "dataset", "Graphicionado", "GraphDynS",
+                 "GDS/GI"});
+    std::vector<double> gi_speedups;
+    std::vector<double> gds_speedups;
+    std::vector<double> gds_over_gi;
+    for (const algo::AlgorithmId id : algo::allAlgorithms) {
+        const std::string a = algo::algorithmName(id);
+        for (const auto &spec : graph::realWorldDatasets()) {
+            const auto &gpu =
+                harness::findRecord(records, "Gunrock", a, spec.name);
+            const auto &gi = harness::findRecord(records, "Graphicionado",
+                                                 a, spec.name);
+            const auto &gds =
+                harness::findRecord(records, "GraphDynS", a, spec.name);
+            const double s_gi = gpu.seconds / gi.seconds;
+            const double s_gds = gpu.seconds / gds.seconds;
+            gi_speedups.push_back(s_gi);
+            gds_speedups.push_back(s_gds);
+            gds_over_gi.push_back(gi.seconds / gds.seconds);
+            table.addRow({a, spec.name, Table::num(s_gi),
+                          Table::num(s_gds), Table::num(s_gds / s_gi)});
+        }
+    }
+    const double gm_gi = harness::geometricMean(gi_speedups);
+    const double gm_gds = harness::geometricMean(gds_speedups);
+    const double gm_ratio = harness::geometricMean(gds_over_gi);
+    table.addRow({"GM", "all", Table::num(gm_gi), Table::num(gm_gds),
+                  Table::num(gm_ratio)});
+    table.print();
+
+    std::printf("\nShape vs paper:\n");
+    bench::expectation("GraphDynS speedup over Gunrock (GM)", "4.4x",
+                       Table::num(gm_gds) + "x");
+    bench::expectation("GraphDynS speedup over Graphicionado (GM)",
+                       "1.9x", Table::num(gm_ratio) + "x");
+    bench::expectation("GraphDynS uses half of Gunrock's bandwidth",
+                       "512 vs 900 GB/s", "512 vs 900 GB/s (by config)");
+    return 0;
+}

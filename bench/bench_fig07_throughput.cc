@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 7: throughput in GTEPS for the three systems, per algorithm and
+ * dataset. Paper aggregates: GraphDynS 43 GTEPS, Graphicionado 21,
+ * Gunrock 8 (geometric means); ideal peak 128 GTEPS; PR on GraphDynS
+ * averages 87.5 GTEPS.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+
+using namespace gds;
+using harness::Table;
+
+int
+main()
+{
+    bench::banner("Fig. 7", "throughput in GTEPS (ideal peak: 128)");
+
+    harness::ResultCache cache;
+    const auto records = harness::evaluationMatrix(cache);
+
+    Table table({"algo", "dataset", "Gunrock", "Graphicionado",
+                 "GraphDynS"});
+    std::vector<double> gpu_all;
+    std::vector<double> gi_all;
+    std::vector<double> gds_all;
+    std::vector<double> gds_pr;
+    for (const algo::AlgorithmId id : algo::allAlgorithms) {
+        const std::string a = algo::algorithmName(id);
+        for (const auto &spec : graph::realWorldDatasets()) {
+            const auto &gpu =
+                harness::findRecord(records, "Gunrock", a, spec.name);
+            const auto &gi = harness::findRecord(records, "Graphicionado",
+                                                 a, spec.name);
+            const auto &gds =
+                harness::findRecord(records, "GraphDynS", a, spec.name);
+            gpu_all.push_back(gpu.gteps);
+            gi_all.push_back(gi.gteps);
+            gds_all.push_back(gds.gteps);
+            if (id == algo::AlgorithmId::Pr)
+                gds_pr.push_back(gds.gteps);
+            table.addRow({a, spec.name, Table::num(gpu.gteps, 1),
+                          Table::num(gi.gteps, 1),
+                          Table::num(gds.gteps, 1)});
+        }
+    }
+    table.addRow({"GM", "all",
+                  Table::num(harness::geometricMean(gpu_all), 1),
+                  Table::num(harness::geometricMean(gi_all), 1),
+                  Table::num(harness::geometricMean(gds_all), 1)});
+    table.print();
+
+    std::printf("\nShape vs paper:\n");
+    bench::expectation("GraphDynS mean GTEPS", "43",
+                       Table::num(harness::geometricMean(gds_all), 1));
+    bench::expectation("Graphicionado mean GTEPS", "21",
+                       Table::num(harness::geometricMean(gi_all), 1));
+    bench::expectation("Gunrock mean GTEPS", "8",
+                       Table::num(harness::geometricMean(gpu_all), 1));
+    bench::expectation("GraphDynS PR mean GTEPS", "87.5",
+                       Table::num(harness::geometricMean(gds_pr), 1));
+    return 0;
+}

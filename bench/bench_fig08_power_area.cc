@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 8: power and area breakdown of GraphDynS from the 16 nm component
+ * model (the role of Synopsys DC / PrimeTime / Cacti in the paper).
+ * Paper totals: 3.38 W and 12.08 mm2; Dispatcher/Processor/Updater/
+ * Prefetcher split 1/59/36/4 % of power and ~0/8/90/2 % of area.
+ */
+
+#include "bench_util.hh"
+
+#include "energy/energy_model.hh"
+#include "harness/experiment.hh"
+
+using namespace gds;
+using harness::Table;
+
+int
+main()
+{
+    bench::banner("Fig. 8", "GraphDynS power and area breakdown");
+
+    energy::EnergyModel model;
+    const auto b = model.gdsBreakdown(core::GdsConfig{});
+    const double pw = b.totalPowerW();
+    const double ar = b.totalAreaMm2();
+
+    Table table({"component", "power(W)", "power(%)", "area(mm2)",
+                 "area(%)"});
+    auto row = [&](const char *name, const energy::ModuleCost &m) {
+        table.addRow({name, Table::num(m.powerW, 3),
+                      Table::num(m.powerW / pw * 100.0, 1),
+                      Table::num(m.areaMm2, 3),
+                      Table::num(m.areaMm2 / ar * 100.0, 1)});
+    };
+    row("Dispatcher", b.dispatcher);
+    row("Processor", b.processor);
+    row("Updater", b.updater);
+    row("Prefetcher", b.prefetcher);
+    table.addRow({"TOTAL", Table::num(pw, 2), "100.0", Table::num(ar, 2),
+                  "100.0"});
+    table.print();
+
+    std::printf("\nShape vs paper:\n");
+    bench::expectation("total power", "3.38 W", Table::num(pw, 2) + " W");
+    bench::expectation("total area", "12.08 mm2",
+                       Table::num(ar, 2) + " mm2");
+    bench::expectation("Processor power share", "59%",
+                       Table::num(b.processor.powerW / pw * 100.0, 0) +
+                           "%");
+    bench::expectation("Updater area share", "90%",
+                       Table::num(b.updater.areaMm2 / ar * 100.0, 0) + "%");
+
+    const auto gi =
+        model.graphicionadoBreakdown(baseline::GraphicionadoConfig{});
+    bench::expectation("GraphDynS/Graphicionado power", "68%",
+                       Table::num(pw / gi.totalPowerW() * 100.0, 0) + "%");
+    bench::expectation("GraphDynS/Graphicionado area", "57%",
+                       Table::num(ar / gi.totalAreaMm2() * 100.0, 0) + "%");
+    return 0;
+}

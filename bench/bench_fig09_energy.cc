@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 9: energy consumption (including HBM) normalized to Gunrock, in
+ * percent -- lower is better. Paper aggregates: GraphDynS consumes 8.6%
+ * of Gunrock's energy (11.6x less) and ~45% less than Graphicionado.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+
+using namespace gds;
+using harness::Table;
+
+int
+main()
+{
+    bench::banner("Fig. 9",
+                  "energy normalized to Gunrock, percent (lower is "
+                  "better)");
+
+    harness::ResultCache cache;
+    const auto records = harness::evaluationMatrix(cache);
+
+    Table table({"algo", "dataset", "Graphicionado(%)", "GraphDynS(%)"});
+    std::vector<double> gi_norm;
+    std::vector<double> gds_norm;
+    std::vector<double> gds_vs_gi;
+    for (const algo::AlgorithmId id : algo::allAlgorithms) {
+        const std::string a = algo::algorithmName(id);
+        for (const auto &spec : graph::realWorldDatasets()) {
+            const auto &gpu =
+                harness::findRecord(records, "Gunrock", a, spec.name);
+            const auto &gi = harness::findRecord(records, "Graphicionado",
+                                                 a, spec.name);
+            const auto &gds =
+                harness::findRecord(records, "GraphDynS", a, spec.name);
+            const double n_gi = gi.energyJoules / gpu.energyJoules * 100;
+            const double n_gds = gds.energyJoules / gpu.energyJoules * 100;
+            gi_norm.push_back(n_gi);
+            gds_norm.push_back(n_gds);
+            gds_vs_gi.push_back(gds.energyJoules / gi.energyJoules);
+            table.addRow({a, spec.name, Table::num(n_gi, 1),
+                          Table::num(n_gds, 1)});
+        }
+    }
+    const double gm_gi = harness::geometricMean(gi_norm);
+    const double gm_gds = harness::geometricMean(gds_norm);
+    table.addRow({"GM", "all", Table::num(gm_gi, 1),
+                  Table::num(gm_gds, 1)});
+    table.print();
+
+    std::printf("\nShape vs paper:\n");
+    bench::expectation("GraphDynS energy vs Gunrock (GM)",
+                       "8.6% (11.6x less)", Table::num(gm_gds, 1) + "%");
+    bench::expectation(
+        "GraphDynS energy vs Graphicionado (GM)", "-45%",
+        Table::num((harness::geometricMean(gds_vs_gi) - 1.0) * 100.0, 0) +
+            "%");
+    return 0;
+}

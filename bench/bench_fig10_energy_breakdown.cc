@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 10: GraphDynS energy breakdown per component. Paper: ~92% of the
+ * energy goes to off-chip memory (HBM); the Processor consumes ~4.0%,
+ * the Updater ~3.0%, everything else under 0.8%.
+ */
+
+#include "bench_util.hh"
+
+#include "energy/energy_model.hh"
+#include "harness/experiment.hh"
+
+using namespace gds;
+using harness::Table;
+
+int
+main()
+{
+    bench::banner("Fig. 10", "GraphDynS energy breakdown (percent)");
+
+    harness::ResultCache cache;
+    const auto records = harness::evaluationMatrix(cache);
+    energy::EnergyModel model;
+    core::GdsConfig cfg;
+
+    Table table({"algo", "dataset", "Prefetcher", "Dispatcher",
+                 "Processor", "Updater", "HBM"});
+    std::vector<double> hbm_share;
+    std::vector<double> proc_share;
+    std::vector<double> upd_share;
+    for (const algo::AlgorithmId id : algo::allAlgorithms) {
+        const std::string a = algo::algorithmName(id);
+        for (const auto &spec : graph::realWorldDatasets()) {
+            const auto &gds =
+                harness::findRecord(records, "GraphDynS", a, spec.name);
+            const auto e = model.gdsEnergy(
+                cfg, static_cast<Cycle>(gds.seconds * 1e9),
+                static_cast<std::uint64_t>(gds.memoryBytes));
+            const double total = e.totalJ();
+            hbm_share.push_back(e.hbmJ / total * 100);
+            proc_share.push_back(e.processorJ / total * 100);
+            upd_share.push_back(e.updaterJ / total * 100);
+            table.addRow({a, spec.name,
+                          Table::num(e.prefetcherJ / total * 100, 2),
+                          Table::num(e.dispatcherJ / total * 100, 2),
+                          Table::num(e.processorJ / total * 100, 2),
+                          Table::num(e.updaterJ / total * 100, 2),
+                          Table::num(e.hbmJ / total * 100, 2)});
+        }
+    }
+    table.print();
+
+    auto mean = [](const std::vector<double> &v) {
+        double s = 0;
+        for (const double x : v)
+            s += x;
+        return s / static_cast<double>(v.size());
+    };
+    std::printf("\nShape vs paper:\n");
+    bench::expectation("HBM share of total energy", "92.2%",
+                       Table::num(mean(hbm_share), 1) + "%");
+    bench::expectation("Processor share", "4.0%",
+                       Table::num(mean(proc_share), 1) + "%");
+    bench::expectation("Updater share", "3.0%",
+                       Table::num(mean(upd_share), 1) + "%");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 11: maximum off-chip memory storage, normalized to Gunrock
+ * (percent, lower is better). Paper: GraphDynS uses 35% of Gunrock's
+ * storage and 63% of Graphicionado's -- no preprocessing metadata, no
+ * src_vid in edges, no vid in active records.
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+
+using namespace gds;
+using harness::Table;
+
+int
+main()
+{
+    bench::banner("Fig. 11",
+                  "off-chip storage normalized to Gunrock (percent)");
+
+    harness::ResultCache cache;
+    const auto records = harness::evaluationMatrix(cache);
+
+    Table table({"algo", "dataset", "Graphicionado(%)", "GraphDynS(%)"});
+    std::vector<double> gi_norm;
+    std::vector<double> gds_norm;
+    std::vector<double> gds_vs_gi;
+    for (const algo::AlgorithmId id : algo::allAlgorithms) {
+        const std::string a = algo::algorithmName(id);
+        for (const auto &spec : graph::realWorldDatasets()) {
+            const auto &gpu =
+                harness::findRecord(records, "Gunrock", a, spec.name);
+            const auto &gi = harness::findRecord(records, "Graphicionado",
+                                                 a, spec.name);
+            const auto &gds =
+                harness::findRecord(records, "GraphDynS", a, spec.name);
+            const double n_gi =
+                gi.footprintBytes / gpu.footprintBytes * 100;
+            const double n_gds =
+                gds.footprintBytes / gpu.footprintBytes * 100;
+            gi_norm.push_back(n_gi);
+            gds_norm.push_back(n_gds);
+            gds_vs_gi.push_back(gds.footprintBytes / gi.footprintBytes);
+            table.addRow({a, spec.name, Table::num(n_gi, 1),
+                          Table::num(n_gds, 1)});
+        }
+    }
+    table.addRow({"GM", "all",
+                  Table::num(harness::geometricMean(gi_norm), 1),
+                  Table::num(harness::geometricMean(gds_norm), 1)});
+    table.print();
+
+    std::printf("\nShape vs paper:\n");
+    bench::expectation("GraphDynS storage vs Gunrock (GM)", "35%",
+                       Table::num(harness::geometricMean(gds_norm), 0) +
+                           "%");
+    bench::expectation(
+        "GraphDynS storage vs Graphicionado (GM)", "63%",
+        Table::num(harness::geometricMean(gds_vs_gi) * 100.0, 0) + "%");
+    return 0;
+}

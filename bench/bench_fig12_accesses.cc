@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 12: total data accessed from off-chip memory during the run,
+ * normalized to Gunrock (percent, lower is better). Paper: GraphDynS
+ * moves 36% of Gunrock's data and 53% of Graphicionado's (no src_vid or
+ * sentinel reads, exact prefetching, selective updates).
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+
+using namespace gds;
+using harness::Table;
+
+int
+main()
+{
+    bench::banner("Fig. 12",
+                  "off-chip data accessed, normalized to Gunrock "
+                  "(percent)");
+
+    harness::ResultCache cache;
+    const auto records = harness::evaluationMatrix(cache);
+
+    Table table({"algo", "dataset", "Graphicionado(%)", "GraphDynS(%)"});
+    std::vector<double> gi_norm;
+    std::vector<double> gds_norm;
+    std::vector<double> gds_vs_gi;
+    for (const algo::AlgorithmId id : algo::allAlgorithms) {
+        const std::string a = algo::algorithmName(id);
+        for (const auto &spec : graph::realWorldDatasets()) {
+            const auto &gpu =
+                harness::findRecord(records, "Gunrock", a, spec.name);
+            const auto &gi = harness::findRecord(records, "Graphicionado",
+                                                 a, spec.name);
+            const auto &gds =
+                harness::findRecord(records, "GraphDynS", a, spec.name);
+            const double n_gi = gi.memoryBytes / gpu.memoryBytes * 100;
+            const double n_gds = gds.memoryBytes / gpu.memoryBytes * 100;
+            gi_norm.push_back(n_gi);
+            gds_norm.push_back(n_gds);
+            gds_vs_gi.push_back(gds.memoryBytes / gi.memoryBytes);
+            table.addRow({a, spec.name, Table::num(n_gi, 1),
+                          Table::num(n_gds, 1)});
+        }
+    }
+    table.addRow({"GM", "all",
+                  Table::num(harness::geometricMean(gi_norm), 1),
+                  Table::num(harness::geometricMean(gds_norm), 1)});
+    table.print();
+
+    std::printf("\nShape vs paper:\n");
+    bench::expectation("GraphDynS accesses vs Gunrock (GM)", "36%",
+                       Table::num(harness::geometricMean(gds_norm), 0) +
+                           "%");
+    bench::expectation(
+        "GraphDynS accesses vs Graphicionado (GM)", "53%",
+        Table::num(harness::geometricMean(gds_vs_gi) * 100.0, 0) + "%");
+    return 0;
+}

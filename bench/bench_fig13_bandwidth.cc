@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 13: average memory bandwidth utilization (percent of each
+ * system's peak). Paper: GraphDynS 56% on average, Gunrock only 31%
+ * (random accesses), Graphicionado similar to GraphDynS (its extra
+ * sequential src_vid reads raise row locality but waste bytes).
+ */
+
+#include "bench_util.hh"
+
+#include "harness/experiment.hh"
+
+using namespace gds;
+using harness::Table;
+
+int
+main()
+{
+    bench::banner("Fig. 13", "memory bandwidth utilization (percent)");
+
+    harness::ResultCache cache;
+    const auto records = harness::evaluationMatrix(cache);
+
+    Table table({"algo", "dataset", "Gunrock(%)", "Graphicionado(%)",
+                 "GraphDynS(%)"});
+    std::vector<double> gpu_u;
+    std::vector<double> gi_u;
+    std::vector<double> gds_u;
+    for (const algo::AlgorithmId id : algo::allAlgorithms) {
+        const std::string a = algo::algorithmName(id);
+        for (const auto &spec : graph::realWorldDatasets()) {
+            const auto &gpu =
+                harness::findRecord(records, "Gunrock", a, spec.name);
+            const auto &gi = harness::findRecord(records, "Graphicionado",
+                                                 a, spec.name);
+            const auto &gds =
+                harness::findRecord(records, "GraphDynS", a, spec.name);
+            gpu_u.push_back(gpu.bandwidthUtilization * 100);
+            gi_u.push_back(gi.bandwidthUtilization * 100);
+            gds_u.push_back(gds.bandwidthUtilization * 100);
+            table.addRow({a, spec.name,
+                          Table::num(gpu.bandwidthUtilization * 100, 1),
+                          Table::num(gi.bandwidthUtilization * 100, 1),
+                          Table::num(gds.bandwidthUtilization * 100, 1)});
+        }
+    }
+    auto mean = [](const std::vector<double> &v) {
+        double s = 0;
+        for (const double x : v)
+            s += x;
+        return s / static_cast<double>(v.size());
+    };
+    table.addRow({"MEAN", "all", Table::num(mean(gpu_u), 1),
+                  Table::num(mean(gi_u), 1), Table::num(mean(gds_u), 1)});
+    table.print();
+
+    std::printf("\nShape vs paper:\n");
+    bench::expectation("GraphDynS mean utilization", "56%",
+                       Table::num(mean(gds_u), 0) + "%");
+    bench::expectation("Gunrock mean utilization", "31%",
+                       Table::num(mean(gpu_u), 0) + "%");
+    return 0;
+}

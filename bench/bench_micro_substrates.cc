@@ -1,0 +1,151 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrates: HBM model service
+ * rates under streaming vs random traffic, graph generation, CSR
+ * traversal, the functional reference engine, and a small end-to-end
+ * GraphDynS run. These measure *simulator* performance (host wall time),
+ * complementing the figure benches which report *simulated* metrics.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "algo/reference_engine.hh"
+#include "common/bitutil.hh"
+#include "common/rng.hh"
+#include "core/gds_accel.hh"
+#include "graph/generators.hh"
+#include "mem/hbm.hh"
+
+using namespace gds;
+
+namespace
+{
+
+void
+BM_HbmStreaming(benchmark::State &state)
+{
+    mem::HbmConfig cfg;
+    for (auto _ : state) {
+        mem::Hbm hbm(cfg, nullptr);
+        mem::HbmPort port;
+        Addr addr = 0;
+        for (Cycle c = 0; c < 10000; ++c) {
+            while (hbm.access(addr, 512, false, addr, &port))
+                addr += 512;
+            hbm.tick();
+            while (port.hasResponse())
+                port.popResponse();
+        }
+        benchmark::DoNotOptimize(hbm.totalBytes());
+        state.counters["simGBps"] = benchmark::Counter(
+            hbm.totalBytes() / 10000.0, benchmark::Counter::kDefaults);
+    }
+}
+BENCHMARK(BM_HbmStreaming)->Unit(benchmark::kMillisecond);
+
+void
+BM_HbmRandom(benchmark::State &state)
+{
+    mem::HbmConfig cfg;
+    for (auto _ : state) {
+        mem::Hbm hbm(cfg, nullptr);
+        mem::HbmPort port;
+        Rng rng(1);
+        for (Cycle c = 0; c < 10000; ++c) {
+            for (int k = 0; k < 16; ++k) {
+                const Addr addr =
+                    alignDown(rng.below(1ULL << 28), 32);
+                if (!hbm.access(addr, 32, false, c, &port))
+                    break;
+            }
+            hbm.tick();
+            while (port.hasResponse())
+                port.popResponse();
+        }
+        benchmark::DoNotOptimize(hbm.totalBytes());
+    }
+}
+BENCHMARK(BM_HbmRandom)->Unit(benchmark::kMillisecond);
+
+void
+BM_RmatGeneration(benchmark::State &state)
+{
+    const auto scale = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto g = graph::rmat(scale, 16, 7);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() * (16LL << state.range(0)));
+}
+BENCHMARK(BM_RmatGeneration)->Arg(14)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_PowerLawGeneration(benchmark::State &state)
+{
+    const auto v = static_cast<VertexId>(state.range(0));
+    for (auto _ : state) {
+        const auto g = graph::powerLaw(v, 16ULL * v, 0.6, 7);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() * 16LL * state.range(0));
+}
+BENCHMARK(BM_PowerLawGeneration)
+    ->Arg(1 << 14)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ReferenceEngineBfs(benchmark::State &state)
+{
+    const auto g = graph::rmat(static_cast<unsigned>(state.range(0)), 16,
+                               9, {}, true);
+    auto bfs = algo::makeAlgorithm(algo::AlgorithmId::Bfs);
+    const VertexId source = algo::defaultSource(g);
+    for (auto _ : state) {
+        const auto r = algo::runReference(g, *bfs, source);
+        benchmark::DoNotOptimize(r.totalEdgesProcessed);
+    }
+}
+BENCHMARK(BM_ReferenceEngineBfs)->Arg(14)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_ReferenceEnginePr(benchmark::State &state)
+{
+    const auto g = graph::rmat(static_cast<unsigned>(state.range(0)), 16,
+                               9, {}, true);
+    auto pr = algo::makeAlgorithm(algo::AlgorithmId::Pr);
+    for (auto _ : state) {
+        algo::ReferenceOptions options;
+        options.maxIterations = 10;
+        const auto r = algo::runReference(g, *pr, 0, options);
+        benchmark::DoNotOptimize(r.totalEdgesProcessed);
+    }
+}
+BENCHMARK(BM_ReferenceEnginePr)->Arg(14)->Arg(16)->Unit(
+    benchmark::kMillisecond);
+
+void
+BM_GdsAccelBfsEndToEnd(benchmark::State &state)
+{
+    const auto g = graph::rmat(static_cast<unsigned>(state.range(0)), 16,
+                               11, {}, true);
+    for (auto _ : state) {
+        core::GdsConfig cfg;
+        auto bfs = algo::makeAlgorithm(algo::AlgorithmId::Bfs);
+        core::GdsAccel accel(cfg, g, *bfs);
+        core::RunOptions options;
+        options.source = algo::defaultSource(g);
+        const auto r = accel.run(options);
+        benchmark::DoNotOptimize(r.cycles);
+        state.counters["simGTEPS"] =
+            benchmark::Counter(r.gteps(), benchmark::Counter::kDefaults);
+    }
+}
+BENCHMARK(BM_GdsAccelBfsEndToEnd)->Arg(12)->Arg(14)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * gds_sim: a command-line driver exposing the whole evaluation platform,
+ * the entry point a downstream user of this library reaches for first.
+ *
+ *   gds_sim --algo pr --dataset LJ --system gds
+ *   gds_sim --algo sssp --graph edges.txt --system graphicionado
+ *   gds_sim --algo bfs --rmat 18 --system all --stats
+ *
+ * Options:
+ *   --algo bfs|sssp|cc|sswp|pr     algorithm (required)
+ *   --system gds|graphicionado|gunrock|all   (default gds)
+ *   --dataset NAME                 a Table 4 dataset (FR PK LJ HO IN OR,
+ *                                  RM22..RM26), scaled by GDS_SCALE
+ *   --graph FILE                   whitespace edge-list file
+ *   --rmat SCALE                   RMAT graph with 2^SCALE vertices
+ *   --source VID                   source vertex (default: max degree)
+ *   --iters N                      iteration cap (default: 10 for PR)
+ *   --ues N / --pes N              GraphDynS structural knobs
+ *   --no-wb --no-ep --no-ao --no-us   disable a scheduling technique
+ *   --stats                        dump the full statistics tree
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "baseline/graphicionado.hh"
+#include "baseline/gunrock_sim.hh"
+#include "core/gds_accel.hh"
+#include "energy/energy_model.hh"
+#include "graph/generators.hh"
+#include "graph/loader.hh"
+#include "harness/experiment.hh"
+
+using namespace gds;
+
+namespace
+{
+
+struct Options
+{
+    std::optional<algo::AlgorithmId> algorithm;
+    std::string system = "gds";
+    std::string dataset;
+    std::string graphFile;
+    std::optional<unsigned> rmatScale;
+    std::optional<VertexId> source;
+    std::optional<unsigned> iterations;
+    core::GdsConfig gdsConfig;
+    bool dumpStats = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --algo bfs|sssp|cc|sswp|pr "
+                 "[--system gds|graphicionado|gunrock|all]\n"
+                 "       (--dataset NAME | --graph FILE | --rmat SCALE)\n"
+                 "       [--source VID] [--iters N] [--ues N] [--pes N]\n"
+                 "       [--no-wb] [--no-ep] [--no-ao] [--no-us] "
+                 "[--stats]\n",
+                 argv0);
+    std::exit(1);
+}
+
+algo::AlgorithmId
+parseAlgo(const std::string &name)
+{
+    if (name == "bfs")
+        return algo::AlgorithmId::Bfs;
+    if (name == "sssp")
+        return algo::AlgorithmId::Sssp;
+    if (name == "cc")
+        return algo::AlgorithmId::Cc;
+    if (name == "sswp")
+        return algo::AlgorithmId::Sswp;
+    if (name == "pr")
+        return algo::AlgorithmId::Pr;
+    fatal("unknown algorithm '%s'", name.c_str());
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opts;
+    auto need_value = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--algo")
+            opts.algorithm = parseAlgo(need_value(i));
+        else if (arg == "--system")
+            opts.system = need_value(i);
+        else if (arg == "--dataset")
+            opts.dataset = need_value(i);
+        else if (arg == "--graph")
+            opts.graphFile = need_value(i);
+        else if (arg == "--rmat")
+            opts.rmatScale = std::stoul(need_value(i));
+        else if (arg == "--source")
+            opts.source = std::stoul(need_value(i));
+        else if (arg == "--iters")
+            opts.iterations = std::stoul(need_value(i));
+        else if (arg == "--ues")
+            opts.gdsConfig.numUes = std::stoul(need_value(i));
+        else if (arg == "--pes") {
+            opts.gdsConfig.numPes = std::stoul(need_value(i));
+            opts.gdsConfig.numDispatchers = opts.gdsConfig.numPes;
+        } else if (arg == "--no-wb")
+            opts.gdsConfig.workloadBalance = false;
+        else if (arg == "--no-ep")
+            opts.gdsConfig.exactPrefetch = false;
+        else if (arg == "--no-ao")
+            opts.gdsConfig.zeroStallAtomics = false;
+        else if (arg == "--no-us")
+            opts.gdsConfig.updateScheduling = false;
+        else if (arg == "--stats")
+            opts.dumpStats = true;
+        else
+            usage(argv[0]);
+    }
+    if (!opts.algorithm)
+        usage(argv[0]);
+    const int graph_sources = (!opts.dataset.empty() ? 1 : 0) +
+                              (!opts.graphFile.empty() ? 1 : 0) +
+                              (opts.rmatScale ? 1 : 0);
+    if (graph_sources != 1)
+        usage(argv[0]);
+    return opts;
+}
+
+void
+printCommon(const char *system, double seconds, double gteps,
+            double bytes, double util, double energy_j)
+{
+    std::printf("%-14s time=%.4f ms  throughput=%.1f GTEPS  "
+                "traffic=%.1f MB  bw=%.0f%%  energy=%.2f mJ\n",
+                system, seconds * 1e3, gteps, bytes / 1e6, util * 100.0,
+                energy_j * 1e3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opts = parseArgs(argc, argv);
+    const auto algorithm_id = *opts.algorithm;
+    const bool weighted =
+        algo::makeAlgorithm(algorithm_id)->usesWeights();
+
+    // --- Obtain the graph. ---
+    graph::Csr g;
+    if (!opts.dataset.empty()) {
+        g = harness::loadDataset(opts.dataset, weighted);
+    } else if (!opts.graphFile.empty()) {
+        g = graph::loadEdgeList(opts.graphFile);
+        if (weighted && !g.hasWeights())
+            g = g.withRandomWeights(1);
+    } else {
+        g = graph::rmat(*opts.rmatScale, 16, 42, {}, weighted);
+    }
+    std::printf("graph: %u vertices, %llu edges\n", g.numVertices(),
+                static_cast<unsigned long long>(g.numEdges()));
+
+    const VertexId source = opts.source
+                                ? *opts.source
+                                : harness::sourceFor(algorithm_id, g);
+    const unsigned iters = opts.iterations
+                               ? *opts.iterations
+                               : harness::iterationCap(algorithm_id);
+    std::printf("%s from vertex %u, iteration cap %u\n\n",
+                algo::algorithmName(algorithm_id).c_str(), source, iters);
+
+    const bool all = opts.system == "all";
+    energy::EnergyModel energy_model;
+
+    if (all || opts.system == "gds") {
+        core::GdsConfig cfg = opts.gdsConfig;
+        cfg.maxIterations = iters;
+        auto a = algo::makeAlgorithm(algorithm_id);
+        core::GdsAccel accel(cfg, g, *a);
+        core::RunOptions run;
+        run.source = source;
+        const auto r = accel.run(run);
+        const auto e =
+            energy_model.gdsEnergy(cfg, r.cycles, r.memoryBytes);
+        printCommon("GraphDynS", static_cast<double>(r.cycles) * 1e-9,
+                    r.gteps(), static_cast<double>(r.memoryBytes),
+                    r.bandwidthUtilization, e.totalJ());
+        std::printf("  iterations=%u slices=%u applies-skipped=%llu "
+                    "atomic-stalls=%llu\n",
+                    r.iterations, accel.numSlices(),
+                    static_cast<unsigned long long>(r.updatesSkipped),
+                    static_cast<unsigned long long>(r.atomicStalls));
+        if (opts.dumpStats)
+            accel.statsGroup().dump(std::cout);
+    }
+    if (all || opts.system == "graphicionado") {
+        baseline::GraphicionadoConfig cfg;
+        cfg.maxIterations = iters;
+        auto a = algo::makeAlgorithm(algorithm_id);
+        baseline::GraphicionadoAccel accel(cfg, g, *a);
+        core::RunOptions run;
+        run.source = source;
+        const auto r = accel.run(run);
+        const auto e = energy_model.graphicionadoEnergy(cfg, r.cycles,
+                                                        r.memoryBytes);
+        printCommon("Graphicionado", static_cast<double>(r.cycles) * 1e-9,
+                    r.gteps(), static_cast<double>(r.memoryBytes),
+                    r.bandwidthUtilization, e.totalJ());
+        if (opts.dumpStats)
+            accel.statsGroup().dump(std::cout);
+    }
+    if (all || opts.system == "gunrock") {
+        baseline::GunrockConfig cfg;
+        cfg.maxIterations = iters;
+        auto a = algo::makeAlgorithm(algorithm_id);
+        baseline::GunrockSim gpu(cfg, g, *a);
+        const auto r = gpu.run(source);
+        printCommon("Gunrock", r.seconds, r.gteps(),
+                    static_cast<double>(r.memoryBytes),
+                    r.bandwidthUtilization, r.energyJoules);
+    }
+    if (!all && opts.system != "gds" && opts.system != "graphicionado" &&
+        opts.system != "gunrock")
+        fatal("unknown system '%s'", opts.system.c_str());
+    return 0;
+}

@@ -1,0 +1,64 @@
+#include "algo/pull_engine.hh"
+
+#include "graph/transforms.hh"
+
+namespace gds::algo
+{
+
+PullResult
+runPullReference(const graph::Csr &g, VcpmAlgorithm &algorithm,
+                 VertexId source, unsigned max_iterations)
+{
+    const VertexId v_count = g.numVertices();
+    gds_assert(v_count > 0, "cannot run on an empty graph");
+    gds_assert(source < v_count, "source %u out of range", source);
+    gds_assert(!algorithm.usesWeights() || g.hasWeights(),
+               "%s needs a weighted graph", algorithm.name().c_str());
+
+    algorithm.bind(g);
+    const graph::Csr in_edges = graph::transpose(g);
+
+    std::vector<PropValue> prop(v_count);
+    std::vector<PropValue> next(v_count);
+    std::vector<PropValue> c_prop;
+    for (VertexId v = 0; v < v_count; ++v)
+        prop[v] = algorithm.initialProp(v, g, source);
+    if (algorithm.usesConstProp()) {
+        c_prop.resize(v_count);
+        for (VertexId v = 0; v < v_count; ++v)
+            c_prop[v] = algorithm.constProp(v, g);
+    }
+
+    PullResult result;
+    bool changed = true;
+    while (changed && result.iterations < max_iterations) {
+        ++result.iterations;
+        changed = false;
+        for (VertexId v = 0; v < v_count; ++v) {
+            // Gather: reduce Process_Edge over the in-edges of v.
+            PropValue t_prop = algorithm.tPropIdentity(v, g, source);
+            const auto sources = in_edges.neighborsOf(v);
+            for (std::size_t i = 0; i < sources.size(); ++i) {
+                const Weight w = algorithm.usesWeights()
+                                     ? in_edges.weightsOf(v)[i]
+                                     : Weight{1};
+                t_prop = algorithm.reduce(
+                    t_prop, algorithm.processEdge(prop[sources[i]], w));
+            }
+            result.edgesScanned += sources.size();
+            const PropValue cp =
+                algorithm.usesConstProp() ? c_prop[v] : PropValue{0};
+            const PropValue apply_res = algorithm.apply(prop[v], t_prop,
+                                                        cp);
+            next[v] = apply_res;
+            if (algorithm.changed(prop[v], apply_res))
+                changed = true;
+        }
+        prop.swap(next);
+    }
+
+    result.properties = std::move(prop);
+    return result;
+}
+
+} // namespace gds::algo

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Pull-based functional executor of the VCPM kernels: the standard
+ * alternative to Algorithm 1's push formulation. Every iteration, every
+ * vertex *pulls* contributions over its in-edges (the transposed graph),
+ * so no write conflicts exist at all -- the formulation GPU frameworks
+ * switch to on dense frontiers.
+ *
+ * For the monotone algorithms (BFS/SSSP/CC/SSWP), push and pull converge
+ * to the same fixed point, which makes this engine an independent
+ * cross-check of the push reference and of both accelerator models. For
+ * PR it is exactly the dense power iteration (no activation gating), the
+ * fixed point validatePr certifies against.
+ */
+
+#ifndef GDS_ALGO_PULL_ENGINE_HH
+#define GDS_ALGO_PULL_ENGINE_HH
+
+#include "algo/vcpm.hh"
+
+namespace gds::algo
+{
+
+/** Result of a pull-mode run. */
+struct PullResult
+{
+    std::vector<PropValue> properties;
+    unsigned iterations = 0;
+    std::uint64_t edgesScanned = 0;
+};
+
+/**
+ * Execute @p algorithm in pull mode until no property changes (or the
+ * iteration cap). Internally builds the transpose once (O(V + E)).
+ */
+PullResult runPullReference(const graph::Csr &g,
+                            VcpmAlgorithm &algorithm, VertexId source,
+                            unsigned max_iterations = 1000);
+
+} // namespace gds::algo
+
+#endif // GDS_ALGO_PULL_ENGINE_HH

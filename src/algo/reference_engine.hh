@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Functional (untimed) executor of the push-based VCPM (Algorithm 1).
+ *
+ * Serves three purposes:
+ *  - golden results against which both cycle-level accelerator models are
+ *    verified on every run;
+ *  - per-iteration instrumentation (active-vertex degree histogram, vertex
+ *    update counts) reproducing the paper's motivation study (Fig. 2);
+ *  - workload characterization feeding the GunrockSim GPU timing model.
+ */
+
+#ifndef GDS_ALGO_REFERENCE_ENGINE_HH
+#define GDS_ALGO_REFERENCE_ENGINE_HH
+
+#include <array>
+#include <vector>
+
+#include "algo/vcpm.hh"
+
+namespace gds::algo
+{
+
+/** Per-iteration observation used by Fig. 2 and by GunrockSim. */
+struct IterationTrace
+{
+    /** Iteration index, starting at 1 as in Fig. 2. */
+    unsigned iteration = 0;
+    /** Number of active vertices entering this iteration. */
+    std::uint64_t activeVertices = 0;
+    /** Edges scattered in this iteration (sum of active degrees). */
+    std::uint64_t edgesProcessed = 0;
+    /** Vertices whose property changed in the Apply phase. */
+    std::uint64_t vertexUpdates = 0;
+    /** tProp reductions that modified the stored value ("ready" marks). */
+    std::uint64_t tPropModifications = 0;
+    /** Reduce operations landing on a destination already touched this
+     *  iteration (a RAW-conflict proxy used by the GPU atomic model). */
+    std::uint64_t conflictingReduces = 0;
+    /** Active-vertex degree histogram with Fig. 2's buckets:
+     *  [0,0] [1,2] [3,4] [5,8] [9,16] [17,32] [33,64] >64. */
+    std::array<std::uint64_t, 8> degreeHistogram{};
+    /** Largest active-vertex degree (GPU warp-imbalance model input). */
+    std::uint64_t maxActiveDegree = 0;
+    /** Sum over 32-thread warps (consecutive active vertices) of the
+     *  maximum degree within the warp: the per-thread-expand cost a GPU
+     *  pays under intra-warp load imbalance. */
+    std::uint64_t warpMaxDegreeSum = 0;
+};
+
+/** Result of a functional run. */
+struct ReferenceResult
+{
+    std::vector<PropValue> properties;
+    unsigned iterations = 0;
+    std::uint64_t totalEdgesProcessed = 0;
+    std::uint64_t totalVertexUpdates = 0;
+    /** One entry per iteration when tracing was requested. */
+    std::vector<IterationTrace> trace;
+};
+
+/** Options of a functional run. */
+struct ReferenceOptions
+{
+    /** Hard iteration cap (Algorithm 1's "maximum number of iterations"). */
+    unsigned maxIterations = 1000;
+    /** Record a per-iteration IterationTrace. */
+    bool collectTrace = false;
+};
+
+/**
+ * Execute @p algorithm on @p g from @p source until no vertex is activated
+ * or the iteration cap is reached.
+ */
+ReferenceResult runReference(const graph::Csr &g, VcpmAlgorithm &algorithm,
+                             VertexId source,
+                             const ReferenceOptions &options = {});
+
+} // namespace gds::algo
+
+#endif // GDS_ALGO_REFERENCE_ENGINE_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Independent result validators (Graph500-style): O(V + E) consistency
+ * checks on a finished property vector that do not re-run the algorithm.
+ * They verify local optimality conditions -- e.g. every SSSP distance is
+ * tight over some edge and no edge can relax further -- so any engine's
+ * output (reference, GraphDynS, Graphicionado, GunrockSim) can be
+ * certified without trusting another executor.
+ */
+
+#ifndef GDS_ALGO_VALIDATE_HH
+#define GDS_ALGO_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "algo/vcpm.hh"
+#include "graph/csr.hh"
+
+namespace gds::algo
+{
+
+/** Validation outcome: ok() or the first violated condition. */
+struct ValidationResult
+{
+    bool valid = true;
+    std::string message;
+
+    static ValidationResult
+    ok()
+    {
+        return {};
+    }
+
+    static ValidationResult
+    fail(std::string why)
+    {
+        return {false, std::move(why)};
+    }
+};
+
+/**
+ * BFS levels: source is 0; every reached vertex has a predecessor one
+ * level lower; no edge skips a level (level[dst] <= level[src] + 1);
+ * unreached vertices have no reached in-neighbour.
+ */
+ValidationResult validateBfs(const graph::Csr &g, VertexId source,
+                             const std::vector<PropValue> &level);
+
+/**
+ * SSSP distances: source is 0; no edge can relax
+ * (dist[dst] <= dist[src] + w); every finite non-source distance is
+ * tight over at least one in-edge.
+ */
+ValidationResult validateSssp(const graph::Csr &g, VertexId source,
+                              const std::vector<PropValue> &dist);
+
+/**
+ * SSWP widths: source is infinity; no edge can widen
+ * (width[dst] >= min(width[src], w)); every positive non-source width is
+ * achieved by some in-edge.
+ */
+ValidationResult validateSswp(const graph::Csr &g, VertexId source,
+                              const std::vector<PropValue> &width);
+
+/**
+ * CC labels (label-propagation semantics over directed edges iterated to
+ * a fixed point): label[v] <= v; labels cannot propagate further
+ * (label[dst] <= label[src]); every label names a vertex that holds it.
+ */
+ValidationResult validateCc(const graph::Csr &g,
+                            const std::vector<PropValue> &label);
+
+/**
+ * PR (stored as rank/out-degree): all values positive and finite; mass
+ * does not exceed 1; and, because activation-gated PR admits no local
+ * balance certificate (deactivated vertices drop out of their
+ * neighbours' sums), the ranks are compared in aggregate against an
+ * independent dense power iteration: mean relative deviation must stay
+ * within @p tolerance. This makes validatePr a semi-oracle, unlike the
+ * purely local validators above.
+ */
+ValidationResult validatePr(const graph::Csr &g,
+                            const std::vector<PropValue> &prop,
+                            double tolerance = 0.10);
+
+/** Dispatch to the right validator for @p id. */
+ValidationResult validate(AlgorithmId id, const graph::Csr &g,
+                          VertexId source,
+                          const std::vector<PropValue> &properties);
+
+} // namespace gds::algo
+
+#endif // GDS_ALGO_VALIDATE_HH

@@ -1,0 +1,579 @@
+#include "baseline/graphicionado.hh"
+
+#include "common/bitutil.hh"
+
+namespace gds::baseline
+{
+
+namespace
+{
+
+enum class Tag : std::uint64_t
+{
+    RecordBatch = 1,
+    TPropFill,
+    EdgeFetch,
+    ApplyBatch,
+    Store,
+};
+
+constexpr std::uint64_t
+makeTag(Tag kind, std::uint64_t payload)
+{
+    return (static_cast<std::uint64_t>(kind) << 56) | payload;
+}
+
+constexpr Tag
+tagKind(std::uint64_t tag)
+{
+    return static_cast<Tag>(tag >> 56);
+}
+
+constexpr std::uint64_t
+tagPayload(std::uint64_t tag)
+{
+    return tag & ((1ULL << 56) - 1);
+}
+
+constexpr unsigned maxRequestBytes = 512;
+constexpr unsigned applyBatchVerts = 128; ///< props per sweep request
+constexpr unsigned auRecordBatch = 8;     ///< active records per store
+
+} // namespace
+
+GraphicionadoAccel::GraphicionadoAccel(const GraphicionadoConfig &config,
+                                       const graph::Csr &g,
+                                       algo::VcpmAlgorithm &algorithm,
+                                       sim::Component *parent)
+    : sim::Component("graphicionado", parent),
+      cfg(config),
+      fullGraph(g),
+      algo(algorithm),
+      weighted(algorithm.usesWeights()),
+      hasConstProp(algorithm.usesConstProp()),
+      statIterations(&statsGroup(), "iterations", "iterations executed"),
+      statScatterCycles(&statsGroup(), "scatterCycles",
+                        "cycles in the processing (scatter) phase"),
+      statApplyCycles(&statsGroup(), "applyCycles",
+                      "cycles in the apply phase"),
+      statEdgesProcessed(&statsGroup(), "edgesProcessed",
+                         "edges processed by the streams"),
+      statVertexUpdates(&statsGroup(), "vertexUpdates",
+                        "vertices whose property changed in Apply"),
+      statAtomicStalls(&statsGroup(), "atomicStalls",
+                       "stream stalls from RAW conflicts"),
+      statApplyOps(&statsGroup(), "applyOps", "Apply kernel executions"),
+      statReduceOps(&statsGroup(), "reduceOps", "Reduce kernel executions"),
+      statStreamEdges(&statsGroup(), "streamEdges",
+                      "edges processed per stream", config.numStreams)
+{
+    gds_assert(!weighted || fullGraph.hasWeights(),
+               "%s needs a weighted graph", algo.name().c_str());
+
+    const VertexId v_count = fullGraph.numVertices();
+    const VertexId capacity = cfg.sliceCapacity();
+    sliceCount = graph::numSlices(v_count, capacity);
+    if (sliceCount > 1)
+        slices = graph::sliceByDestination(fullGraph, capacity);
+
+    sliceEdgeStart.resize(sliceCount, 0);
+    EdgeId edge_cursor = 0;
+    for (unsigned s = 0; s < sliceCount; ++s) {
+        sliceEdgeStart[s] = edge_cursor;
+        edge_cursor += sliceGraph(s).numEdges();
+    }
+
+    // Graphicionado record formats: edges carry src_vid (+4 B), active
+    // records are (vid, prop) = 8 B.
+    const core::RecordFormat fmt{weighted ? 12u : 8u, 8u, 0u};
+    layout = std::make_unique<core::MemoryLayout>(
+        v_count, edge_cursor, fmt, hasConstProp, sliceCount > 1);
+    hbm = std::make_unique<mem::Hbm>(cfg.hbm, this);
+
+    streams.resize(cfg.numStreams);
+}
+
+GraphicionadoAccel::~GraphicionadoAccel() = default;
+
+const graph::Csr &
+GraphicionadoAccel::sliceGraph(unsigned s) const
+{
+    return sliceCount == 1 ? fullGraph : slices[s].subgraph;
+}
+
+VertexId
+GraphicionadoAccel::sliceBegin(unsigned s) const
+{
+    return sliceCount == 1 ? 0 : slices[s].dstBegin;
+}
+
+VertexId
+GraphicionadoAccel::sliceEnd(unsigned s) const
+{
+    return sliceCount == 1 ? fullGraph.numVertices() : slices[s].dstEnd;
+}
+
+void
+GraphicionadoAccel::buildInitialActives(VertexId source)
+{
+    activeCur.assign(sliceCount, {});
+    activeNext.assign(sliceCount, {});
+    auto add = [this](VertexId v) {
+        for (unsigned s = 0; s < sliceCount; ++s)
+            activeCur[s].push_back(ActiveRecord{v, prop[v]});
+    };
+    if (algo.allInitiallyActive()) {
+        for (VertexId v = 0; v < fullGraph.numVertices(); ++v)
+            add(v);
+    } else {
+        add(source);
+    }
+}
+
+core::RunResult
+GraphicionadoAccel::run(const core::RunOptions &options)
+{
+    const VertexId v_count = fullGraph.numVertices();
+    gds_assert(v_count > 0, "cannot run on an empty graph");
+    gds_assert(options.source < v_count, "source %u out of range",
+               options.source);
+
+    algo.bind(fullGraph);
+
+    prop.resize(v_count);
+    tProp.resize(v_count);
+    for (VertexId v = 0; v < v_count; ++v) {
+        prop[v] = algo.initialProp(v, fullGraph, options.source);
+        tProp[v] = algo.tPropIdentity(v, fullGraph, options.source);
+    }
+    if (hasConstProp) {
+        cProp.resize(v_count);
+        for (VertexId v = 0; v < v_count; ++v)
+            cProp[v] = algo.constProp(v, fullGraph);
+    }
+    lastReduceAt.assign(v_count, 0);
+
+    buildInitialActives(options.source);
+    collectPeLoads = options.collectPeLoads;
+    streamLoadTrace.clear();
+    streamLoadThisIteration.assign(cfg.numStreams, 0);
+
+    iteration = 0;
+    activeBuf = 0;
+    startIteration();
+
+    const Cycle start_cycle = now;
+    constexpr Cycle watchdog = 50'000'000'000ULL;
+    while (phase != Phase::Finished) {
+        tick();
+        gds_assert(now - start_cycle < watchdog,
+                   "Graphicionado run exceeded the watchdog cycle limit");
+    }
+
+    core::RunResult result;
+    result.properties = prop;
+    result.iterations = iteration;
+    result.cycles = now - start_cycle;
+    result.edgesProcessed =
+        static_cast<std::uint64_t>(statEdgesProcessed.value());
+    result.vertexUpdates =
+        static_cast<std::uint64_t>(statVertexUpdates.value());
+    result.updatesSkipped = 0; // the full sweep never skips
+    result.memoryBytes = static_cast<std::uint64_t>(hbm->totalBytes());
+    result.footprintBytes = layout->footprintBytes();
+    result.bandwidthUtilization = hbm->bandwidthUtilization();
+    result.atomicStalls =
+        static_cast<std::uint64_t>(statAtomicStalls.value());
+    result.peLoads = streamLoadTrace;
+    return result;
+}
+
+void
+GraphicionadoAccel::startIteration()
+{
+    activatedThisIteration = 0;
+    curSlice = 0;
+    bool any_active = false;
+    for (const auto &list : activeCur)
+        any_active |= !list.empty();
+    if (!any_active || iteration >= cfg.maxIterations) {
+        phase = Phase::Finished;
+        return;
+    }
+    startScatter();
+}
+
+void
+GraphicionadoAccel::finishSlice()
+{
+    ++curSlice;
+    if (curSlice < sliceCount) {
+        startScatter();
+        return;
+    }
+    ++iteration;
+    ++statIterations;
+    if (collectPeLoads) {
+        streamLoadTrace.push_back(streamLoadThisIteration);
+        streamLoadThisIteration.assign(cfg.numStreams, 0);
+    }
+    activeCur.swap(activeNext);
+    for (auto &list : activeNext)
+        list.clear();
+    activeBuf ^= 1;
+    startIteration();
+}
+
+// ---------------------------------------------------------------------
+// Scatter ("processing") phase.
+// ---------------------------------------------------------------------
+
+void
+GraphicionadoAccel::startScatter()
+{
+    phase = Phase::ScatterPhase;
+    const auto &records = activeCur[curSlice];
+
+    sc = ScatterState{};
+    sc.recordsTotal = records.size();
+    const graph::Csr &sg = sliceGraph(curSlice);
+    for (const ActiveRecord &r : records)
+        sc.expectedEdges += sg.outDegree(r.vid);
+    sc.batchesTotal = ceilDiv<std::uint64_t>(sc.recordsTotal,
+                                             cfg.vprefBatch);
+    sc.batchReady.assign(sc.batchesTotal, 0);
+    sc.fetch.assign(sc.recordsTotal, RecordFetch{});
+    sc.fetchedEdges.assign(sc.recordsTotal, {});
+
+    for (Stream &stream : streams) {
+        stream.records.clear();
+        stream.edgeCursor = 0;
+    }
+}
+
+bool
+GraphicionadoAccel::scatterDone() const
+{
+    return sc.recordsDone == sc.recordsTotal &&
+           sc.edgesReduced == sc.expectedEdges;
+}
+
+void
+GraphicionadoAccel::tickScatter()
+{
+    const graph::Csr &sg = sliceGraph(curSlice);
+    const auto &records = activeCur[curSlice];
+
+    // --- Streams: one edge per cycle, stalling on RAW conflicts. ---
+    for (unsigned s = 0; s < cfg.numStreams; ++s) {
+        Stream &stream = streams[s];
+        if (stream.records.empty())
+            continue;
+        const std::uint64_t rec = stream.records.front();
+        const ActiveRecord &r = records[rec];
+        const std::uint64_t degree = sg.outDegree(r.vid);
+        if (degree == 0) {
+            stream.records.pop_front();
+            stream.edgeCursor = 0;
+            ++sc.recordsDone;
+            continue;
+        }
+        RecordFetch &f = sc.fetch[rec];
+        if (!f.ready)
+            continue; // edge data not yet on chip
+
+        const EdgeTask &task = sc.fetchedEdges[rec][stream.edgeCursor];
+        // Atomic enforcement: stall while a conflicting update is inside
+        // the reduce pipeline.
+        if (now - lastReduceAt[task.dst] < cfg.atomicPipelineDepth &&
+            lastReduceAt[task.dst] != 0) {
+            ++statAtomicStalls;
+            continue;
+        }
+        const PropValue res = algo.processEdge(r.prop, task.weight);
+        tProp[task.dst] = algo.reduce(tProp[task.dst], res);
+        lastReduceAt[task.dst] = now;
+        ++statReduceOps;
+        ++statEdgesProcessed;
+        statStreamEdges[s] += 1;
+        if (collectPeLoads)
+            streamLoadThisIteration[s] += 1;
+        ++sc.edgesReduced;
+        if (++stream.edgeCursor == degree) {
+            stream.records.pop_front();
+            stream.edgeCursor = 0;
+            sc.fetchedEdges[rec] = {};
+            ++sc.recordsDone;
+        }
+    }
+
+    // --- Per-stream edge prefetch (offsets are on chip, so fetches start
+    // immediately; each record reads one sentinel record extra and every
+    // record carries src_vid). ---
+    unsigned issued = 0;
+    bool mem_blocked = false;
+    for (unsigned s = 0; s < cfg.numStreams && issued < 8 && !mem_blocked;
+         ++s) {
+        Stream &stream = streams[s];
+        const std::size_t lookahead =
+            std::min<std::size_t>(stream.records.size(),
+                                  cfg.streamLookahead);
+        for (std::size_t i = 0; i < lookahead && issued < 8; ++i) {
+            const std::uint64_t rec = stream.records[i];
+            RecordFetch &f = sc.fetch[rec];
+            if (f.ready || f.allIssued)
+                continue;
+            if (eport.inflight() >= cfg.edgeMaxInflight) {
+                mem_blocked = true;
+                break;
+            }
+            const ActiveRecord &r = records[rec];
+            const std::uint64_t degree = sg.outDegree(r.vid);
+            if (degree == 0) {
+                f.ready = true;
+                continue;
+            }
+            // +1 sentinel record read to detect the end of the list.
+            const std::uint64_t total =
+                (degree + 1) * layout->fmt.edgeBytes;
+            const Addr begin = layout->edgeAddr(sliceEdgeStart[curSlice] +
+                                                sg.offsetOf(r.vid));
+            const unsigned chunk = static_cast<unsigned>(
+                std::min<std::uint64_t>(total - f.bytesIssued,
+                                        maxRequestBytes));
+            if (!hbm->access(begin + f.bytesIssued, chunk, false,
+                             makeTag(Tag::EdgeFetch, rec), &eport)) {
+                mem_blocked = true;
+                break;
+            }
+            f.started = true;
+            f.bytesIssued += chunk;
+            ++f.parts;
+            ++issued;
+            if (f.bytesIssued >= total)
+                f.allIssued = true;
+        }
+    }
+
+    // --- Vpref: stream active records, hash-assign to streams. ---
+    while (sc.batchesIssued < sc.batchesTotal &&
+           vport.inflight() < cfg.vprefMaxInflight) {
+        const std::uint64_t b = sc.batchesIssued;
+        const std::uint64_t first = b * cfg.vprefBatch;
+        const std::uint64_t count = std::min<std::uint64_t>(
+            cfg.vprefBatch, sc.recordsTotal - first);
+        const Addr addr = layout->activeRecordAddr(activeBuf, first);
+        if (!hbm->access(addr,
+                         static_cast<unsigned>(
+                             count * layout->fmt.activeRecordBytes),
+                         false, makeTag(Tag::RecordBatch, b), &vport))
+            break;
+        ++sc.batchesIssued;
+    }
+    unsigned committed = 0;
+    while (sc.commitCursor < sc.recordsTotal &&
+           committed < cfg.numStreams) {
+        const std::uint64_t k = sc.commitCursor;
+        if (!sc.batchReady[k / cfg.vprefBatch])
+            break;
+        Stream &stream =
+            streams[records[k].vid % cfg.numStreams]; // hash placement
+        if (stream.records.size() >= cfg.streamQueueRecords)
+            break; // head-of-line block: the imbalance bottleneck
+        stream.records.push_back(k);
+        ++sc.commitCursor;
+        ++committed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Apply phase: full vertex sweep.
+// ---------------------------------------------------------------------
+
+void
+GraphicionadoAccel::startApply()
+{
+    phase = Phase::ApplyPhase;
+    ap = ApplyState{};
+    ap.sweepBegin = sliceBegin(curSlice);
+    ap.sweepEnd = sliceEnd(curSlice);
+    ap.auWriteCursor = layout->activeArrayBase(activeBuf ^ 1);
+    const std::uint64_t verts = ap.sweepEnd - ap.sweepBegin;
+    ap.batchesTotal = ceilDiv<std::uint64_t>(verts, applyBatchVerts);
+    ap.batchIssuedParts.assign(ap.batchesTotal, 0);
+    ap.batchPending.assign(ap.batchesTotal, 0);
+    ap.commitCursor = ap.sweepBegin;
+}
+
+bool
+GraphicionadoAccel::applyDone() const
+{
+    return ap.appliedCount == ap.sweepEnd - ap.sweepBegin &&
+           ap.pendingApplies.empty() && ap.writes.empty() &&
+           ap.pendingAuRecords == 0 && wport.inflight() == 0;
+}
+
+void
+GraphicionadoAccel::tickApply()
+{
+    // --- Streams apply one vertex per cycle each. ---
+    unsigned applied = 0;
+    while (!ap.pendingApplies.empty() && applied < cfg.numStreams) {
+        const VertexId v = ap.pendingApplies.front();
+        ap.pendingApplies.pop_front();
+        const PropValue cp = hasConstProp ? cProp[v] : PropValue{0};
+        const PropValue apply_res = algo.apply(prop[v], tProp[v], cp);
+        if (algo.changed(prop[v], apply_res)) {
+            prop[v] = apply_res;
+            ++activatedThisIteration;
+            ++statVertexUpdates;
+            for (unsigned s = 0; s < sliceCount; ++s)
+                activeNext[s].push_back(ActiveRecord{v, apply_res});
+            ap.pendingAuRecords += sliceCount;
+            // Intermittent, uncoalesced property store (4 B -> one 32 B
+            // transaction): the update-irregularity cost GraphDynS
+            // removes by write coalescing.
+            ap.writes.push_back({layout->propAddr(v), bytesPerWord});
+        } else if (algo.tPropResetsEachIteration()) {
+            prop[v] = apply_res;
+            ap.writes.push_back({layout->propAddr(v), bytesPerWord});
+        }
+        if (algo.tPropResetsEachIteration())
+            tProp[v] = 0.0f;
+        ++statApplyOps;
+        ++ap.appliedCount;
+        ++applied;
+    }
+
+    // --- Flush stores: active-record batches + property writes. ---
+    while (ap.pendingAuRecords >= auRecordBatch ||
+           (ap.pendingAuRecords > 0 &&
+            ap.appliedCount == ap.sweepEnd - ap.sweepBegin)) {
+        const std::uint64_t n =
+            std::min<std::uint64_t>(ap.pendingAuRecords, auRecordBatch);
+        const unsigned bytes = static_cast<unsigned>(
+            n * layout->fmt.activeRecordBytes);
+        if (!hbm->access(ap.auWriteCursor, bytes, true,
+                         makeTag(Tag::Store, 0), &wport))
+            break;
+        ap.auWriteCursor += bytes;
+        ap.pendingAuRecords -= n;
+    }
+    while (!ap.writes.empty()) {
+        const auto [addr, bytes] = ap.writes.front();
+        if (!hbm->access(addr, bytes, true, makeTag(Tag::Store, 1),
+                         &wport))
+            break;
+        ap.writes.pop_front();
+    }
+
+    // --- Sweep prefetch: stream every vertex's property (and cProp). ---
+    const std::uint8_t parts_needed = hasConstProp ? 2 : 1;
+    while (ap.batchesIssued < ap.batchesTotal &&
+           vport.inflight() < cfg.applyMaxInflight) {
+        const std::uint64_t b = ap.batchesIssued;
+        const VertexId first = ap.sweepBegin +
+                               static_cast<VertexId>(b * applyBatchVerts);
+        const unsigned count = static_cast<unsigned>(
+            std::min<std::uint64_t>(applyBatchVerts, ap.sweepEnd - first));
+        std::uint8_t &parts = ap.batchIssuedParts[b];
+        while (parts < parts_needed) {
+            const Addr addr = parts == 0 ? layout->propAddr(first)
+                                         : layout->cPropAddr(first);
+            if (!hbm->access(addr, count * bytesPerWord, false,
+                             makeTag(Tag::ApplyBatch, b), &vport))
+                break;
+            ++parts;
+            ++ap.batchPending[b];
+        }
+        if (parts < parts_needed)
+            break; // memory backpressure: resume this batch next cycle
+        ++ap.batchesIssued;
+    }
+
+    // --- Commit fetched vertices to the apply queue, in order. ---
+    unsigned committed = 0;
+    while (ap.commitCursor < ap.sweepEnd && committed < cfg.numStreams) {
+        const std::uint64_t b =
+            (ap.commitCursor - ap.sweepBegin) / applyBatchVerts;
+        if (ap.batchIssuedParts[b] < parts_needed ||
+            ap.batchPending[b] != 0)
+            break;
+        ap.pendingApplies.push_back(ap.commitCursor);
+        ++ap.commitCursor;
+        ++committed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Top-level tick.
+// ---------------------------------------------------------------------
+
+void
+GraphicionadoAccel::tick()
+{
+    while (vport.hasResponse()) {
+        const std::uint64_t tag = vport.popResponse();
+        const std::uint64_t payload = tagPayload(tag);
+        switch (tagKind(tag)) {
+          case Tag::RecordBatch:
+            sc.batchReady[payload] = 1;
+            break;
+          case Tag::ApplyBatch:
+            gds_assert(ap.batchPending[payload] > 0, "stray apply batch");
+            --ap.batchPending[payload];
+            break;
+          case Tag::TPropFill:
+            break;
+          default:
+            panic("unexpected tag on the Graphicionado vport");
+        }
+    }
+    while (eport.hasResponse()) {
+        const std::uint64_t tag = eport.popResponse();
+        const std::uint64_t rec = tagPayload(tag);
+        gds_assert(tagKind(tag) == Tag::EdgeFetch, "bad eport tag");
+        RecordFetch &f = sc.fetch[rec];
+        gds_assert(f.parts > 0, "stray edge response");
+        --f.parts;
+        if (f.allIssued && f.parts == 0 && !f.ready) {
+            const ActiveRecord &r = activeCur[curSlice][rec];
+            const graph::Csr &sg = sliceGraph(curSlice);
+            const EdgeId offset = sg.offsetOf(r.vid);
+            const std::uint64_t degree = sg.outDegree(r.vid);
+            auto &edges = sc.fetchedEdges[rec];
+            edges.reserve(degree);
+            for (std::uint64_t i = 0; i < degree; ++i) {
+                const EdgeId e = offset + i;
+                edges.push_back(EdgeTask{
+                    sg.edgeDest(e),
+                    weighted ? sg.edgeWeight(e) : Weight{1}});
+            }
+            f.ready = true;
+        }
+    }
+    while (wport.hasResponse())
+        wport.popResponse();
+
+    switch (phase) {
+      case Phase::ScatterPhase:
+        ++statScatterCycles;
+        tickScatter();
+        if (scatterDone())
+            startApply();
+        break;
+      case Phase::ApplyPhase:
+        ++statApplyCycles;
+        tickApply();
+        if (applyDone())
+            finishSlice();
+        break;
+      case Phase::Finished:
+        break;
+    }
+
+    hbm->tick();
+    ++now;
+}
+
+} // namespace gds::baseline

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Cycle-level reconstruction of Graphicionado (Ham et al., MICRO 2016),
+ * the state-of-the-art graph-analytics accelerator GraphDynS compares
+ * against (Table 3: 1 GHz, 128 streams, 64 MB eDRAM, the same 512 GB/s
+ * HBM).
+ *
+ * The model reproduces exactly the behaviours the GraphDynS paper
+ * attributes to Graphicionado (Sec. 3.2):
+ *  - active vertices hash-assigned to streams (vid % numStreams), so hub
+ *    vertices serialize on one stream (workload irregularity unsolved);
+ *  - edge records carry src_vid (+4 B per edge) and the end of an edge
+ *    list is detected by reading one extra record (bandwidth waste);
+ *  - the offset array lives on chip next to the temporary properties,
+ *    which is why it needs 64 MB of eDRAM (2x GraphDynS);
+ *  - atomicity is enforced by stalling a stream while a conflicting
+ *    update is in flight in the reduce pipeline;
+ *  - the Apply phase sweeps every vertex (update irregularity unsolved)
+ *    and stores changed properties with intermittent, uncoalesced writes.
+ *
+ * Functional + timing combined, like GdsAccel: results are checked against
+ * the reference engine in the tests.
+ */
+
+#ifndef GDS_BASELINE_GRAPHICIONADO_HH
+#define GDS_BASELINE_GRAPHICIONADO_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "algo/vcpm.hh"
+#include "core/gds_accel.hh" // RunOptions / RunResult
+#include "core/memmap.hh"
+#include "graph/slicer.hh"
+#include "mem/hbm.hh"
+#include "sim/queues.hh"
+
+namespace gds::baseline
+{
+
+/** Graphicionado configuration (Table 3 column 2). */
+struct GraphicionadoConfig
+{
+    unsigned numStreams = 128;                  ///< parallel pipelines
+    std::uint64_t onChipBytes = 64ULL << 20;    ///< eDRAM (tProp + offsets)
+    Cycle atomicPipelineDepth = 3;              ///< stall window on RAW
+    unsigned vprefBatch = 32;                   ///< records per stream req
+    unsigned vprefMaxInflight = 32;
+    unsigned streamLookahead = 4;  ///< records prefetched ahead per stream
+    unsigned streamQueueRecords = 64;
+    unsigned edgeMaxInflight = 128;
+    unsigned applyMaxInflight = 32;
+    unsigned maxIterations = 1000;
+    mem::HbmConfig hbm;
+
+    /** Vertices whose tProp (+ offset entry) fit on chip per slice.
+     *  The paper notes Graphicionado caches 2x the temporary properties
+     *  of GraphDynS (Sec. 7.2). */
+    VertexId
+    sliceCapacity() const
+    {
+        const std::uint64_t cap = onChipBytes / bytesPerWord;
+        return static_cast<VertexId>(
+            std::min<std::uint64_t>(cap, invalidVertex - 1));
+    }
+};
+
+/** The Graphicionado accelerator model. */
+class GraphicionadoAccel : public sim::Component
+{
+  public:
+    GraphicionadoAccel(const GraphicionadoConfig &config,
+                       const graph::Csr &g, algo::VcpmAlgorithm &algorithm,
+                       sim::Component *parent = nullptr);
+    ~GraphicionadoAccel() override;
+
+    /** Execute to convergence (or the iteration cap). */
+    core::RunResult run(const core::RunOptions &options = {});
+
+    void tick() override;
+
+    const mem::Hbm &hbmDevice() const { return *hbm; }
+    std::uint64_t footprintBytes() const { return layout->footprintBytes(); }
+    unsigned numSlices() const { return sliceCount; }
+
+  private:
+    /** Active record: vid + prop (8 B in memory). */
+    struct ActiveRecord
+    {
+        VertexId vid;
+        PropValue prop;
+    };
+
+    /** Per-record edge fetch state. */
+    struct RecordFetch
+    {
+        bool started = false;
+        bool allIssued = false;
+        bool ready = false;
+        std::uint32_t parts = 0;
+        std::uint64_t bytesIssued = 0;
+    };
+
+    struct EdgeTask
+    {
+        VertexId dst;
+        Weight weight;
+    };
+
+    /** One processing stream (pipeline). */
+    struct Stream
+    {
+        std::deque<std::uint64_t> records; ///< assigned record indices
+        std::uint32_t edgeCursor = 0;      ///< progress in head record
+    };
+
+    enum class Phase
+    {
+        ScatterPhase,
+        ApplyPhase,
+        Finished,
+    };
+
+    void startIteration();
+    void startScatter();
+    void tickScatter();
+    bool scatterDone() const;
+    void startApply();
+    void tickApply();
+    bool applyDone() const;
+    void finishSlice();
+
+    const graph::Csr &sliceGraph(unsigned s) const;
+    VertexId sliceBegin(unsigned s) const;
+    VertexId sliceEnd(unsigned s) const;
+    void buildInitialActives(VertexId source);
+
+    GraphicionadoConfig cfg;
+    const graph::Csr &fullGraph;
+    algo::VcpmAlgorithm &algo;
+    bool weighted;
+    bool hasConstProp;
+
+    unsigned sliceCount = 1;
+    std::vector<graph::Slice> slices;
+    std::vector<EdgeId> sliceEdgeStart;
+
+    std::unique_ptr<core::MemoryLayout> layout;
+    std::unique_ptr<mem::Hbm> hbm;
+
+    // Functional state.
+    std::vector<PropValue> prop;
+    std::vector<PropValue> tProp;
+    std::vector<PropValue> cProp;
+    std::vector<Cycle> lastReduceAt; ///< per-vertex RAW window tracking
+    std::vector<std::vector<ActiveRecord>> activeCur;
+    std::vector<std::vector<ActiveRecord>> activeNext;
+    std::uint64_t activatedThisIteration = 0;
+
+    // Scatter state.
+    struct ScatterState
+    {
+        std::uint64_t recordsTotal = 0;
+        std::uint64_t expectedEdges = 0;
+        std::uint64_t batchesTotal = 0;
+        std::uint64_t batchesIssued = 0;
+        std::vector<std::uint8_t> batchReady;
+        std::uint64_t commitCursor = 0;
+        std::uint64_t recordsDone = 0;
+        std::uint64_t edgesReduced = 0;
+        std::vector<RecordFetch> fetch;
+        std::vector<std::vector<EdgeTask>> fetchedEdges;
+    };
+
+    // Apply state.
+    struct ApplyState
+    {
+        VertexId sweepBegin = 0;
+        VertexId sweepEnd = 0;
+        std::uint64_t batchesTotal = 0;
+        std::uint64_t batchesIssued = 0;
+        std::vector<std::uint8_t> batchIssuedParts; ///< requests sent (0..2)
+        std::vector<std::uint8_t> batchPending;     ///< responses awaited
+        VertexId commitCursor = 0; ///< next vertex to hand to a stream
+        VertexId appliedCount = 0;
+        std::deque<VertexId> pendingApplies; ///< committed, not yet applied
+        std::uint64_t pendingAuRecords = 0;
+        Addr auWriteCursor = 0;
+        std::deque<std::pair<Addr, unsigned>> writes;
+    };
+
+    std::vector<Stream> streams;
+    ScatterState sc;
+    ApplyState ap;
+    Phase phase = Phase::Finished;
+    unsigned curSlice = 0;
+    unsigned iteration = 0;
+    unsigned activeBuf = 0;
+    Cycle now = 0;
+    bool collectPeLoads = false;
+    std::vector<std::uint64_t> streamLoadThisIteration;
+    std::vector<std::vector<std::uint64_t>> streamLoadTrace;
+
+    mem::HbmPort vport;
+    mem::HbmPort eport;
+    mem::HbmPort wport;
+
+    stats::Scalar statIterations;
+    stats::Scalar statScatterCycles;
+    stats::Scalar statApplyCycles;
+    stats::Scalar statEdgesProcessed;
+    stats::Scalar statVertexUpdates;
+    stats::Scalar statAtomicStalls;
+    stats::Scalar statApplyOps;
+    stats::Scalar statReduceOps;
+    stats::Vector statStreamEdges;
+};
+
+} // namespace gds::baseline
+
+#endif // GDS_BASELINE_GRAPHICIONADO_HH

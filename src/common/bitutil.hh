@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small arithmetic helpers used throughout the memory system and the
+ * accelerator models.
+ */
+
+#ifndef GDS_COMMON_BITUTIL_HH
+#define GDS_COMMON_BITUTIL_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace gds
+{
+
+/** Integer ceiling division. */
+template <typename T>
+constexpr T
+ceilDiv(T num, T den)
+{
+    return (num + den - 1) / den;
+}
+
+/** True iff x is a power of two (x > 0). */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)) for x > 0. */
+constexpr unsigned
+log2Floor(std::uint64_t x)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/** Round x up to the next multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+alignUp(std::uint64_t x, std::uint64_t align)
+{
+    return (x + align - 1) & ~(align - 1);
+}
+
+/** Round x down to a multiple of align (align must be a power of 2). */
+constexpr std::uint64_t
+alignDown(std::uint64_t x, std::uint64_t align)
+{
+    return x & ~(align - 1);
+}
+
+} // namespace gds
+
+#endif // GDS_COMMON_BITUTIL_HH

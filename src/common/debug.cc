@@ -1,0 +1,89 @@
+#include "common/debug.hh"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace gds::debug
+{
+
+namespace
+{
+
+unsigned activeMask = 0;
+bool parsed = false;
+
+const char *names[] = {"Dispatch", "Prefetch", "Reduce",
+                       "Apply",    "Memory",   "Phase"};
+
+void
+parse(const std::string &list)
+{
+    activeMask = 0;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        std::size_t end = list.find(',', begin);
+        if (end == std::string::npos)
+            end = list.size();
+        const std::string token = list.substr(begin, end - begin);
+        if (token == "All" || token == "all") {
+            activeMask = ~0u;
+        } else {
+            for (unsigned f = 0;
+                 f < static_cast<unsigned>(Flag::NumFlags); ++f) {
+                if (token == names[f])
+                    activeMask |= 1u << f;
+            }
+        }
+        begin = end + 1;
+    }
+    parsed = true;
+}
+
+void
+parseEnvOnce()
+{
+    if (parsed)
+        return;
+    const char *env = std::getenv("GDS_DEBUG");
+    parse(env ? env : "");
+}
+
+} // namespace
+
+bool
+enabled(Flag flag)
+{
+    parseEnvOnce();
+    return (activeMask >> static_cast<unsigned>(flag)) & 1u;
+}
+
+const char *
+flagName(Flag flag)
+{
+    return names[static_cast<unsigned>(flag)];
+}
+
+void
+setActiveFlags(const std::string &comma_list)
+{
+    parse(comma_list);
+}
+
+namespace detail
+{
+
+void
+vprint(Flag flag, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%-9s: ", flagName(flag));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace detail
+
+} // namespace gds::debug

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gem5-style debug tracing. Categories ("flags") are enabled at runtime
+ * through the GDS_DEBUG environment variable, e.g.
+ *
+ *   GDS_DEBUG=Dispatch,Prefetch ./examples/gds_sim --algo bfs --rmat 12
+ *
+ * and emitted with DPRINTF(Flag, "format", args...). Disabled categories
+ * cost one predictable branch, so tracing can stay in hot code.
+ */
+
+#ifndef GDS_COMMON_DEBUG_HH
+#define GDS_COMMON_DEBUG_HH
+
+#include <cstdio>
+#include <string>
+
+namespace gds::debug
+{
+
+/** Trace categories, one bit each. */
+enum class Flag : unsigned
+{
+    Dispatch = 0, ///< DE workload dispatch decisions
+    Prefetch,     ///< Vpref/Epref request issue and commit
+    Reduce,       ///< UE reduce pipeline activity
+    Apply,        ///< Apply-phase group/list flow
+    Memory,       ///< HBM request/response traffic
+    Phase,        ///< phase/iteration transitions
+    NumFlags,
+};
+
+/** True if @p flag was named in GDS_DEBUG (or GDS_DEBUG=All). */
+bool enabled(Flag flag);
+
+/** Name of a flag as accepted in GDS_DEBUG. */
+const char *flagName(Flag flag);
+
+/** Parse a GDS_DEBUG-style comma list into the active set (testing and
+ *  programmatic use; the environment is parsed on first query). */
+void setActiveFlags(const std::string &comma_list);
+
+namespace detail
+{
+void vprint(Flag flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+} // namespace detail
+
+/** Emit a trace line when the category is active. */
+#define DPRINTF(flag, ...)                                                 \
+    do {                                                                   \
+        if (::gds::debug::enabled(::gds::debug::Flag::flag))               \
+            ::gds::debug::detail::vprint(::gds::debug::Flag::flag,         \
+                                         __VA_ARGS__);                     \
+    } while (0)
+
+} // namespace gds::debug
+
+#endif // GDS_COMMON_DEBUG_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * gem5-flavoured status/error reporting. panic() flags an internal simulator
+ * bug and aborts; fatal() flags a user/configuration error and exits;
+ * warn()/inform() report without stopping.
+ */
+
+#ifndef GDS_COMMON_LOGGING_HH
+#define GDS_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gds
+{
+
+namespace detail
+{
+
+[[noreturn]] void terminatePanic(const std::string &msg,
+                                 const char *file, int line);
+[[noreturn]] void terminateFatal(const std::string &msg);
+void emit(const char *prefix, const std::string &msg);
+
+/** Minimal printf-style formatter returning a std::string. */
+std::string vformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort with a message: something happened that is a simulator bug. */
+#define panic(...)                                                          \
+    ::gds::detail::terminatePanic(::gds::detail::vformat(__VA_ARGS__),      \
+                                  __FILE__, __LINE__)
+
+/** Exit with a message: the user asked for something unsupported/invalid. */
+#define fatal(...)                                                          \
+    ::gds::detail::terminateFatal(::gds::detail::vformat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define warn(...)                                                           \
+    ::gds::detail::emit("warn: ", ::gds::detail::vformat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define inform(...)                                                         \
+    ::gds::detail::emit("info: ", ::gds::detail::vformat(__VA_ARGS__))
+
+/** panic() unless the invariant holds. Always compiled in. */
+#define gds_assert(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            panic("assertion '%s' failed: %s", #cond,                       \
+                  ::gds::detail::vformat(__VA_ARGS__).c_str());             \
+    } while (0)
+
+} // namespace gds
+
+#endif // GDS_COMMON_LOGGING_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the GraphDynS
+ * reproduction: graph identifiers, simulated time, memory addresses and
+ * vertex property values.
+ */
+
+#ifndef GDS_COMMON_TYPES_HH
+#define GDS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace gds
+{
+
+/** Vertex identifier. 4 bytes, matching the paper's storage layout. */
+using VertexId = std::uint32_t;
+
+/** Edge index into the CSR edge array. 64-bit: RMAT-26 has 1e9 edges. */
+using EdgeId = std::uint64_t;
+
+/** Edge weight as stored in memory (random integers in [0, 255]). */
+using Weight = std::uint32_t;
+
+/**
+ * Vertex property value. The accelerator datapath is built from
+ * single-precision floating point units (Sec. 4.2.1), so properties are
+ * 4-byte floats. Integer-flavoured algorithms (BFS level, CC label) are
+ * exactly representable for every graph size we simulate (< 2^24).
+ */
+using PropValue = float;
+
+/** Simulated clock cycle count (1 GHz accelerator clock). */
+using Cycle = std::uint64_t;
+
+/** Simulated byte address in the accelerator's physical address space. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no vertex". */
+inline constexpr VertexId invalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/** Sentinel for "no edge". */
+inline constexpr EdgeId invalidEdge = std::numeric_limits<EdgeId>::max();
+
+/** Positive infinity for min-reduction algorithms (BFS/SSSP/CC). */
+inline constexpr PropValue propInf = std::numeric_limits<PropValue>::infinity();
+
+/** Bytes per vertex identifier / weight / property word. */
+inline constexpr unsigned bytesPerWord = 4;
+
+} // namespace gds
+
+#endif // GDS_COMMON_TYPES_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * GraphDynS accelerator configuration (Table 3 + Sec. 5.1.3 parameters)
+ * and the ablation knobs of the Fig. 14 scheduling study.
+ */
+
+#ifndef GDS_CORE_CONFIG_HH
+#define GDS_CORE_CONFIG_HH
+
+#include "common/types.hh"
+#include "mem/hbm.hh"
+
+namespace gds::core
+{
+
+/** Full accelerator configuration. Defaults match the paper. */
+struct GdsConfig
+{
+    // --- Compute fabric (Table 3: 1 GHz, 16 x SIMT8) ---
+    unsigned numDispatchers = 16; ///< DEs
+    unsigned numPes = 16;         ///< PEs
+    unsigned nSimt = 8;           ///< SIMT lanes per PE
+    unsigned numUes = 128;        ///< UEs = crossbar radix
+
+    // --- Scheduling parameters (Sec. 5.1.3) ---
+    unsigned eThreshold = 128; ///< split edge lists above this
+    unsigned eListSize = 16;   ///< sub-edge-list chunk size
+    unsigned vListSize = 8;    ///< apply-phase vertex list size
+
+    // --- On-chip memories ---
+    std::uint64_t vbBytesPerUe = 256 * 1024; ///< 128 x 256 KB = 32 MB
+    unsigned rbGroupSize = 256;   ///< vertices covered per RB bit
+    unsigned ueQueueDepth = 8;    ///< UE input queue (crossbar sink)
+    unsigned peQueueEdges = 512;  ///< per-PE edge workload queue (EPB share)
+    unsigned vpbRecords = 64;     ///< active records buffered per DE RAM
+    unsigned applyListQueue = 64; ///< apply vertex lists queued per PE
+    unsigned auBatchRecords = 16; ///< active records per coalesced store
+    Cycle vbLatency = 2;          ///< VB read latency in Apply
+
+    // --- Prefetcher ---
+    unsigned vprefBatch = 32;        ///< active records per stream request
+    unsigned vprefMaxInflight = 32;  ///< outstanding record-stream requests
+    unsigned eprefMaxInflight = 64;  ///< outstanding edge requests
+    unsigned eprefBufferEdges = 16384;///< prefetched-not-yet-dispatched cap
+    unsigned applyMaxInflightGroups = 32;
+
+    // --- Data-aware dynamic scheduling knobs (Fig. 14c/d ablations) ---
+    bool workloadBalance = true; ///< WB: threshold dispatch + splitting
+    bool exactPrefetch = true;   ///< EP: exact edge prefetching
+    bool zeroStallAtomics = true;///< AO: zero-stall Reduce Pipeline
+    bool updateScheduling = true;///< US: RB-driven selective Apply
+
+    // --- Run control ---
+    unsigned maxIterations = 1000;
+
+    // --- Memory system (Table 3: 512 GB/s HBM 1.0) ---
+    mem::HbmConfig hbm;
+
+    /** Vertices whose temporary property fits on chip (slice capacity). */
+    VertexId
+    sliceCapacity() const
+    {
+        const std::uint64_t cap =
+            static_cast<std::uint64_t>(numUes) * vbBytesPerUe / bytesPerWord;
+        return static_cast<VertexId>(
+            std::min<std::uint64_t>(cap, invalidVertex - 1));
+    }
+};
+
+} // namespace gds::core
+
+#endif // GDS_CORE_CONFIG_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Implementation-internal helpers shared by the GraphDynS phase files:
+ * HBM request tag encoding and request size limits. Not part of the
+ * public API.
+ */
+
+#ifndef GDS_CORE_DETAIL_HH
+#define GDS_CORE_DETAIL_HH
+
+#include <cstdint>
+
+namespace gds::core::detail
+{
+
+/** HBM request tag kinds (high byte of the tag). */
+enum class Tag : std::uint64_t
+{
+    RecordBatch = 1, ///< Vpref active-record stream (payload: batch index)
+    TPropFill,       ///< VB fill for sliced runs
+    EdgeFetch,       ///< Epref edge data (payload: record index)
+    EdgeBatch,       ///< Epref coalesced edge data (payload: batch index)
+    GroupData,       ///< Apply-phase group prefetch (payload: group index)
+    AuWrite,         ///< AU active-record store
+    PropWrite,       ///< Apply-phase property write-back
+};
+
+constexpr std::uint64_t
+makeTag(Tag kind, std::uint64_t payload)
+{
+    return (static_cast<std::uint64_t>(kind) << 56) | payload;
+}
+
+constexpr Tag
+tagKind(std::uint64_t tag)
+{
+    return static_cast<Tag>(tag >> 56);
+}
+
+constexpr std::uint64_t
+tagPayload(std::uint64_t tag)
+{
+    return tag & ((1ULL << 56) - 1);
+}
+
+/** Largest single HBM request the prefetchers issue. */
+constexpr unsigned maxRequestBytes = 512;
+
+} // namespace gds::core::detail
+
+#endif // GDS_CORE_DETAIL_HH

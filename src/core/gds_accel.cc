@@ -1,0 +1,347 @@
+/**
+ * @file
+ * GraphDynS top level: construction, initialization, the run loop,
+ * HBM response dispatch, and iteration/slice control.
+ */
+
+#include "core/gds_accel.hh"
+
+#include "core/detail.hh"
+
+namespace gds::core
+{
+
+using detail::Tag;
+using detail::makeTag;
+using detail::tagKind;
+using detail::tagPayload;
+
+GdsAccel::GdsAccel(const GdsConfig &config, const graph::Csr &g,
+                   algo::VcpmAlgorithm &algorithm, sim::Component *parent)
+    : sim::Component("graphdyns", parent),
+      cfg(config),
+      fullGraph(g),
+      algo(algorithm),
+      weighted(algorithm.usesWeights()),
+      hasConstProp(algorithm.usesConstProp()),
+      statIterations(&statsGroup(), "iterations", "iterations executed"),
+      statScatterCycles(&statsGroup(), "scatterCycles",
+                        "cycles spent in Scatter phases"),
+      statApplyCycles(&statsGroup(), "applyCycles",
+                      "cycles spent in Apply phases"),
+      statEdgesProcessed(&statsGroup(), "edgesProcessed",
+                         "edges processed by PEs"),
+      statVertexUpdates(&statsGroup(), "vertexUpdates",
+                        "vertices whose property changed in Apply"),
+      statUpdatesSkipped(&statsGroup(), "updatesSkipped",
+                         "Apply operations eliminated by the RB bitmap"),
+      statSchedulingOps(&statsGroup(), "schedulingOps",
+                        "Dispatcher scheduling operations"),
+      statAtomicStalls(&statsGroup(), "atomicStalls",
+                       "Reduce stalls from RAW conflicts"),
+      statTPropMods(&statsGroup(), "tPropModifications",
+                    "reduces that modified a temporary property"),
+      statApplyOps(&statsGroup(), "applyOps", "Apply kernel executions"),
+      statVbAccesses(&statsGroup(), "vbAccesses",
+                     "Vertex Buffer read/write operations"),
+      statReduceOps(&statsGroup(), "reduceOps", "Reduce kernel executions"),
+      statPeEdges(&statsGroup(), "peEdges", "edges processed per PE",
+                  config.numPes),
+      statDeIdle(&statsGroup(), "deIdle", "DE cycles with empty VPB"),
+      statDeWaitReady(&statsGroup(), "deWaitReady",
+                      "DE cycles waiting for edge data"),
+      statDeBlockedPe(&statsGroup(), "deBlockedPe",
+                      "DE cycles blocked on a full PE queue"),
+      statCommitBlockedBatch(&statsGroup(), "commitBlockedBatch",
+                             "record commits stalled on Vpref data"),
+      statCommitBlockedVpb(&statsGroup(), "commitBlockedVpb",
+                           "record commits stalled on a full VPB RAM")
+{
+    gds_assert(!weighted || fullGraph.hasWeights(),
+               "%s needs a weighted graph", algo.name().c_str());
+    gds_assert(cfg.numUes % cfg.numPes == 0,
+               "numUes must be a multiple of numPes");
+    gds_assert(cfg.numDispatchers == cfg.numPes,
+               "the DE->PE pairing assumes one DE per PE");
+    // The workload queue must be able to hold the largest single
+    // dispatch: a whole sub-threshold edge list or one split chunk.
+    gds_assert(cfg.peQueueEdges >= cfg.eThreshold &&
+                   cfg.peQueueEdges >= cfg.eListSize,
+               "peQueueEdges (%u) must cover eThreshold (%u) and "
+               "eListSize (%u) or dispatch can deadlock",
+               cfg.peQueueEdges, cfg.eThreshold, cfg.eListSize);
+
+    // Destination-range slicing when tProp exceeds the Vertex Buffer.
+    const VertexId v_count = fullGraph.numVertices();
+    const VertexId capacity = cfg.sliceCapacity();
+    sliceCount = graph::numSlices(v_count, capacity);
+    if (sliceCount > 1)
+        slices = graph::sliceByDestination(fullGraph, capacity);
+
+    sliceEdgeStart.resize(sliceCount, 0);
+    EdgeId edge_cursor = 0;
+    for (unsigned s = 0; s < sliceCount; ++s) {
+        sliceEdgeStart[s] = edge_cursor;
+        edge_cursor += sliceGraph(s).numEdges();
+    }
+
+    const RecordFormat fmt{weighted ? 8u : 4u, 12u, 0u};
+    layout = std::make_unique<MemoryLayout>(v_count, edge_cursor, fmt,
+                                            hasConstProp, sliceCount > 1);
+    hbm = std::make_unique<mem::Hbm>(cfg.hbm, this);
+    xbar = std::make_unique<mem::Crossbar>(cfg.numUes, this);
+
+    for (unsigned i = 0; i < cfg.numDispatchers; ++i)
+        des.emplace_back(cfg.vpbRecords);
+    for (unsigned i = 0; i < cfg.numPes; ++i)
+        pes.emplace_back(cfg.peQueueEdges, cfg.applyListQueue,
+                         cfg.vbLatency);
+    for (unsigned i = 0; i < cfg.numUes; ++i)
+        ues.emplace_back(cfg.ueQueueDepth);
+}
+
+GdsAccel::~GdsAccel() = default;
+
+const graph::Csr &
+GdsAccel::sliceGraph(unsigned s) const
+{
+    return sliceCount == 1 ? fullGraph : slices[s].subgraph;
+}
+
+VertexId
+GdsAccel::sliceBegin(unsigned s) const
+{
+    return sliceCount == 1 ? 0 : slices[s].dstBegin;
+}
+
+VertexId
+GdsAccel::sliceEnd(unsigned s) const
+{
+    return sliceCount == 1 ? fullGraph.numVertices() : slices[s].dstEnd;
+}
+
+void
+GdsAccel::buildInitialActives(VertexId source)
+{
+    activeCur.assign(sliceCount, {});
+    activeNext.assign(sliceCount, {});
+    auto add = [this](VertexId v) {
+        for (unsigned s = 0; s < sliceCount; ++s) {
+            const graph::Csr &sg = sliceGraph(s);
+            activeCur[s].push_back(ActiveRecord{
+                v, prop[v],
+                static_cast<std::uint32_t>(sg.outDegree(v)),
+                sg.offsetOf(v)});
+        }
+    };
+    if (algo.allInitiallyActive()) {
+        for (VertexId v = 0; v < fullGraph.numVertices(); ++v)
+            add(v);
+    } else {
+        add(source);
+    }
+}
+
+void
+GdsAccel::activateVertex(VertexId v, PropValue new_prop)
+{
+    ++activatedThisIteration;
+    for (unsigned s = 0; s < sliceCount; ++s) {
+        const graph::Csr &sg = sliceGraph(s);
+        activeNext[s].push_back(ActiveRecord{
+            v, new_prop, static_cast<std::uint32_t>(sg.outDegree(v)),
+            sg.offsetOf(v)});
+    }
+    ap.auBufferedRecords += sliceCount;
+}
+
+RunResult
+GdsAccel::run(const RunOptions &options)
+{
+    const VertexId v_count = fullGraph.numVertices();
+    gds_assert(v_count > 0, "cannot run on an empty graph");
+    gds_assert(options.source < v_count, "source %u out of range",
+               options.source);
+
+    algo.bind(fullGraph);
+
+    prop.resize(v_count);
+    tProp.resize(v_count);
+    for (VertexId v = 0; v < v_count; ++v) {
+        prop[v] = algo.initialProp(v, fullGraph, options.source);
+        tProp[v] = algo.tPropIdentity(v, fullGraph, options.source);
+    }
+    if (hasConstProp) {
+        cProp.resize(v_count);
+        for (VertexId v = 0; v < v_count; ++v)
+            cProp[v] = algo.constProp(v, fullGraph);
+    }
+    readyGroup.assign(groupIndexOf(v_count - 1) + 1, 0);
+
+    buildInitialActives(options.source);
+    collectPeLoads = options.collectPeLoads;
+    peLoadTrace.clear();
+    peLoadThisIteration.assign(cfg.numPes, 0);
+
+    iteration = 0;
+    activeBuf = 0;
+    activatedThisIteration = 0;
+    startIteration();
+
+    const Cycle start_cycle = now;
+    constexpr Cycle watchdog = 50'000'000'000ULL;
+    const bool progress = std::getenv("GDS_PROGRESS") != nullptr;
+    while (phase != Phase::Finished) {
+        tick();
+        // Diagnostic heartbeat for debugging long runs (GDS_PROGRESS=1).
+        if (progress && (now - start_cycle) % 1'000'000 == 0) {
+            inform("cycle=%llu iter=%u slice=%u phase=%d "
+                   "scatter=%llu/%llu reduced=%llu/%llu apply=%llu/%zu",
+                   static_cast<unsigned long long>(now - start_cycle),
+                   iteration, curSlice, static_cast<int>(phase),
+                   static_cast<unsigned long long>(sc.recordsDispatched),
+                   static_cast<unsigned long long>(sc.recordsTotal),
+                   static_cast<unsigned long long>(sc.edgesReduced),
+                   static_cast<unsigned long long>(sc.expectedEdges),
+                   static_cast<unsigned long long>(ap.groupsCompleted),
+                   ap.groups.size());
+        }
+        gds_assert(now - start_cycle < watchdog,
+                   "GraphDynS run exceeded the watchdog cycle limit");
+    }
+
+    RunResult result;
+    result.properties = prop;
+    result.iterations = iteration;
+    result.cycles = now - start_cycle;
+    result.edgesProcessed =
+        static_cast<std::uint64_t>(statEdgesProcessed.value());
+    result.vertexUpdates =
+        static_cast<std::uint64_t>(statVertexUpdates.value());
+    result.updatesSkipped =
+        static_cast<std::uint64_t>(statUpdatesSkipped.value());
+    result.memoryBytes = static_cast<std::uint64_t>(hbm->totalBytes());
+    result.footprintBytes = layout->footprintBytes();
+    result.bandwidthUtilization = hbm->bandwidthUtilization();
+    result.schedulingOps =
+        static_cast<std::uint64_t>(statSchedulingOps.value());
+    result.atomicStalls =
+        static_cast<std::uint64_t>(statAtomicStalls.value());
+    result.peLoads = peLoadTrace;
+    return result;
+}
+
+void
+GdsAccel::startIteration()
+{
+    activatedThisIteration = 0;
+    curSlice = 0;
+    // An iteration with no active vertices anywhere terminates the run.
+    bool any_active = false;
+    for (const auto &list : activeCur)
+        any_active |= !list.empty();
+    if (!any_active || iteration >= cfg.maxIterations) {
+        phase = Phase::Finished;
+        return;
+    }
+    startScatter();
+}
+
+void
+GdsAccel::finishSlice()
+{
+    // Clear the Ready-to-Update bits this slice consumed.
+    const std::uint64_t first = groupIndexOf(sliceBegin(curSlice));
+    const std::uint64_t last = groupIndexOf(sliceEnd(curSlice) - 1);
+    for (std::uint64_t g = first; g <= last; ++g)
+        readyGroup[g] = 0;
+
+    ++curSlice;
+    if (curSlice < sliceCount) {
+        startScatter();
+        return;
+    }
+
+    // Iteration complete.
+    ++iteration;
+    ++statIterations;
+    if (collectPeLoads) {
+        peLoadTrace.push_back(peLoadThisIteration);
+        peLoadThisIteration.assign(cfg.numPes, 0);
+    }
+    activeCur.swap(activeNext);
+    for (auto &list : activeNext)
+        list.clear();
+    activeBuf ^= 1;
+    startIteration();
+}
+
+void
+GdsAccel::tick()
+{
+    // Deliver matured HBM responses to their owners.
+    while (vportRead.hasResponse()) {
+        const std::uint64_t tag = vportRead.popResponse();
+        switch (tagKind(tag)) {
+          case Tag::RecordBatch:
+            sc.batchReady[tagPayload(tag)] = 1;
+            break;
+          case Tag::TPropFill:
+            --sc.fillOutstanding;
+            break;
+          case Tag::GroupData: {
+            GroupFetch &gf = ap.fetch[tagPayload(tag)];
+            gds_assert(gf.outstanding > 0, "stray group response");
+            --gf.outstanding;
+            break;
+          }
+          default:
+            panic("unexpected tag on the Vpref port");
+        }
+    }
+    while (eportRead.hasResponse()) {
+        const std::uint64_t tag = eportRead.popResponse();
+        const std::uint64_t payload = tagPayload(tag);
+        switch (tagKind(tag)) {
+          case Tag::EdgeFetch: {
+            RecordFetch &f = sc.fetch[payload];
+            gds_assert(f.parts > 0, "stray edge response");
+            --f.parts;
+            if (f.allIssued && f.parts == 0)
+                materializeRecord(payload);
+            break;
+          }
+          case Tag::EdgeBatch:
+            // One coalesced request served several whole records.
+            for (const std::uint64_t rec : sc.fetchBatches[payload])
+                materializeRecord(rec);
+            break;
+          default:
+            panic("unexpected tag on the Epref port");
+        }
+    }
+    while (auPortWrite.hasResponse())
+        auPortWrite.popResponse(); // stores only gate phase completion
+
+    switch (phase) {
+      case Phase::ScatterPhase:
+        ++statScatterCycles;
+        tickScatter();
+        if (scatterDone())
+            startApply();
+        break;
+      case Phase::ApplyPhase:
+        ++statApplyCycles;
+        tickApply();
+        if (applyDone())
+            finishSlice();
+        break;
+      case Phase::Finished:
+        break;
+    }
+
+    hbm->tick();
+    ++now;
+}
+
+} // namespace gds::core

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * GraphDynS: the paper's accelerator, as a combined functional + cycle-level
+ * timing model.
+ *
+ * The model executes the optimized programming model of Algorithm 2 on the
+ * hardware organization of Fig. 3: a Prefetcher (Vpref + Epref) streaming
+ * exactly the data the decoupled datapath announces, a Dispatcher of 16 DEs
+ * performing workload-balanced threshold dispatch, a Processor of 16
+ * 8-lane-SIMT PEs, and an Updater of 128 UEs behind a 128-radix crossbar,
+ * each UE holding a 256 KB Vertex Buffer slice, a Ready-to-Update Bitmap,
+ * a zero-stall Reduce Pipeline and an Activating Unit with coalesced,
+ * double-buffered off-chip stores. Graphs whose temporary properties exceed
+ * the 32 MB Vertex Buffer are processed in destination-range slices.
+ *
+ * Property values are computed for real during simulation, so every run's
+ * output can be (and in the tests, is) compared against the functional
+ * reference engine.
+ *
+ * The four data-aware scheduling techniques are individually switchable
+ * (GdsConfig::workloadBalance / exactPrefetch / zeroStallAtomics /
+ * updateScheduling), which is how the Fig. 14 ablation benches are built.
+ */
+
+#ifndef GDS_CORE_GDS_ACCEL_HH
+#define GDS_CORE_GDS_ACCEL_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "algo/vcpm.hh"
+#include "core/config.hh"
+#include "core/memmap.hh"
+#include "graph/slicer.hh"
+#include "mem/crossbar.hh"
+#include "mem/hbm.hh"
+#include "sim/queues.hh"
+
+namespace gds::core
+{
+
+/** Options of one accelerator run. */
+struct RunOptions
+{
+    VertexId source = 0;
+    /** Record per-PE edge counts for every iteration (Fig. 14b). */
+    bool collectPeLoads = false;
+};
+
+/** Outcome of one accelerator run. */
+struct RunResult
+{
+    std::vector<PropValue> properties;
+    unsigned iterations = 0;
+    Cycle cycles = 0;
+    std::uint64_t edgesProcessed = 0;
+    std::uint64_t vertexUpdates = 0;
+    std::uint64_t updatesSkipped = 0;
+    std::uint64_t memoryBytes = 0;
+    std::uint64_t footprintBytes = 0;
+    double bandwidthUtilization = 0.0;
+    std::uint64_t schedulingOps = 0;
+    std::uint64_t atomicStalls = 0;
+    /** Per-iteration per-PE edge loads (only when collectPeLoads). */
+    std::vector<std::vector<std::uint64_t>> peLoads;
+
+    /** Giga-traversed-edges per second at the 1 GHz clock. */
+    double
+    gteps() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(edgesProcessed) / cycles;
+    }
+};
+
+/** The GraphDynS accelerator model. */
+class GdsAccel : public sim::Component
+{
+  public:
+    /**
+     * Bind the accelerator to a graph and an algorithm.
+     *
+     * @param config hardware configuration (Table 3 defaults)
+     * @param g the graph; must carry weights iff the algorithm needs them
+     * @param algorithm the VCPM kernels to execute
+     */
+    GdsAccel(const GdsConfig &config, const graph::Csr &g,
+             algo::VcpmAlgorithm &algorithm,
+             sim::Component *parent = nullptr);
+    ~GdsAccel() override;
+
+    /** Execute the algorithm to convergence (or the iteration cap). */
+    RunResult run(const RunOptions &options = {});
+
+    void tick() override;
+
+    /** The memory device (bandwidth/traffic stats for the benches). */
+    const mem::Hbm &hbmDevice() const { return *hbm; }
+
+    /** Off-chip storage footprint (Fig. 11). */
+    std::uint64_t footprintBytes() const { return layout->footprintBytes(); }
+
+    /** Number of destination-range slices in use. */
+    unsigned numSlices() const { return static_cast<unsigned>(
+        sliceCount); }
+
+  private:
+    // ------------------------------------------------------------------
+    // Record/flit types flowing between components.
+    // ------------------------------------------------------------------
+
+    /** Active vertex data (Sec. 4.1.1): prop + offset + edgeCnt = 12 B.
+     *  vid is carried for functional simulation only. */
+    struct ActiveRecord
+    {
+        VertexId vid;
+        PropValue prop;
+        std::uint32_t edgeCnt;
+        EdgeId offset; ///< into the owning slice's edge array
+    };
+
+    /** One SIMT lane's worth of scatter work. */
+    struct EdgeTask
+    {
+        VertexId dst;
+        Weight weight;
+        PropValue uProp;
+    };
+
+    /** Edge-processing result routed through the crossbar to a UE. */
+    struct ResultFlit
+    {
+        VertexId dst;
+        PropValue value;
+    };
+
+    /** An Apply-phase vertex list (vListSize consecutive vertices). */
+    struct ApplyList
+    {
+        VertexId startVid;
+        std::uint16_t count;
+        std::uint32_t group; ///< index into ApplyState::groups
+    };
+
+    /** Per-record edge-prefetch bookkeeping. Large edge lists are fetched
+     *  in several bounded requests ("parts"). */
+    struct RecordFetch
+    {
+        bool reserved = false;   ///< buffer budget reserved
+        bool allIssued = false;  ///< every part request issued
+        bool ready = false;      ///< edge data available for dispatch
+        std::uint32_t parts = 0; ///< part responses still outstanding
+        std::uint64_t bytesIssued = 0;
+    };
+
+    /** Per-UE state: Reduce Pipeline history + AU batching. */
+    struct Ue
+    {
+        sim::BoundedQueue<ResultFlit> inbox;
+        // Zero-stall mode resolves RAW by forwarding; stall mode
+        // (Graphicionado-style) must wait while a conflicting update is in
+        // flight in the 3-stage pipeline.
+        std::array<VertexId, 2> pipeAddr{invalidVertex, invalidVertex};
+        std::array<Cycle, 2> pipeCycle{0, 0};
+
+        explicit Ue(unsigned depth) : inbox(depth) {}
+    };
+
+    /** Per-PE state. */
+    struct Pe
+    {
+        sim::BoundedQueue<EdgeTask> edgeQueue;       ///< scatter workload
+        std::vector<ResultFlit> pendingFlits;        ///< xbar retry buffer
+        sim::BoundedQueue<ApplyList> applyQueue;     ///< apply workload
+        sim::DelayQueue<ApplyList> vbStage;          ///< VB read pipeline
+
+        Pe(unsigned edge_cap, unsigned apply_cap, Cycle vb_latency)
+            : edgeQueue(edge_cap), applyQueue(apply_cap),
+              vbStage(4, vb_latency)
+        {}
+    };
+
+    /** Per-DE dispatch progress on its current record. */
+    struct De
+    {
+        sim::BoundedQueue<std::uint64_t> vpb; ///< record indices
+        std::uint32_t chunkCursor = 0;
+
+        explicit De(unsigned cap) : vpb(cap) {}
+    };
+
+    enum class Phase
+    {
+        ScatterPhase,
+        ApplyPhase,
+        Finished,
+    };
+
+    // ------------------------------------------------------------------
+    // Phase bookkeeping.
+    // ------------------------------------------------------------------
+
+    struct ScatterState
+    {
+        std::uint64_t recordsTotal = 0;
+        std::uint64_t expectedEdges = 0;
+        std::uint64_t batchesTotal = 0;
+        std::uint64_t batchesIssued = 0;
+        std::vector<std::uint8_t> batchReady;
+        std::uint64_t commitCursor = 0;   ///< next record to commit
+        std::uint64_t recordsDispatched = 0;
+        std::uint64_t edgesReduced = 0;
+        std::uint64_t fillOutstanding = 0;
+        Addr fillCursor = 0;
+        std::uint64_t fillBytesLeft = 0;
+        std::deque<std::uint64_t> eprefPending; ///< records awaiting fetch
+        std::vector<RecordFetch> fetch;
+        std::vector<std::vector<EdgeTask>> fetchedEdges;
+        std::vector<std::vector<std::uint64_t>> fetchBatches;
+        std::uint64_t bufferedEdges = 0;
+    };
+
+    struct GroupFetch
+    {
+        unsigned requestsIssued = 0; ///< prefetch requests sent so far
+        unsigned outstanding = 0;    ///< HBM responses still due
+        std::uint32_t listsPushed = 0;
+        std::uint32_t remainingVerts = 0;
+    };
+
+    struct ApplyState
+    {
+        std::vector<VertexId> groups; ///< start vid of each ready group
+        std::vector<GroupFetch> fetch;
+        std::uint64_t groupsRequested = 0;
+        std::uint64_t commitCursor = 0; ///< group currently pushing lists
+        std::uint64_t groupsCompleted = 0;
+        std::uint64_t auBufferedRecords = 0;
+        Addr auWriteCursor = 0;
+        std::deque<std::pair<Addr, unsigned>> propWrites;
+    };
+
+    // ------------------------------------------------------------------
+    // Phase logic (gds_scatter.cc / gds_apply.cc).
+    // ------------------------------------------------------------------
+
+    void startIteration();
+    void startScatter();
+    void tickScatter();
+    bool scatterDone() const;
+    void tickVpref();
+    void tickEpref();
+    void materializeRecord(std::uint64_t rec_index);
+    void tickDispatchers();
+    void dispatchChunk(De &de, unsigned de_index);
+    void tickPesScatter();
+    void tickUes();
+    void reduceFlit(const ResultFlit &flit);
+
+    void startApply();
+    void tickApply();
+    bool applyDone() const;
+    void tickApplyPrefetch();
+    void tickApplyCommit();
+    void tickPesApply();
+    void applyVertex(VertexId v);
+    void flushAu(bool force);
+
+    void finishSlice();
+
+    // Helpers.
+    const graph::Csr &sliceGraph(unsigned s) const;
+    VertexId sliceBegin(unsigned s) const;
+    VertexId sliceEnd(unsigned s) const;
+    void buildInitialActives(VertexId source);
+    void activateVertex(VertexId v, PropValue new_prop);
+    std::uint64_t groupIndexOf(VertexId v) const
+    {
+        return v / cfg.rbGroupSize;
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration and bound inputs.
+    // ------------------------------------------------------------------
+
+    GdsConfig cfg;
+    const graph::Csr &fullGraph;
+    algo::VcpmAlgorithm &algo;
+    bool weighted;
+    bool hasConstProp;
+
+    // Slicing.
+    unsigned sliceCount = 1;
+    std::vector<graph::Slice> slices; ///< empty when sliceCount == 1
+    std::vector<EdgeId> sliceEdgeStart;
+
+    std::unique_ptr<MemoryLayout> layout;
+    std::unique_ptr<mem::Hbm> hbm;
+    std::unique_ptr<mem::Crossbar> xbar;
+
+    // Functional state.
+    std::vector<PropValue> prop;
+    std::vector<PropValue> tProp;
+    std::vector<PropValue> cProp;
+    std::vector<std::uint8_t> readyGroup;
+    std::vector<std::vector<ActiveRecord>> activeCur;  ///< per slice
+    std::vector<std::vector<ActiveRecord>> activeNext; ///< per slice
+    std::uint64_t activatedThisIteration = 0;
+
+    // Microarchitectural state.
+    std::vector<De> des;
+    std::vector<Pe> pes;
+    std::vector<Ue> ues;
+    ScatterState sc;
+    ApplyState ap;
+    Phase phase = Phase::Finished;
+    unsigned curSlice = 0;
+    unsigned iteration = 0;
+    unsigned activeBuf = 0;
+    Cycle now = 0;
+    bool collectPeLoads = false;
+    std::vector<std::uint64_t> peLoadThisIteration;
+    std::vector<std::vector<std::uint64_t>> peLoadTrace;
+
+    mem::HbmPort vportRead;  ///< Vpref record/vertex reads + tProp fill
+    mem::HbmPort eportRead;  ///< Epref edge reads
+    mem::HbmPort auPortWrite;///< AU active/prop stores
+
+    // Stats.
+    stats::Scalar statIterations;
+    stats::Scalar statScatterCycles;
+    stats::Scalar statApplyCycles;
+    stats::Scalar statEdgesProcessed;
+    stats::Scalar statVertexUpdates;
+    stats::Scalar statUpdatesSkipped;
+    stats::Scalar statSchedulingOps;
+    stats::Scalar statAtomicStalls;
+    stats::Scalar statTPropMods;
+    stats::Scalar statApplyOps;
+    stats::Scalar statVbAccesses;
+    stats::Scalar statReduceOps;
+    stats::Vector statPeEdges;
+    // Bottleneck attribution counters (per DE-cycle / commit attempt).
+    stats::Scalar statDeIdle;        ///< DE cycles with an empty VPB RAM
+    stats::Scalar statDeWaitReady;   ///< DE cycles waiting on edge data
+    stats::Scalar statDeBlockedPe;   ///< DE cycles blocked by a full PE queue
+    stats::Scalar statCommitBlockedBatch; ///< commits stalled on Vpref data
+    stats::Scalar statCommitBlockedVpb;   ///< commits stalled on a full VPB
+};
+
+} // namespace gds::core
+
+#endif // GDS_CORE_GDS_ACCEL_HH

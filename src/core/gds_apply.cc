@@ -1,0 +1,245 @@
+/**
+ * @file
+ * GraphDynS Apply phase (Fig. 3d): Ready-to-Update-Bitmap-driven selective
+ * vertex prefetch, strided vertex-list dispatch, SIMT Apply on the PEs
+ * reading the Vertex Buffer, and the Activating Unit's coalesced
+ * double-buffered stores of properties and next-iteration active records.
+ */
+
+#include "core/detail.hh"
+#include "core/gds_accel.hh"
+
+#include "common/debug.hh"
+
+namespace gds::core
+{
+
+using detail::Tag;
+using detail::makeTag;
+
+void
+GdsAccel::startApply()
+{
+    DPRINTF(Phase, "iter %u slice %u: Apply starts", iteration, curSlice);
+    phase = Phase::ApplyPhase;
+    ap = ApplyState{};
+    ap.auWriteCursor = layout->activeArrayBase(activeBuf ^ 1);
+
+    const VertexId lo = sliceBegin(curSlice);
+    const VertexId hi = sliceEnd(curSlice);
+    std::uint64_t selected_verts = 0;
+    for (VertexId b = lo; b < hi; b += cfg.rbGroupSize) {
+        const bool ready = !cfg.updateScheduling ||
+                           readyGroup[groupIndexOf(b)] != 0;
+        if (!ready)
+            continue;
+        ap.groups.push_back(b);
+        selected_verts += std::min<VertexId>(cfg.rbGroupSize, hi - b);
+    }
+    statUpdatesSkipped += static_cast<double>((hi - lo) - selected_verts);
+    DPRINTF(Apply, "%zu ready groups selected, %llu vertices skipped",
+            ap.groups.size(),
+            static_cast<unsigned long long>((hi - lo) - selected_verts));
+
+    ap.fetch.assign(ap.groups.size(), GroupFetch{});
+    for (std::size_t g = 0; g < ap.groups.size(); ++g) {
+        const VertexId b = ap.groups[g];
+        ap.fetch[g].remainingVerts = static_cast<std::uint32_t>(
+            std::min<VertexId>(cfg.rbGroupSize, hi - b));
+    }
+}
+
+bool
+GdsAccel::applyDone() const
+{
+    return ap.commitCursor == ap.groups.size() &&
+           ap.groupsCompleted == ap.groups.size() &&
+           ap.auBufferedRecords == 0 && ap.propWrites.empty() &&
+           auPortWrite.inflight() == 0;
+}
+
+void
+GdsAccel::tickApply()
+{
+    tickPesApply();
+    tickApplyCommit();
+    tickApplyPrefetch();
+    // Flush sub-batch AU remainders once every group has been applied.
+    flushAu(ap.groupsCompleted == ap.groups.size());
+}
+
+// ---------------------------------------------------------------------
+// Vpref (Apply): prefetch exactly the ready groups' vertex data --
+// properties, offset-array runs for edgeCnt computation (one per slice,
+// because activation needs every slice's edge counts), and the constant
+// property for PR.
+// ---------------------------------------------------------------------
+
+void
+GdsAccel::tickApplyPrefetch()
+{
+    while (ap.groupsRequested < ap.groups.size() &&
+           ap.groupsRequested - ap.commitCursor <
+               cfg.applyMaxInflightGroups) {
+        const std::uint64_t g = ap.groupsRequested;
+        const VertexId b = ap.groups[g];
+        const std::uint32_t len = ap.fetch[g].remainingVerts;
+
+        // All requests of a group are issued in one go; if the memory
+        // refuses any of them we retry the whole group next cycle (the
+        // request queue state is unchanged for unissued parts because we
+        // track how many got through).
+        unsigned &done = ap.fetch[g].requestsIssued;
+        const unsigned total_reqs = 1 + sliceCount + (hasConstProp ? 1 : 0);
+        bool blocked = false;
+        while (done < total_reqs && !blocked) {
+            bool ok = false;
+            if (done == 0) {
+                ok = hbm->access(layout->propAddr(b), len * bytesPerWord,
+                                 false, makeTag(Tag::GroupData, g),
+                                 &vportRead);
+            } else if (done <= sliceCount) {
+                // Offset run of slice (done - 1): len + 1 entries.
+                ok = hbm->access(layout->offsetAddr(b),
+                                 (len + 1) * bytesPerWord, false,
+                                 makeTag(Tag::GroupData, g), &vportRead);
+            } else {
+                ok = hbm->access(layout->cPropAddr(b), len * bytesPerWord,
+                                 false, makeTag(Tag::GroupData, g),
+                                 &vportRead);
+            }
+            if (ok) {
+                ++done;
+                ++ap.fetch[g].outstanding;
+            } else {
+                blocked = true;
+            }
+        }
+        if (done < total_reqs)
+            break;
+        ++ap.groupsRequested;
+    }
+}
+
+// ---------------------------------------------------------------------
+// DE (Apply): once a group's data has arrived, generate vListSize vertex
+// lists and dispatch them with the fixed stride mapping (list j -> PE
+// j % numPes), which by construction avoids Vertex Buffer conflicts.
+// ---------------------------------------------------------------------
+
+void
+GdsAccel::tickApplyCommit()
+{
+    const unsigned total_reqs = 1 + sliceCount + (hasConstProp ? 1 : 0);
+    while (ap.commitCursor < ap.groups.size()) {
+        const std::uint64_t g = ap.commitCursor;
+        GroupFetch &gf = ap.fetch[g];
+        if (gf.requestsIssued < total_reqs || gf.outstanding > 0)
+            break; // data not yet (fully requested and) on chip
+        const VertexId b = ap.groups[g];
+        const std::uint32_t len = gf.remainingVerts;
+        const std::uint32_t lists = ceilDiv(len, cfg.vListSize);
+        while (gf.listsPushed < lists) {
+            const std::uint32_t j = gf.listsPushed;
+            Pe &pe = pes[j % cfg.numPes];
+            if (!pe.applyQueue.canPush())
+                return; // backpressure: resume here next cycle
+            const VertexId start = b + j * cfg.vListSize;
+            const std::uint16_t count = static_cast<std::uint16_t>(
+                std::min<std::uint32_t>(cfg.vListSize,
+                                        len - j * cfg.vListSize));
+            pe.applyQueue.push(ApplyList{
+                start, count, static_cast<std::uint32_t>(g)});
+            ++gf.listsPushed;
+        }
+        ++ap.commitCursor;
+    }
+}
+
+// ---------------------------------------------------------------------
+// PE (Apply): two-stage pipeline -- VB read (vbLatency cycles), then the
+// SIMT Apply kernel, results handed to the AUs.
+// ---------------------------------------------------------------------
+
+void
+GdsAccel::applyVertex(VertexId v)
+{
+    const PropValue cp = hasConstProp ? cProp[v] : PropValue{0};
+    const PropValue apply_res = algo.apply(prop[v], tProp[v], cp);
+    if (algo.changed(prop[v], apply_res)) {
+        prop[v] = apply_res;
+        activateVertex(v, apply_res);
+        ++statVertexUpdates;
+    } else if (algo.tPropResetsEachIteration()) {
+        prop[v] = apply_res;
+    }
+    if (algo.tPropResetsEachIteration())
+        tProp[v] = 0.0f; // PR's reduce identity
+    ++statApplyOps;
+}
+
+void
+GdsAccel::tickPesApply()
+{
+    for (Pe &pe : pes) {
+        pe.vbStage.tick();
+        if (pe.vbStage.ready()) {
+            const ApplyList list = pe.vbStage.pop();
+            for (std::uint16_t k = 0; k < list.count; ++k)
+                applyVertex(list.startVid + k);
+            statVbAccesses += list.count;
+            GroupFetch &gf = ap.fetch[list.group];
+            gds_assert(gf.remainingVerts >= list.count,
+                       "group vertex accounting underflow");
+            gf.remainingVerts -= list.count;
+            if (gf.remainingVerts == 0) {
+                // Whole group applied: write the property run back
+                // (stored regardless of the per-vertex condition flag to
+                // keep the store sequential, Sec. 5.3.2).
+                const VertexId b = ap.groups[list.group];
+                const VertexId hi = sliceEnd(curSlice);
+                const std::uint32_t len = static_cast<std::uint32_t>(
+                    std::min<VertexId>(cfg.rbGroupSize, hi - b));
+                ap.propWrites.push_back(
+                    {layout->propAddr(b), len * bytesPerWord});
+                ++ap.groupsCompleted;
+            }
+        } else if (!pe.applyQueue.empty() && pe.vbStage.canPush()) {
+            pe.vbStage.push(pe.applyQueue.pop());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// AU: coalesced off-chip stores -- active records in auBatchRecords
+// batches (double-buffered queues) and the pending property write-backs.
+// ---------------------------------------------------------------------
+
+void
+GdsAccel::flushAu(bool force)
+{
+    // Property write-backs.
+    while (!ap.propWrites.empty()) {
+        const auto [addr, bytes] = ap.propWrites.front();
+        if (!hbm->access(addr, bytes, true, makeTag(Tag::PropWrite, 0),
+                         &auPortWrite))
+            break;
+        ap.propWrites.pop_front();
+    }
+
+    // Active-record stores, batched.
+    const std::uint64_t batch = cfg.auBatchRecords;
+    while (ap.auBufferedRecords >= batch ||
+           (force && ap.auBufferedRecords > 0)) {
+        const std::uint64_t n = std::min(ap.auBufferedRecords, batch);
+        const unsigned bytes = static_cast<unsigned>(
+            n * layout->fmt.activeRecordBytes);
+        if (!hbm->access(ap.auWriteCursor, bytes, true,
+                         makeTag(Tag::AuWrite, 0), &auPortWrite))
+            break;
+        ap.auWriteCursor += bytes;
+        ap.auBufferedRecords -= n;
+    }
+}
+
+} // namespace gds::core

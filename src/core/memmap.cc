@@ -1,0 +1,39 @@
+#include "core/memmap.hh"
+
+namespace gds::core
+{
+
+namespace
+{
+constexpr Addr pageAlign = 4096;
+}
+
+MemoryLayout::MemoryLayout(VertexId num_vertices, EdgeId num_edges,
+                           const RecordFormat &record_fmt,
+                           bool has_const_prop, bool tprop_offchip)
+    : fmt(record_fmt)
+{
+    Addr cursor = pageAlign; // keep address 0 unused
+    auto place = [&cursor](std::uint64_t bytes) {
+        const Addr base = cursor;
+        cursor = alignUp(cursor + bytes, pageAlign);
+        return base;
+    };
+
+    const std::uint64_t v = num_vertices;
+    _offsetBase = place((v + 1) * bytesPerWord);
+    _edgeBase = place(num_edges * fmt.edgeBytes);
+    _propBase = place(v * bytesPerWord);
+    _cPropBase = has_const_prop ? place(v * bytesPerWord) : 0;
+    _activeBase0 = place(v * fmt.activeRecordBytes);
+    _activeBase1 = place(v * fmt.activeRecordBytes);
+    if (fmt.metadataBytesPerVertex > 0)
+        place(v * fmt.metadataBytesPerVertex);
+    const std::uint64_t resident = cursor - pageAlign;
+    // The spill region sits above everything else; it only counts toward
+    // the footprint when temporary properties actually live off-chip.
+    _tPropBase = place(v * bytesPerWord);
+    _footprint = tprop_offchip ? cursor - pageAlign : resident;
+}
+
+} // namespace gds::core

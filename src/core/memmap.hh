@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Off-chip address-space layout of a graph-analytics engine.
+ *
+ * Both accelerator models place the CSR arrays, the property arrays, and
+ * the double-buffered active vertex arrays at fixed, page-aligned base
+ * addresses; all modelled HBM traffic uses these addresses, so row-buffer
+ * locality emerges from real access patterns. The layout also yields the
+ * engine's off-chip storage footprint (Fig. 11), which differs per engine:
+ * GraphDynS needs neither src_vid-tagged edges nor preprocessing metadata.
+ */
+
+#ifndef GDS_CORE_MEMMAP_HH
+#define GDS_CORE_MEMMAP_HH
+
+#include "common/bitutil.hh"
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace gds::core
+{
+
+/** Byte sizes of the engine-specific record formats. */
+struct RecordFormat
+{
+    /** Bytes per stored edge (4 unweighted / 8 weighted for GraphDynS;
+     *  +4 for Graphicionado's src_vid). */
+    unsigned edgeBytes;
+    /** Bytes per active-vertex record (GraphDynS: prop + offset + edgeCnt
+     *  = 12; Graphicionado: vid + prop = 8). */
+    unsigned activeRecordBytes;
+    /** Extra per-vertex metadata bytes (GPU preprocessing structures). */
+    unsigned metadataBytesPerVertex = 0;
+};
+
+/** Base addresses and sizes of every off-chip array. */
+class MemoryLayout
+{
+  public:
+    /**
+     * Lay out the arrays for a graph.
+     *
+     * @param num_vertices |V| of the (slice-owning) graph
+     * @param num_edges |E| stored off-chip (sum over slices)
+     * @param fmt engine record format
+     * @param has_const_prop PR keeps a cProp array off-chip
+     * @param tprop_offchip temporary properties live off-chip and count
+     *        toward the footprint (GPUs always; accelerators only when the
+     *        graph is sliced)
+     */
+    MemoryLayout(VertexId num_vertices, EdgeId num_edges,
+                 const RecordFormat &fmt, bool has_const_prop,
+                 bool tprop_offchip);
+
+    Addr offsetArrayBase() const { return _offsetBase; }
+    Addr edgeArrayBase() const { return _edgeBase; }
+    Addr vertexPropBase() const { return _propBase; }
+    Addr constPropBase() const { return _cPropBase; }
+    /** Active-array bases, double buffered (index 0/1). */
+    Addr activeArrayBase(unsigned which) const
+    {
+        return which == 0 ? _activeBase0 : _activeBase1;
+    }
+    /** Off-chip spill area for temporary properties (sliced runs). */
+    Addr tPropSpillBase() const { return _tPropBase; }
+
+    /** Address of the offset-array entry for vertex v. */
+    Addr
+    offsetAddr(VertexId v) const
+    {
+        return _offsetBase + static_cast<Addr>(v) * bytesPerWord;
+    }
+
+    /** Address of stored edge e. */
+    Addr
+    edgeAddr(EdgeId e) const
+    {
+        return _edgeBase + e * fmt.edgeBytes;
+    }
+
+    /** Address of vertex v's property. */
+    Addr
+    propAddr(VertexId v) const
+    {
+        return _propBase + static_cast<Addr>(v) * bytesPerWord;
+    }
+
+    /** Address of vertex v's constant property. */
+    Addr
+    cPropAddr(VertexId v) const
+    {
+        return _cPropBase + static_cast<Addr>(v) * bytesPerWord;
+    }
+
+    /** Address of active record i in buffer @p which. */
+    Addr
+    activeRecordAddr(unsigned which, std::uint64_t i) const
+    {
+        return activeArrayBase(which) + i * fmt.activeRecordBytes;
+    }
+
+    /** Total off-chip bytes this engine keeps resident (Fig. 11). */
+    std::uint64_t footprintBytes() const { return _footprint; }
+
+    const RecordFormat fmt;
+
+  private:
+    Addr _offsetBase;
+    Addr _edgeBase;
+    Addr _propBase;
+    Addr _cPropBase;
+    Addr _activeBase0;
+    Addr _activeBase1;
+    Addr _tPropBase;
+    std::uint64_t _footprint;
+};
+
+} // namespace gds::core
+
+#endif // GDS_CORE_MEMMAP_HH

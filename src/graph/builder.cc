@@ -1,0 +1,81 @@
+#include "graph/builder.hh"
+
+#include <algorithm>
+
+namespace gds::graph
+{
+
+Csr
+buildCsr(VertexId num_vertices, std::vector<CooEdge> edges,
+         const BuildOptions &opts)
+{
+    if (opts.removeSelfLoops) {
+        std::erase_if(edges,
+                      [](const CooEdge &e) { return e.src == e.dst; });
+    }
+
+    // Counting sort by source vertex.
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(num_vertices) + 1,
+                                0);
+    for (const CooEdge &e : edges) {
+        gds_assert(e.src < num_vertices && e.dst < num_vertices,
+                   "edge (%u,%u) out of range (V=%u)", e.src, e.dst,
+                   num_vertices);
+        ++offsets[e.src + 1];
+    }
+    for (std::size_t v = 1; v < offsets.size(); ++v)
+        offsets[v] += offsets[v - 1];
+
+    std::vector<VertexId> neighbors(edges.size());
+    std::vector<Weight> weights(opts.keepWeights ? edges.size() : 0);
+    std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+    for (const CooEdge &e : edges) {
+        const EdgeId slot = cursor[e.src]++;
+        neighbors[slot] = e.dst;
+        if (opts.keepWeights)
+            weights[slot] = e.weight;
+    }
+
+    if (!opts.removeDuplicates)
+        return Csr(std::move(offsets), std::move(neighbors),
+                   std::move(weights));
+
+    // Deduplicate within each vertex's (now contiguous) edge list.
+    std::vector<EdgeId> new_offsets(offsets.size(), 0);
+    std::vector<VertexId> new_neighbors;
+    std::vector<Weight> new_weights;
+    new_neighbors.reserve(neighbors.size());
+    if (opts.keepWeights)
+        new_weights.reserve(neighbors.size());
+
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        const EdgeId begin = offsets[v];
+        const EdgeId end = offsets[v + 1];
+        // Sort this vertex's slice by destination, carrying weights.
+        std::vector<std::pair<VertexId, Weight>> slice;
+        slice.reserve(end - begin);
+        for (EdgeId e = begin; e < end; ++e) {
+            slice.emplace_back(neighbors[e],
+                               opts.keepWeights ? weights[e] : Weight{1});
+        }
+        std::stable_sort(slice.begin(), slice.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        VertexId last = invalidVertex;
+        for (const auto &[dst, w] : slice) {
+            if (dst == last)
+                continue;
+            last = dst;
+            new_neighbors.push_back(dst);
+            if (opts.keepWeights)
+                new_weights.push_back(w);
+        }
+        new_offsets[v + 1] = new_neighbors.size();
+    }
+
+    return Csr(std::move(new_offsets), std::move(new_neighbors),
+               std::move(new_weights));
+}
+
+} // namespace gds::graph

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * COO (edge list) to CSR conversion.
+ */
+
+#ifndef GDS_GRAPH_BUILDER_HH
+#define GDS_GRAPH_BUILDER_HH
+
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace gds::graph
+{
+
+/** A single directed edge in COO form. */
+struct CooEdge
+{
+    VertexId src;
+    VertexId dst;
+    Weight weight = 1;
+};
+
+/** Options controlling COO→CSR conversion. */
+struct BuildOptions
+{
+    /** Drop u→u edges (default: keep, matching Graph500 RMAT semantics). */
+    bool removeSelfLoops = false;
+    /** Collapse duplicate (u,v) pairs keeping the first weight seen. */
+    bool removeDuplicates = false;
+    /** Emit per-edge weights into the CSR. */
+    bool keepWeights = false;
+};
+
+/**
+ * Build a CSR graph from an edge list using a counting sort over sources
+ * (O(V + E), stable within a vertex's edge list).
+ *
+ * @param num_vertices vertex count; every edge endpoint must be below it
+ * @param edges the edge list (consumed by value; callers may move)
+ * @param opts conversion options
+ */
+Csr buildCsr(VertexId num_vertices, std::vector<CooEdge> edges,
+             const BuildOptions &opts = {});
+
+} // namespace gds::graph
+
+#endif // GDS_GRAPH_BUILDER_HH

@@ -1,0 +1,74 @@
+#include "graph/csr.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace gds::graph
+{
+
+Csr::Csr(std::vector<EdgeId> offset_array,
+         std::vector<VertexId> neighbor_array,
+         std::vector<Weight> weight_array)
+    : offsets(std::move(offset_array)),
+      neighbors(std::move(neighbor_array)),
+      weights(std::move(weight_array))
+{
+    gds_assert(!offsets.empty(), "offset array must have V+1 entries");
+    gds_assert(offsets.front() == 0, "offset array must start at 0");
+    gds_assert(offsets.back() == neighbors.size(),
+               "offset array end (%llu) must equal edge count (%zu)",
+               static_cast<unsigned long long>(offsets.back()),
+               neighbors.size());
+    gds_assert(std::is_sorted(offsets.begin(), offsets.end()),
+               "offset array must be non-decreasing");
+    gds_assert(weights.empty() || weights.size() == neighbors.size(),
+               "weight array size mismatch");
+    const VertexId v_count = numVertices();
+    for (VertexId dst : neighbors) {
+        gds_assert(dst < v_count, "edge destination %u out of range (V=%u)",
+                   dst, v_count);
+    }
+}
+
+DegreeStats
+Csr::degreeStats() const
+{
+    DegreeStats ds;
+    const VertexId v_count = numVertices();
+    if (v_count == 0)
+        return ds;
+    std::uint64_t min_deg = outDegree(0);
+    std::uint64_t max_deg = 0;
+    std::uint64_t zero_count = 0;
+    for (VertexId v = 0; v < v_count; ++v) {
+        const std::uint64_t d = outDegree(v);
+        min_deg = std::min(min_deg, d);
+        max_deg = std::max(max_deg, d);
+        if (d == 0)
+            ++zero_count;
+    }
+    ds.minDegree = min_deg;
+    ds.maxDegree = max_deg;
+    ds.meanDegree = static_cast<double>(numEdges()) / v_count;
+    ds.zeroFraction = static_cast<double>(zero_count) / v_count;
+    return ds;
+}
+
+Csr
+Csr::withRandomWeights(std::uint64_t seed) const
+{
+    Rng rng(seed);
+    std::vector<Weight> w(neighbors.size());
+    for (auto &value : w)
+        value = static_cast<Weight>(1 + rng.below(255));
+    return Csr(offsets, neighbors, std::move(w));
+}
+
+Csr
+Csr::withoutWeights() const
+{
+    return Csr(offsets, neighbors, {});
+}
+
+} // namespace gds::graph

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Compressed Sparse Row graph representation (Sec. 2.1 of the paper).
+ *
+ * Three one-dimensional arrays: the offset array (indexed by vertex id,
+ * pointing at the start of each vertex's outgoing edge list), the edge array
+ * (neighbour ids, plus weights for weighted graphs), and the vertex property
+ * array (owned by the processing engines, not by the graph).
+ */
+
+#ifndef GDS_GRAPH_CSR_HH
+#define GDS_GRAPH_CSR_HH
+
+#include <span>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gds::graph
+{
+
+/** Summary statistics of a degree sequence. */
+struct DegreeStats
+{
+    std::uint64_t minDegree = 0;
+    std::uint64_t maxDegree = 0;
+    double meanDegree = 0.0;
+    /** Fraction of vertices with zero out-degree. */
+    double zeroFraction = 0.0;
+};
+
+/**
+ * An immutable directed graph in CSR form. Weights are optional; algorithms
+ * that ignore weights (BFS, CC, PR) run on the unweighted view even when
+ * weights are present, which matters for modelled memory traffic (4 B vs
+ * 8 B edge records).
+ */
+class Csr
+{
+  public:
+    /** Construct an empty graph. */
+    Csr() { offsets.push_back(0); }
+
+    /**
+     * Construct from prebuilt arrays.
+     *
+     * @param offset_array V+1 offsets, offset_array[V] == edge count
+     * @param neighbor_array destination vertex per edge
+     * @param weight_array per-edge weights; empty for unweighted graphs
+     */
+    Csr(std::vector<EdgeId> offset_array,
+        std::vector<VertexId> neighbor_array,
+        std::vector<Weight> weight_array = {});
+
+    VertexId numVertices() const
+    {
+        return static_cast<VertexId>(offsets.size() - 1);
+    }
+
+    EdgeId numEdges() const { return neighbors.size(); }
+
+    bool hasWeights() const { return !weights.empty(); }
+
+    /** Start of vertex v's edge list in the edge array. */
+    EdgeId
+    offsetOf(VertexId v) const
+    {
+        gds_assert(v < offsets.size(), "vertex %u out of range", v);
+        return offsets[v];
+    }
+
+    /** Out-degree of vertex v. */
+    std::uint64_t
+    outDegree(VertexId v) const
+    {
+        gds_assert(v + 1 < offsets.size(), "vertex %u out of range", v);
+        return offsets[v + 1] - offsets[v];
+    }
+
+    /** Neighbours of v as a contiguous span. */
+    std::span<const VertexId>
+    neighborsOf(VertexId v) const
+    {
+        return std::span<const VertexId>(neighbors.data() + offsetOf(v),
+                                         outDegree(v));
+    }
+
+    /** Weights of v's edges; only valid for weighted graphs. */
+    std::span<const Weight>
+    weightsOf(VertexId v) const
+    {
+        gds_assert(hasWeights(), "graph has no weights");
+        return std::span<const Weight>(weights.data() + offsetOf(v),
+                                       outDegree(v));
+    }
+
+    /** Destination of edge e. */
+    VertexId
+    edgeDest(EdgeId e) const
+    {
+        gds_assert(e < neighbors.size(), "edge %llu out of range",
+                   static_cast<unsigned long long>(e));
+        return neighbors[e];
+    }
+
+    /** Weight of edge e (1 for unweighted graphs). */
+    Weight
+    edgeWeight(EdgeId e) const
+    {
+        if (!hasWeights())
+            return 1;
+        return weights[e];
+    }
+
+    /** Raw offset array (V+1 entries). */
+    const std::vector<EdgeId> &offsetArray() const { return offsets; }
+    /** Raw neighbour array (E entries). */
+    const std::vector<VertexId> &neighborArray() const { return neighbors; }
+    /** Raw weight array (E entries or empty). */
+    const std::vector<Weight> &weightArray() const { return weights; }
+
+    /** Edge-to-vertex ratio |E|/|V|. */
+    double
+    edgeVertexRatio() const
+    {
+        return numVertices() == 0
+                   ? 0.0
+                   : static_cast<double>(numEdges()) / numVertices();
+    }
+
+    /** Degree-sequence summary. */
+    DegreeStats degreeStats() const;
+
+    /**
+     * Return a copy with deterministic pseudo-random integer weights in
+     * [1, 255] (the paper assigns random integer weights to unweighted
+     * real-world graphs for SSSP/SSWP).
+     */
+    Csr withRandomWeights(std::uint64_t seed) const;
+
+    /** Return the unweighted view (weights dropped). */
+    Csr withoutWeights() const;
+
+  private:
+    std::vector<EdgeId> offsets;
+    std::vector<VertexId> neighbors;
+    std::vector<Weight> weights;
+};
+
+} // namespace gds::graph
+
+#endif // GDS_GRAPH_CSR_HH

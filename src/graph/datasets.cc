@@ -1,0 +1,134 @@
+#include "graph/datasets.hh"
+
+#include <cstdlib>
+
+#include "common/bitutil.hh"
+#include "graph/generators.hh"
+
+namespace gds::graph
+{
+
+std::uint64_t
+DatasetSpec::scaledVertices(unsigned scale_divisor) const
+{
+    gds_assert(scale_divisor >= 1, "scale divisor must be >= 1");
+    if (kind == DatasetKind::Rmat) {
+        // Scale an RMAT graph by reducing its scale parameter; divisor is
+        // rounded to the nearest power of two.
+        const unsigned shift =
+            scale_divisor == 1 ? 0 : log2Floor(scale_divisor);
+        const unsigned scaled = rmatScale > shift ? rmatScale - shift : 4;
+        return 1ULL << scaled;
+    }
+    return std::max<std::uint64_t>(paperVertices / scale_divisor, 64);
+}
+
+std::uint64_t
+DatasetSpec::scaledEdges(unsigned scale_divisor) const
+{
+    if (kind == DatasetKind::Rmat)
+        return scaledVertices(scale_divisor) * rmatEdgeFactor;
+    return std::max<std::uint64_t>(paperEdges / scale_divisor, 256);
+}
+
+const std::vector<DatasetSpec> &
+realWorldDatasets()
+{
+    // Table 4: |V| and |E| of the six real-world graphs. Alpha tunes
+    // degree skew: web/crawl graphs (FR, IN) are more skewed than social
+    // networks (PK, OR); HO (movie-actor collaborations) is dense with a
+    // very high edge-to-vertex ratio.
+    static const std::vector<DatasetSpec> specs = {
+        {"FR", "Flickr Crawl (surrogate)", DatasetKind::PowerLawSurrogate,
+         820'000, 9'840'000, 0.70, 0, 0, 101},
+        {"PK", "Pokec Social Network (surrogate)",
+         DatasetKind::PowerLawSurrogate, 1'630'000, 30'620'000, 0.55, 0, 0,
+         102},
+        {"LJ", "LiveJournal Follower (surrogate)",
+         DatasetKind::PowerLawSurrogate, 4'840'000, 68'990'000, 0.62, 0, 0,
+         103},
+        {"HO", "Movie Actors Social (surrogate)",
+         DatasetKind::PowerLawSurrogate, 1'140'000, 113'900'000, 0.55, 0, 0,
+         104},
+        {"IN", "Crawl of Indochina (surrogate)",
+         DatasetKind::PowerLawSurrogate, 7'410'000, 194'110'000, 0.72, 0, 0,
+         105},
+        {"OR", "Orkut Social Network (surrogate)",
+         DatasetKind::PowerLawSurrogate, 3'070'000, 234'370'000, 0.55, 0, 0,
+         106},
+    };
+    return specs;
+}
+
+const std::vector<DatasetSpec> &
+rmatDatasets()
+{
+    static const std::vector<DatasetSpec> specs = {
+        {"RM22", "Synthetic Graph (RMAT scale 22)", DatasetKind::Rmat, 0, 0,
+         0.0, 22, 16, 222},
+        {"RM23", "Synthetic Graph (RMAT scale 23)", DatasetKind::Rmat, 0, 0,
+         0.0, 23, 16, 223},
+        {"RM24", "Synthetic Graph (RMAT scale 24)", DatasetKind::Rmat, 0, 0,
+         0.0, 24, 16, 224},
+        {"RM25", "Synthetic Graph (RMAT scale 25)", DatasetKind::Rmat, 0, 0,
+         0.0, 25, 16, 225},
+        {"RM26", "Synthetic Graph (RMAT scale 26)", DatasetKind::Rmat, 0, 0,
+         0.0, 26, 16, 226},
+    };
+    return specs;
+}
+
+const DatasetSpec &
+datasetByName(const std::string &name)
+{
+    for (const auto &spec : realWorldDatasets()) {
+        if (spec.name == name)
+            return spec;
+    }
+    for (const auto &spec : rmatDatasets()) {
+        if (spec.name == name)
+            return spec;
+    }
+    fatal("unknown dataset '%s'", name.c_str());
+}
+
+unsigned
+datasetScaleDivisor()
+{
+    const char *env = std::getenv("GDS_SCALE");
+    if (!env)
+        return 16;
+    const long value = std::strtol(env, nullptr, 10);
+    if (value < 1) {
+        warn("ignoring invalid GDS_SCALE='%s'", env);
+        return 16;
+    }
+    return static_cast<unsigned>(value);
+}
+
+Csr
+makeDataset(const DatasetSpec &spec, unsigned scale_divisor, bool weighted)
+{
+    const std::uint64_t v_count = spec.scaledVertices(scale_divisor);
+    const std::uint64_t e_count = spec.scaledEdges(scale_divisor);
+    gds_assert(v_count <= invalidVertex,
+               "dataset %s too large for 32-bit vertex ids",
+               spec.name.c_str());
+
+    switch (spec.kind) {
+      case DatasetKind::PowerLawSurrogate:
+        return powerLaw(static_cast<VertexId>(v_count), e_count, spec.alpha,
+                        spec.seed, weighted);
+      case DatasetKind::Rmat: {
+        const unsigned shift =
+            scale_divisor == 1 ? 0 : log2Floor(scale_divisor);
+        const unsigned scaled_scale =
+            spec.rmatScale > shift ? spec.rmatScale - shift : 4;
+        return rmat(scaled_scale, spec.rmatEdgeFactor, spec.seed, {},
+                    weighted);
+      }
+    }
+    panic("unreachable dataset kind");
+}
+
+} // namespace gds::graph

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Registry of the paper's evaluation graphs (Table 4).
+ *
+ * The six real-world SuiteSparse graphs are not redistributable inside this
+ * repository, so each is replaced by a deterministic synthetic *surrogate*
+ * with matching vertex count, edge count and heavy-tailed degree skew (see
+ * DESIGN.md, Substitutions). The five RMAT graphs are generated with the
+ * Graph500 generator exactly as in the paper.
+ *
+ * All sizes are divided by the global scale divisor (environment variable
+ * GDS_SCALE, default 16) so the full experiment matrix runs on a laptop;
+ * set GDS_SCALE=1 to evaluate at paper-native sizes.
+ */
+
+#ifndef GDS_GRAPH_DATASETS_HH
+#define GDS_GRAPH_DATASETS_HH
+
+#include <string>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace gds::graph
+{
+
+/** How a dataset is synthesized. */
+enum class DatasetKind
+{
+    PowerLawSurrogate, ///< Chung-Lu/Zipf surrogate of a real-world graph
+    Rmat,              ///< Graph500 RMAT
+};
+
+/** One row of Table 4. */
+struct DatasetSpec
+{
+    std::string name;        ///< short tag used in the paper (FR, PK, ...)
+    std::string description; ///< Table 4 "Brief Explanation"
+    DatasetKind kind;
+    /** Paper-native vertex count (before scaling). */
+    std::uint64_t paperVertices;
+    /** Paper-native edge count (before scaling). */
+    std::uint64_t paperEdges;
+    /** Zipf alpha for surrogates (degree-skew knob). */
+    double alpha = 0.6;
+    /** RMAT scale for RMAT datasets (before scaling). */
+    unsigned rmatScale = 0;
+    /** Edges per vertex for RMAT datasets. */
+    unsigned rmatEdgeFactor = 16;
+    std::uint64_t seed = 1;
+
+    /** Vertex count after dividing by the scale divisor. */
+    std::uint64_t scaledVertices(unsigned scale_divisor) const;
+    /** Edge count after dividing by the scale divisor. */
+    std::uint64_t scaledEdges(unsigned scale_divisor) const;
+};
+
+/** The six real-world graph surrogates of Table 4 (FR PK LJ HO IN OR). */
+const std::vector<DatasetSpec> &realWorldDatasets();
+
+/** The five RMAT datasets of Table 4 (RM22..RM26). */
+const std::vector<DatasetSpec> &rmatDatasets();
+
+/** Look up any Table 4 dataset by tag; fatal() if unknown. */
+const DatasetSpec &datasetByName(const std::string &name);
+
+/** Read the GDS_SCALE environment variable (default 16, minimum 1). */
+unsigned datasetScaleDivisor();
+
+/**
+ * Materialize a dataset at the given scale divisor.
+ *
+ * @param spec dataset descriptor
+ * @param scale_divisor divide |V| and |E| by this
+ * @param weighted attach deterministic random weights in [1,255]
+ */
+Csr makeDataset(const DatasetSpec &spec, unsigned scale_divisor,
+                bool weighted);
+
+} // namespace gds::graph
+
+#endif // GDS_GRAPH_DATASETS_HH

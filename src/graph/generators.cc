@@ -1,0 +1,290 @@
+#include "graph/generators.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/builder.hh"
+
+namespace gds::graph
+{
+
+namespace
+{
+
+/** Deterministic id scramble (bijective) so degree does not follow id. */
+VertexId
+scramble(VertexId v, VertexId num_vertices, std::uint64_t salt)
+{
+    // Feistel-free multiplicative hash, folded into range by rejection-free
+    // modulo against a fixed permutation-sized domain: we permute within
+    // [0, num_vertices) using the "multiply by odd constant modulo 2^k,
+    // then rank" approach. Simpler and fully bijective: when num_vertices
+    // is not a power of two, use a cycle-walking Feistel over the next
+    // power of two.
+    std::uint64_t bits = 1;
+    while ((1ULL << bits) < num_vertices)
+        ++bits;
+    const std::uint64_t mask = (1ULL << bits) - 1;
+    std::uint64_t x = v;
+    do {
+        // Two rounds of an invertible mix restricted to 'bits' bits.
+        x = (x * 0x9e3779b97f4a7c15ULL + salt) & mask;
+        x ^= x >> (bits / 2 + 1);
+        x = (x * 0xbf58476d1ce4e5b9ULL + 0x94d049bb133111ebULL) & mask;
+        x ^= x >> (bits / 2 + 1);
+    } while (x >= num_vertices);
+    return static_cast<VertexId>(x);
+}
+
+std::vector<Weight>
+randomWeights(EdgeId count, Rng &rng)
+{
+    std::vector<Weight> w(count);
+    for (auto &value : w)
+        value = static_cast<Weight>(1 + rng.below(255));
+    return w;
+}
+
+} // namespace
+
+Csr
+rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
+     const RmatParams &params, bool weighted)
+{
+    gds_assert(scale >= 1 && scale <= 32, "rmat scale %u unsupported", scale);
+    const VertexId num_vertices = static_cast<VertexId>(1ULL << scale);
+    const EdgeId num_edges =
+        static_cast<EdgeId>(edge_factor) * num_vertices;
+
+    Rng rng(seed);
+    std::vector<CooEdge> edges;
+    edges.reserve(num_edges);
+
+    const double ab = params.a + params.b;
+    const double abc = ab + params.c;
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        VertexId src = 0;
+        VertexId dst = 0;
+        for (unsigned bit = 0; bit < scale; ++bit) {
+            const double r = rng.uniform();
+            unsigned src_bit;
+            unsigned dst_bit;
+            if (r < params.a) {
+                src_bit = 0;
+                dst_bit = 0;
+            } else if (r < ab) {
+                src_bit = 0;
+                dst_bit = 1;
+            } else if (r < abc) {
+                src_bit = 1;
+                dst_bit = 0;
+            } else {
+                src_bit = 1;
+                dst_bit = 1;
+            }
+            src = (src << 1) | src_bit;
+            dst = (dst << 1) | dst_bit;
+        }
+        edges.push_back(CooEdge{scramble(src, num_vertices, seed ^ 0x5bd1),
+                                scramble(dst, num_vertices, seed ^ 0x5bd1),
+                                1});
+    }
+
+    BuildOptions opts;
+    opts.keepWeights = weighted;
+    if (weighted) {
+        for (auto &e : edges)
+            e.weight = static_cast<Weight>(1 + rng.below(255));
+    }
+    return buildCsr(num_vertices, std::move(edges), opts);
+}
+
+Csr
+powerLaw(VertexId num_vertices, EdgeId num_edges, double alpha,
+         std::uint64_t seed, bool weighted)
+{
+    gds_assert(num_vertices > 0, "need at least one vertex");
+    gds_assert(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+
+    // Zipf sampling by inversion: endpoint rank r is drawn with density
+    // proportional to r^-alpha, giving a heavy-tailed expected-degree
+    // sequence without a V-sized cumulative table. Larger alpha means a
+    // heavier tail; alpha in [0.5, 0.8] matches the hub sizes of the
+    // paper's social/web graphs.
+    Rng rng(seed);
+    const double s = alpha; // Zipf exponent in (0,1)
+    const double v_pow = std::pow(static_cast<double>(num_vertices),
+                                  1.0 - s);
+
+    auto sample_rank = [&]() -> VertexId {
+        // Inverse of the continuous Zipf CDF F(x) = (x^(1-s) - 1) /
+        // (V^(1-s) - 1), x in [1, V].
+        const double u = rng.uniform();
+        const double x = std::pow(u * (v_pow - 1.0) + 1.0, 1.0 / (1.0 - s));
+        VertexId rank = static_cast<VertexId>(x) - 1;
+        return std::min(rank, num_vertices - 1);
+    };
+
+    std::vector<CooEdge> edges;
+    edges.reserve(num_edges);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        const VertexId src =
+            scramble(sample_rank(), num_vertices, seed ^ 0xfeed);
+        const VertexId dst =
+            scramble(sample_rank(), num_vertices, seed ^ 0xfeed);
+        edges.push_back(CooEdge{src, dst, 1});
+    }
+
+    BuildOptions opts;
+    opts.keepWeights = weighted;
+    if (weighted) {
+        for (auto &e : edges)
+            e.weight = static_cast<Weight>(1 + rng.below(255));
+    }
+    return buildCsr(num_vertices, std::move(edges), opts);
+}
+
+Csr
+uniform(VertexId num_vertices, EdgeId num_edges, std::uint64_t seed,
+        bool weighted)
+{
+    gds_assert(num_vertices > 0, "need at least one vertex");
+    Rng rng(seed);
+    std::vector<CooEdge> edges;
+    edges.reserve(num_edges);
+    for (EdgeId e = 0; e < num_edges; ++e) {
+        edges.push_back(
+            CooEdge{static_cast<VertexId>(rng.below(num_vertices)),
+                    static_cast<VertexId>(rng.below(num_vertices)), 1});
+    }
+    BuildOptions opts;
+    opts.keepWeights = weighted;
+    if (weighted) {
+        for (auto &e : edges)
+            e.weight = static_cast<Weight>(1 + rng.below(255));
+    }
+    return buildCsr(num_vertices, std::move(edges), opts);
+}
+
+Csr
+barabasiAlbert(VertexId num_vertices, unsigned edges_per_vertex,
+               std::uint64_t seed, bool weighted)
+{
+    gds_assert(edges_per_vertex >= 1, "need at least one edge per vertex");
+    gds_assert(num_vertices > edges_per_vertex,
+               "need more vertices than edges per vertex");
+    Rng rng(seed);
+
+    // Degree-proportional sampling via the repeated-endpoints trick:
+    // every endpoint of every edge goes into a pool; a uniform draw from
+    // the pool is a degree-proportional draw over vertices.
+    std::vector<VertexId> pool;
+    pool.reserve(static_cast<std::size_t>(num_vertices) *
+                 edges_per_vertex * 2);
+    std::vector<CooEdge> edges;
+    edges.reserve(static_cast<std::size_t>(num_vertices) *
+                  edges_per_vertex * 2);
+
+    // Seed clique over the first m+1 vertices.
+    for (VertexId u = 0; u <= edges_per_vertex; ++u) {
+        for (VertexId v = u + 1; v <= edges_per_vertex; ++v) {
+            edges.push_back(CooEdge{u, v, 1});
+            edges.push_back(CooEdge{v, u, 1});
+            pool.push_back(u);
+            pool.push_back(v);
+        }
+    }
+
+    for (VertexId u = edges_per_vertex + 1; u < num_vertices; ++u) {
+        for (unsigned k = 0; k < edges_per_vertex; ++k) {
+            const VertexId target = pool[rng.below(pool.size())];
+            edges.push_back(CooEdge{u, target, 1});
+            edges.push_back(CooEdge{target, u, 1});
+            pool.push_back(u);
+            pool.push_back(target);
+        }
+    }
+
+    BuildOptions opts;
+    opts.keepWeights = weighted;
+    opts.removeDuplicates = true;
+    if (weighted) {
+        for (auto &e : edges)
+            e.weight = static_cast<Weight>(1 + rng.below(255));
+    }
+    return buildCsr(num_vertices, std::move(edges), opts);
+}
+
+Csr
+wattsStrogatz(VertexId num_vertices, unsigned ring_degree,
+              double rewire_probability, std::uint64_t seed, bool weighted)
+{
+    gds_assert(ring_degree >= 2 && ring_degree % 2 == 0,
+               "ring degree must be even and >= 2");
+    gds_assert(num_vertices > ring_degree,
+               "need more vertices than the ring degree");
+    gds_assert(rewire_probability >= 0.0 && rewire_probability <= 1.0,
+               "rewire probability must be in [0,1]");
+    Rng rng(seed);
+
+    std::vector<CooEdge> edges;
+    edges.reserve(static_cast<std::size_t>(num_vertices) * ring_degree);
+    for (VertexId u = 0; u < num_vertices; ++u) {
+        for (unsigned k = 1; k <= ring_degree / 2; ++k) {
+            VertexId v = static_cast<VertexId>(
+                (static_cast<std::uint64_t>(u) + k) % num_vertices);
+            if (rng.uniform() < rewire_probability) {
+                // Rewire to a random endpoint (avoiding a self loop).
+                do {
+                    v = static_cast<VertexId>(rng.below(num_vertices));
+                } while (v == u);
+            }
+            edges.push_back(CooEdge{u, v, 1});
+            edges.push_back(CooEdge{v, u, 1});
+        }
+    }
+
+    BuildOptions opts;
+    opts.keepWeights = weighted;
+    opts.removeDuplicates = true;
+    if (weighted) {
+        for (auto &e : edges)
+            e.weight = static_cast<Weight>(1 + rng.below(255));
+    }
+    return buildCsr(num_vertices, std::move(edges), opts);
+}
+
+Csr
+grid2d(VertexId width, VertexId height, std::uint64_t seed, bool weighted)
+{
+    gds_assert(width > 0 && height > 0, "grid dimensions must be positive");
+    const VertexId num_vertices = width * height;
+    Rng rng(seed);
+    std::vector<CooEdge> edges;
+    edges.reserve(static_cast<std::size_t>(num_vertices) * 4);
+    auto id = [width](VertexId x, VertexId y) { return y * width + x; };
+    for (VertexId y = 0; y < height; ++y) {
+        for (VertexId x = 0; x < width; ++x) {
+            if (x + 1 < width) {
+                edges.push_back(CooEdge{id(x, y), id(x + 1, y), 1});
+                edges.push_back(CooEdge{id(x + 1, y), id(x, y), 1});
+            }
+            if (y + 1 < height) {
+                edges.push_back(CooEdge{id(x, y), id(x, y + 1), 1});
+                edges.push_back(CooEdge{id(x, y + 1), id(x, y), 1});
+            }
+        }
+    }
+    BuildOptions opts;
+    opts.keepWeights = weighted;
+    if (weighted) {
+        for (auto &e : edges)
+            e.weight = static_cast<Weight>(1 + rng.below(255));
+    }
+    return buildCsr(num_vertices, std::move(edges), opts);
+}
+
+} // namespace gds::graph

@@ -1,0 +1,132 @@
+#include "graph/loader.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.hh"
+
+namespace gds::graph
+{
+
+namespace
+{
+
+constexpr std::uint32_t binaryMagic = 0x42534447; // "GDSB" little-endian
+constexpr std::uint32_t binaryVersion = 1;
+
+template <typename T>
+void
+writePod(std::ofstream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+readPod(std::ifstream &is, T &value)
+{
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+}
+
+template <typename T>
+void
+writeVec(std::ofstream &os, const std::vector<T> &v)
+{
+    const std::uint64_t n = v.size();
+    writePod(os, n);
+    os.write(reinterpret_cast<const char *>(v.data()),
+             static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T>
+readVec(std::ifstream &is)
+{
+    std::uint64_t n = 0;
+    readPod(is, n);
+    std::vector<T> v(n);
+    is.read(reinterpret_cast<char *>(v.data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+    return v;
+}
+
+} // namespace
+
+Csr
+loadEdgeList(const std::string &path, VertexId num_vertices, bool weighted)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open edge list '%s'", path.c_str());
+
+    std::vector<CooEdge> edges;
+    VertexId max_vertex = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream iss(line);
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        std::uint64_t w = 1;
+        if (!(iss >> src >> dst))
+            fatal("malformed edge-list line in '%s': '%s'", path.c_str(),
+                  line.c_str());
+        if (weighted && !(iss >> w))
+            fatal("missing weight in '%s': '%s'", path.c_str(),
+                  line.c_str());
+        edges.push_back(CooEdge{static_cast<VertexId>(src),
+                                static_cast<VertexId>(dst),
+                                static_cast<Weight>(w)});
+        max_vertex = std::max({max_vertex, static_cast<VertexId>(src),
+                               static_cast<VertexId>(dst)});
+    }
+
+    if (num_vertices == 0)
+        num_vertices = edges.empty() ? 0 : max_vertex + 1;
+
+    BuildOptions opts;
+    opts.keepWeights = weighted;
+    return buildCsr(num_vertices, std::move(edges), opts);
+}
+
+void
+saveBinary(const Csr &graph, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write graph to '%s'", path.c_str());
+    writePod(out, binaryMagic);
+    writePod(out, binaryVersion);
+    writeVec(out, graph.offsetArray());
+    writeVec(out, graph.neighborArray());
+    writeVec(out, graph.weightArray());
+    if (!out)
+        fatal("write failure on '%s'", path.c_str());
+}
+
+Csr
+loadBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open graph '%s'", path.c_str());
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    readPod(in, magic);
+    readPod(in, version);
+    if (magic != binaryMagic)
+        fatal("'%s' is not a GDSB graph file", path.c_str());
+    if (version != binaryVersion)
+        fatal("'%s' has unsupported version %u", path.c_str(), version);
+    auto offsets = readVec<EdgeId>(in);
+    auto neighbors = readVec<VertexId>(in);
+    auto weights = readVec<Weight>(in);
+    if (!in)
+        fatal("truncated graph file '%s'", path.c_str());
+    return Csr(std::move(offsets), std::move(neighbors), std::move(weights));
+}
+
+} // namespace gds::graph

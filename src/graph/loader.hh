@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Graph file I/O: whitespace-separated edge-list text files ("src dst
+ * [weight]" per line, '#' or '%' comments) and a compact binary CSR format
+ * for fast reload of generated surrogates.
+ */
+
+#ifndef GDS_GRAPH_LOADER_HH
+#define GDS_GRAPH_LOADER_HH
+
+#include <string>
+
+#include "graph/csr.hh"
+
+namespace gds::graph
+{
+
+/**
+ * Load an edge-list text file. Vertex count is 1 + the largest endpoint
+ * unless @p num_vertices is nonzero.
+ */
+Csr loadEdgeList(const std::string &path, VertexId num_vertices = 0,
+                 bool weighted = false);
+
+/** Save a CSR graph in the binary format (magic "GDSB", version 1). */
+void saveBinary(const Csr &graph, const std::string &path);
+
+/** Load a CSR graph from the binary format. */
+Csr loadBinary(const std::string &path);
+
+} // namespace gds::graph
+
+#endif // GDS_GRAPH_LOADER_HH

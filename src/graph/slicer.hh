@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Destination-range graph slicing (the Graphicionado technique adopted by
+ * GraphDynS, Sec. 4.2.1): when the temporary vertex properties of the whole
+ * graph do not fit in the on-chip Vertex Buffer, the graph is cut into
+ * slices by destination vertex range and one slice is processed at a time.
+ * Each slice keeps the full vertex set as sources but contains only edges
+ * whose destination falls inside the slice's range.
+ */
+
+#ifndef GDS_GRAPH_SLICER_HH
+#define GDS_GRAPH_SLICER_HH
+
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace gds::graph
+{
+
+/** One destination-range slice of a graph. */
+struct Slice
+{
+    /** First destination vertex covered by this slice. */
+    VertexId dstBegin;
+    /** One past the last destination vertex covered. */
+    VertexId dstEnd;
+    /** Edges of the original graph whose destination is in range. */
+    Csr subgraph;
+};
+
+/**
+ * Cut @p graph into ceil(V / max_dst_vertices) destination-range slices.
+ * With max_dst_vertices >= V this returns a single slice that shares the
+ * original topology.
+ */
+std::vector<Slice> sliceByDestination(const Csr &graph,
+                                      VertexId max_dst_vertices);
+
+/** Number of slices the accelerator needs for a graph of @p num_vertices. */
+VertexId numSlices(VertexId num_vertices, VertexId max_dst_vertices);
+
+} // namespace gds::graph
+
+#endif // GDS_GRAPH_SLICER_HH

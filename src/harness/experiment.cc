@@ -1,0 +1,435 @@
+#include "harness/experiment.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "energy/energy_model.hh"
+#include "graph/loader.hh"
+
+namespace gds::harness
+{
+
+std::string
+systemName(SystemId id)
+{
+    switch (id) {
+      case SystemId::GraphDynS:
+        return "GraphDynS";
+      case SystemId::Graphicionado:
+        return "Graphicionado";
+      case SystemId::Gunrock:
+        return "Gunrock";
+    }
+    panic("bad system id");
+}
+
+std::string
+variantName(GdsVariant v)
+{
+    switch (v) {
+      case GdsVariant::Full:
+        return "WEAU";
+      case GdsVariant::Wb:
+        return "WB";
+      case GdsVariant::We:
+        return "WE";
+      case GdsVariant::Wea:
+        return "WEA";
+      case GdsVariant::NoWb:
+        return "noWB";
+    }
+    panic("bad variant");
+}
+
+unsigned
+iterationCap(algo::AlgorithmId id)
+{
+    // PR runs a fixed budget (the paper's "maximum number of
+    // iterations"); the monotone algorithms converge on their own.
+    return id == algo::AlgorithmId::Pr ? 10 : 1000;
+}
+
+VertexId
+sourceFor(algo::AlgorithmId id, const graph::Csr &g)
+{
+    switch (id) {
+      case algo::AlgorithmId::Bfs:
+      case algo::AlgorithmId::Sssp:
+      case algo::AlgorithmId::Sswp:
+        return algo::defaultSource(g);
+      default:
+        return 0;
+    }
+}
+
+graph::Csr
+loadDataset(const std::string &name, bool weighted)
+{
+    const unsigned scale = graph::datasetScaleDivisor();
+    const std::string cache_file = "gds_dataset_" + name + "_s" +
+                                   std::to_string(scale) +
+                                   (weighted ? "_w" : "_u") + ".bin";
+    if (std::filesystem::exists(cache_file))
+        return graph::loadBinary(cache_file);
+    const graph::Csr g =
+        graph::makeDataset(graph::datasetByName(name), scale, weighted);
+    graph::saveBinary(g, cache_file);
+    return g;
+}
+
+core::GdsConfig
+applyVariant(core::GdsConfig cfg, GdsVariant v)
+{
+    switch (v) {
+      case GdsVariant::Full:
+        break;
+      case GdsVariant::Wb:
+        cfg.exactPrefetch = false;
+        cfg.zeroStallAtomics = false;
+        cfg.updateScheduling = false;
+        break;
+      case GdsVariant::We:
+        cfg.zeroStallAtomics = false;
+        cfg.updateScheduling = false;
+        break;
+      case GdsVariant::Wea:
+        cfg.updateScheduling = false;
+        break;
+      case GdsVariant::NoWb:
+        cfg.workloadBalance = false;
+        break;
+    }
+    return cfg;
+}
+
+namespace
+{
+
+RunRecord
+baseRecord(const std::string &system, algo::AlgorithmId id,
+           const std::string &dataset)
+{
+    RunRecord r;
+    r.system = system;
+    r.algorithm = algo::algorithmName(id);
+    r.dataset = dataset;
+    return r;
+}
+
+} // namespace
+
+RunRecord
+runGds(algo::AlgorithmId algorithm, const std::string &dataset,
+       const graph::Csr &g, GdsVariant variant,
+       const core::GdsConfig *base)
+{
+    core::GdsConfig cfg = base ? *base : core::GdsConfig{};
+    cfg.maxIterations = iterationCap(algorithm);
+    cfg = applyVariant(cfg, variant);
+
+    auto a = algo::makeAlgorithm(algorithm);
+    core::GdsAccel accel(cfg, g, *a);
+    core::RunOptions options;
+    options.source = sourceFor(algorithm, g);
+    const core::RunResult run = accel.run(options);
+
+    energy::EnergyModel energy_model;
+    const auto energy = energy_model.gdsEnergy(
+        cfg, run.cycles, run.memoryBytes);
+
+    RunRecord r = baseRecord(variant == GdsVariant::Full
+                                 ? "GraphDynS"
+                                 : "GraphDynS-" + variantName(variant),
+                             algorithm, dataset);
+    r.iterations = run.iterations;
+    r.seconds = static_cast<double>(run.cycles) * 1e-9;
+    r.gteps = run.gteps();
+    r.memoryBytes = static_cast<double>(run.memoryBytes);
+    r.footprintBytes = static_cast<double>(run.footprintBytes);
+    r.bandwidthUtilization = run.bandwidthUtilization;
+    r.energyJoules = energy.totalJ();
+    r.schedulingOps = static_cast<double>(run.schedulingOps);
+    r.atomicStalls = static_cast<double>(run.atomicStalls);
+    r.updatesSkipped = static_cast<double>(run.updatesSkipped);
+    r.vertexUpdates = static_cast<double>(run.vertexUpdates);
+    r.edgesProcessed = static_cast<double>(run.edgesProcessed);
+    return r;
+}
+
+RunRecord
+runGraphicionado(algo::AlgorithmId algorithm, const std::string &dataset,
+                 const graph::Csr &g)
+{
+    baseline::GraphicionadoConfig cfg;
+    cfg.maxIterations = iterationCap(algorithm);
+
+    auto a = algo::makeAlgorithm(algorithm);
+    baseline::GraphicionadoAccel accel(cfg, g, *a);
+    core::RunOptions options;
+    options.source = sourceFor(algorithm, g);
+    const core::RunResult run = accel.run(options);
+
+    energy::EnergyModel energy_model;
+    const auto energy = energy_model.graphicionadoEnergy(
+        cfg, run.cycles, run.memoryBytes);
+
+    RunRecord r = baseRecord("Graphicionado", algorithm, dataset);
+    r.iterations = run.iterations;
+    r.seconds = static_cast<double>(run.cycles) * 1e-9;
+    r.gteps = run.gteps();
+    r.memoryBytes = static_cast<double>(run.memoryBytes);
+    r.footprintBytes = static_cast<double>(run.footprintBytes);
+    r.bandwidthUtilization = run.bandwidthUtilization;
+    r.energyJoules = energy.totalJ();
+    r.atomicStalls = static_cast<double>(run.atomicStalls);
+    r.vertexUpdates = static_cast<double>(run.vertexUpdates);
+    r.edgesProcessed = static_cast<double>(run.edgesProcessed);
+    return r;
+}
+
+RunRecord
+runGunrock(algo::AlgorithmId algorithm, const std::string &dataset,
+           const graph::Csr &g)
+{
+    baseline::GunrockConfig cfg;
+    cfg.maxIterations = iterationCap(algorithm);
+
+    auto a = algo::makeAlgorithm(algorithm);
+    baseline::GunrockSim gpu(cfg, g, *a);
+    const baseline::GunrockResult run = gpu.run(sourceFor(algorithm, g));
+
+    RunRecord r = baseRecord("Gunrock", algorithm, dataset);
+    r.iterations = run.iterations;
+    r.seconds = run.seconds;
+    r.gteps = run.gteps();
+    r.memoryBytes = static_cast<double>(run.memoryBytes);
+    r.footprintBytes = static_cast<double>(run.footprintBytes);
+    r.bandwidthUtilization = run.bandwidthUtilization;
+    r.energyJoules = run.energyJoules;
+    r.edgesProcessed = static_cast<double>(run.edgesProcessed);
+    return r;
+}
+
+std::vector<RunRecord>
+evaluationMatrix(ResultCache &cache)
+{
+    std::vector<RunRecord> records;
+    for (const algo::AlgorithmId id : algo::allAlgorithms) {
+        const bool weighted = algo::makeAlgorithm(id)->usesWeights();
+        for (const auto &spec : graph::realWorldDatasets()) {
+            // Load lazily: only cells missing from the cache pay for it.
+            std::optional<graph::Csr> g;
+            auto graph_ref = [&]() -> const graph::Csr & {
+                if (!g) {
+                    std::cerr << "[harness] loading " << spec.name
+                              << (weighted ? " (weighted)" : "") << "\n";
+                    g = loadDataset(spec.name, weighted);
+                }
+                return *g;
+            };
+            records.push_back(cache.getOrRun(
+                cellKey("gds", id, spec.name), [&] {
+                    std::cerr << "[harness] GraphDynS " <<
+                        algo::algorithmName(id) << " " << spec.name << "\n";
+                    return runGds(id, spec.name, graph_ref());
+                }));
+            records.push_back(cache.getOrRun(
+                cellKey("graphicionado", id, spec.name), [&] {
+                    std::cerr << "[harness] Graphicionado " <<
+                        algo::algorithmName(id) << " " << spec.name << "\n";
+                    return runGraphicionado(id, spec.name, graph_ref());
+                }));
+            records.push_back(cache.getOrRun(
+                cellKey("gunrock", id, spec.name), [&] {
+                    std::cerr << "[harness] Gunrock " <<
+                        algo::algorithmName(id) << " " << spec.name << "\n";
+                    return runGunrock(id, spec.name, graph_ref());
+                }));
+        }
+    }
+    return records;
+}
+
+const RunRecord &
+findRecord(const std::vector<RunRecord> &records, const std::string &system,
+           const std::string &algorithm, const std::string &dataset)
+{
+    for (const RunRecord &r : records) {
+        if (r.system == system && r.algorithm == algorithm &&
+            r.dataset == dataset)
+            return r;
+    }
+    fatal("no record for %s/%s/%s", system.c_str(), algorithm.c_str(),
+          dataset.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Result cache.
+// ---------------------------------------------------------------------
+
+namespace
+{
+constexpr const char *cacheFile = "gds_bench_cache_v1.csv";
+}
+
+std::string
+cellKey(const std::string &system_tag, algo::AlgorithmId id,
+        const std::string &dataset)
+{
+    return system_tag + "|" + algo::algorithmName(id) + "|" + dataset +
+           "|s" + std::to_string(graph::datasetScaleDivisor());
+}
+
+ResultCache::ResultCache()
+{
+    load();
+}
+
+ResultCache::~ResultCache()
+{
+    if (dirty)
+        save();
+}
+
+std::optional<RunRecord>
+ResultCache::lookup(const std::string &key) const
+{
+    const auto it = entries.find(key);
+    if (it == entries.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+ResultCache::store(const std::string &key, const RunRecord &record)
+{
+    entries[key] = record;
+    dirty = true;
+    save(); // persist eagerly so interrupted bench runs keep progress
+    dirty = false;
+}
+
+void
+ResultCache::load()
+{
+    std::ifstream in(cacheFile);
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream iss(line);
+        std::string key;
+        RunRecord r;
+        if (!std::getline(iss, key, ','))
+            continue;
+        std::getline(iss, r.system, ',');
+        std::getline(iss, r.algorithm, ',');
+        std::getline(iss, r.dataset, ',');
+        iss >> r.iterations;
+        iss.ignore(1) >> r.seconds;
+        iss.ignore(1) >> r.gteps;
+        iss.ignore(1) >> r.memoryBytes;
+        iss.ignore(1) >> r.footprintBytes;
+        iss.ignore(1) >> r.bandwidthUtilization;
+        iss.ignore(1) >> r.energyJoules;
+        iss.ignore(1) >> r.schedulingOps;
+        iss.ignore(1) >> r.atomicStalls;
+        iss.ignore(1) >> r.updatesSkipped;
+        iss.ignore(1) >> r.vertexUpdates;
+        iss.ignore(1) >> r.edgesProcessed;
+        if (iss)
+            entries[key] = r;
+    }
+}
+
+void
+ResultCache::save() const
+{
+    std::ofstream out(cacheFile);
+    out << "# key,system,algorithm,dataset,iterations,seconds,gteps,"
+           "memoryBytes,footprintBytes,bandwidthUtilization,energyJoules,"
+           "schedulingOps,atomicStalls,updatesSkipped,vertexUpdates,"
+           "edgesProcessed\n";
+    out.precision(17);
+    for (const auto &[key, r] : entries) {
+        out << key << ',' << r.system << ',' << r.algorithm << ','
+            << r.dataset << ',' << r.iterations << ',' << r.seconds << ','
+            << r.gteps << ',' << r.memoryBytes << ',' << r.footprintBytes
+            << ',' << r.bandwidthUtilization << ',' << r.energyJoules
+            << ',' << r.schedulingOps << ',' << r.atomicStalls << ','
+            << r.updatesSkipped << ',' << r.vertexUpdates << ','
+            << r.edgesProcessed << '\n';
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reporting.
+// ---------------------------------------------------------------------
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (const double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++count;
+        }
+    }
+    return count == 0 ? 0.0
+                      : std::exp(log_sum / static_cast<double>(count));
+}
+
+Table::Table(std::vector<std::string> columns) : header(std::move(columns))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    gds_assert(cells.size() == header.size(),
+               "row has %zu cells, table has %zu columns", cells.size(),
+               header.size());
+    rows.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            std::printf("%-*s  ", static_cast<int>(widths[c]),
+                        row[c].c_str());
+        std::printf("\n");
+    };
+    print_row(header);
+    std::string rule;
+    for (std::size_t c = 0; c < header.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    std::printf("%s\n", rule.c_str());
+    for (const auto &row : rows)
+        print_row(row);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+} // namespace gds::harness

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Experiment harness shared by every figure-regeneration bench and the
+ * examples: it knows how to build each evaluated system (GraphDynS with
+ * any ablation configuration, Graphicionado, GunrockSim), run one
+ * (algorithm, dataset) cell, attach the energy model, and cache results
+ * on disk so the many benches that share the 5-algorithms x 6-datasets x
+ * 3-systems matrix only simulate each cell once.
+ */
+
+#ifndef GDS_HARNESS_EXPERIMENT_HH
+#define GDS_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/vcpm.hh"
+#include "baseline/graphicionado.hh"
+#include "baseline/gunrock_sim.hh"
+#include "core/gds_accel.hh"
+#include "graph/datasets.hh"
+
+namespace gds::harness
+{
+
+/** The three evaluated systems. */
+enum class SystemId
+{
+    GraphDynS,
+    Graphicionado,
+    Gunrock,
+};
+
+std::string systemName(SystemId id);
+
+/** GraphDynS ablation configurations (Fig. 14c naming). */
+enum class GdsVariant
+{
+    Full,  ///< WEAU: all four techniques (the default GraphDynS)
+    Wb,    ///< workload balancing only
+    We,    ///< WB + exact prefetching
+    Wea,   ///< WE + zero-stall atomics
+    NoWb,  ///< everything except workload balancing (Fig. 14a baseline)
+};
+
+std::string variantName(GdsVariant v);
+
+/** Outcome of one (system, algorithm, dataset) cell. */
+struct RunRecord
+{
+    std::string system;
+    std::string algorithm;
+    std::string dataset;
+    unsigned iterations = 0;
+    double seconds = 0.0;
+    double gteps = 0.0;
+    double memoryBytes = 0.0;
+    double footprintBytes = 0.0;
+    double bandwidthUtilization = 0.0;
+    double energyJoules = 0.0;
+    double schedulingOps = 0.0;
+    double atomicStalls = 0.0;
+    double updatesSkipped = 0.0;
+    double vertexUpdates = 0.0;
+    double edgesProcessed = 0.0;
+};
+
+/** Iteration cap policy: PR runs a fixed budget, others to convergence. */
+unsigned iterationCap(algo::AlgorithmId id);
+
+/** Deterministic source policy (highest-degree vertex for traversals). */
+VertexId sourceFor(algo::AlgorithmId id, const graph::Csr &g);
+
+/**
+ * Materialize a Table 4 dataset at the global scale divisor, with a
+ * binary-file cache beside the working directory so repeated bench
+ * invocations skip generation.
+ */
+graph::Csr loadDataset(const std::string &name, bool weighted);
+
+/** Apply a variant to a base GraphDynS configuration. */
+core::GdsConfig applyVariant(core::GdsConfig cfg, GdsVariant v);
+
+/** Run one cell on GraphDynS (optionally an ablation variant). */
+RunRecord runGds(algo::AlgorithmId algorithm, const std::string &dataset,
+                 const graph::Csr &g, GdsVariant variant = GdsVariant::Full,
+                 const core::GdsConfig *base = nullptr);
+
+/** Run one cell on Graphicionado. */
+RunRecord runGraphicionado(algo::AlgorithmId algorithm,
+                           const std::string &dataset, const graph::Csr &g);
+
+/** Run one cell on GunrockSim. */
+RunRecord runGunrock(algo::AlgorithmId algorithm,
+                     const std::string &dataset, const graph::Csr &g);
+
+/**
+ * Disk-backed result cache. Keys combine system/variant, algorithm,
+ * dataset and the scale divisor; the file lives in the current working
+ * directory ("gds_bench_cache_v1.csv"). Delete it to force re-simulation.
+ */
+class ResultCache
+{
+  public:
+    ResultCache();
+    ~ResultCache();
+
+    /** Fetch a cached record, or run @p compute and cache its result. */
+    template <typename Fn>
+    RunRecord
+    getOrRun(const std::string &key, Fn &&compute)
+    {
+        if (auto found = lookup(key))
+            return *found;
+        RunRecord record = compute();
+        store(key, record);
+        return record;
+    }
+
+    std::optional<RunRecord> lookup(const std::string &key) const;
+    void store(const std::string &key, const RunRecord &record);
+
+  private:
+    void load();
+    void save() const;
+
+    std::map<std::string, RunRecord> entries;
+    bool dirty = false;
+};
+
+/** Cache key for a cell. */
+std::string cellKey(const std::string &system_tag, algo::AlgorithmId id,
+                    const std::string &dataset);
+
+/**
+ * The paper's main evaluation matrix: 5 algorithms x the 6 real-world
+ * datasets x 3 systems (Figs. 6, 7, 9, 11, 12, 13 all read from it).
+ * Cells are simulated once and cached; expect several minutes cold.
+ */
+std::vector<RunRecord> evaluationMatrix(ResultCache &cache);
+
+/** Find a cell in a record list; fatal() if absent. */
+const RunRecord &findRecord(const std::vector<RunRecord> &records,
+                            const std::string &system,
+                            const std::string &algorithm,
+                            const std::string &dataset);
+
+// ---------------------------------------------------------------------
+// Reporting helpers.
+// ---------------------------------------------------------------------
+
+/** Geometric mean of a series (ignores non-positive values). */
+double geometricMean(const std::vector<double> &values);
+
+/**
+ * Print a table: header row, one row per entry, fixed-width columns.
+ * Used by every figure bench to emit the paper's rows.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> columns);
+
+    void addRow(std::vector<std::string> cells);
+    void print() const;
+
+    /** Format helper: fixed-precision double. */
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace gds::harness
+
+#endif // GDS_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Radix-N crossbar switch model (the 128-radix switch between the
+ * Processor's SIMT lanes and the Updating Elements, Sec. 4.2.1).
+ *
+ * Each output port accepts at most one flit per cycle; a second flit routed
+ * to the same output in the same cycle is refused and the sending lane
+ * stalls (this contention is what degrades high-throughput algorithms when
+ * the UE count shrinks, Fig. 14e). The owner calls beginCycle() once per
+ * cycle to reset the per-output grant state.
+ */
+
+#ifndef GDS_MEM_CROSSBAR_HH
+#define GDS_MEM_CROSSBAR_HH
+
+#include <vector>
+
+#include "sim/component.hh"
+
+namespace gds::mem
+{
+
+/** Switch fabric bookkeeping; payload delivery is the owner's business. */
+class Crossbar : public sim::Component
+{
+  public:
+    Crossbar(unsigned radix, sim::Component *parent)
+        : sim::Component("crossbar", parent),
+          granted(radix, false),
+          statFlits(&statsGroup(), "flits", "flits routed"),
+          statConflicts(&statsGroup(), "conflicts",
+                        "output-port conflicts (flit refused)")
+    {
+        gds_assert(radix > 0, "crossbar radix must be positive");
+    }
+
+    unsigned radix() const { return static_cast<unsigned>(granted.size()); }
+
+    /** Reset per-cycle grant state. Call once at the start of each cycle. */
+    void
+    beginCycle()
+    {
+        std::fill(granted.begin(), granted.end(), false);
+    }
+
+    /**
+     * Try to route one flit to @p output this cycle.
+     * @return true if the output port was free (the flit is granted).
+     */
+    bool
+    tryRoute(unsigned output)
+    {
+        gds_assert(output < granted.size(), "output port %u out of range",
+                   output);
+        if (granted[output]) {
+            ++statConflicts;
+            return false;
+        }
+        granted[output] = true;
+        ++statFlits;
+        return true;
+    }
+
+    /** Flits routed so far (energy model input). */
+    double flitsRouted() const { return statFlits.value(); }
+
+  private:
+    std::vector<bool> granted;
+    stats::Scalar statFlits;
+    stats::Scalar statConflicts;
+};
+
+} // namespace gds::mem
+
+#endif // GDS_MEM_CROSSBAR_HH

@@ -1,0 +1,223 @@
+#include "mem/hbm.hh"
+
+#include "common/bitutil.hh"
+
+namespace gds::mem
+{
+
+Hbm::Hbm(const HbmConfig &config, sim::Component *parent)
+    : sim::Component("hbm", parent),
+      cfg(config),
+      statReadBytes(&statsGroup(), "readBytes", "bytes read from HBM"),
+      statWriteBytes(&statsGroup(), "writeBytes", "bytes written to HBM"),
+      statRowHits(&statsGroup(), "rowHits", "row-buffer hits"),
+      statRowMisses(&statsGroup(), "rowMisses", "row-buffer misses"),
+      statRefreshes(&statsGroup(), "refreshes", "refresh commands issued"),
+      statDataBusBusy(&statsGroup(), "dataBusBusy",
+                      "channel-cycles of data bus occupancy"),
+      statTransactions(&statsGroup(), "transactions",
+                       "32 B transactions serviced"),
+      statOccupancySum(&statsGroup(), "occupancySum",
+                       "sum over cycles of in-flight transactions"),
+      statLatencySum(&statsGroup(), "latencySum",
+                     "total request latency in cycles"),
+      statRequests(&statsGroup(), "requests", "completed requests")
+{
+    gds_assert(isPow2(cfg.txBytes), "txBytes must be a power of two");
+    gds_assert(cfg.rowBytes % cfg.txBytes == 0,
+               "rowBytes must be a multiple of txBytes");
+    channels.resize(cfg.numChannels);
+    for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
+        channels[ch].banks.resize(cfg.banksPerChannel);
+        // Stagger refresh across channels to avoid artificial beats.
+        channels[ch].nextRefreshAt =
+            cfg.tRefi / cfg.banksPerChannel / cfg.numChannels * (ch + 1);
+    }
+}
+
+void
+Hbm::mapAddress(Addr tx_addr, unsigned &channel, std::uint32_t &bank,
+                std::uint64_t &row) const
+{
+    // Fine-grained channel interleave at transaction granularity: a
+    // sequential stream spreads across all channels, and within a channel
+    // walks consecutive columns of one row before moving on (near-perfect
+    // row locality for streams, row misses for random access).
+    channel = static_cast<unsigned>(tx_addr % cfg.numChannels);
+    const std::uint64_t local = tx_addr / cfg.numChannels;
+    const std::uint64_t txPerRow = cfg.rowBytes / cfg.txBytes;
+    const std::uint64_t rowGlobal = local / txPerRow;
+    bank = static_cast<std::uint32_t>(rowGlobal % cfg.banksPerChannel);
+    row = rowGlobal / cfg.banksPerChannel;
+}
+
+bool
+Hbm::access(Addr addr, unsigned bytes, bool is_write, std::uint64_t tag,
+            HbmPort *port)
+{
+    gds_assert(bytes > 0, "zero-length memory request");
+    gds_assert(port != nullptr, "request needs a response port");
+
+    const Addr first_tx = addr / cfg.txBytes;
+    const Addr last_tx = (addr + bytes - 1) / cfg.txBytes;
+    const unsigned tx_count = static_cast<unsigned>(last_tx - first_tx + 1);
+
+    // Admission: every target channel must have room. Count demand first.
+    // (Transactions of one request round-robin over channels, so per-channel
+    // demand is at most ceil(tx_count / numChannels) + 1.)
+    demandScratch.assign(cfg.numChannels, 0);
+    for (Addr tx = first_tx; tx <= last_tx; ++tx)
+        ++demandScratch[tx % cfg.numChannels];
+    for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
+        if (channels[ch].queue.size() + demandScratch[ch] > cfg.queueDepth)
+            return false;
+    }
+
+    // Allocate a request slot.
+    std::uint32_t index;
+    if (!freeList.empty()) {
+        index = freeList.back();
+        freeList.pop_back();
+        requests[index] = Request{tag, port, tx_count, is_write, now};
+    } else {
+        index = static_cast<std::uint32_t>(requests.size());
+        requests.push_back(Request{tag, port, tx_count, is_write, now});
+    }
+    port->_inflight += 1;
+
+    for (Addr tx = first_tx; tx <= last_tx; ++tx) {
+        unsigned channel;
+        std::uint32_t bank;
+        std::uint64_t row;
+        mapAddress(tx, channel, bank, row);
+        channels[channel].queue.push_back(Transaction{index, bank, row});
+    }
+    inflightTx += tx_count;
+
+    // Traffic is accounted at transaction granularity: the device always
+    // moves whole 32 B bursts, so a 40 B request costs 64 B of bandwidth.
+    const double moved = static_cast<double>(tx_count) * cfg.txBytes;
+    if (is_write)
+        statWriteBytes += moved;
+    else
+        statReadBytes += moved;
+    return true;
+}
+
+void
+Hbm::serviceChannel(unsigned ch)
+{
+    Channel &channel = channels[ch];
+
+    // Staggered per-bank refresh (HBM REFpb): one bank at a time goes
+    // unavailable for tRfcPerBank while the rest of the channel keeps
+    // serving, every tREFI / banksPerChannel cycles.
+    if (now >= channel.nextRefreshAt) {
+        Bank &bank = channel.banks[channel.refreshBank];
+        bank.openRow = noRow;
+        bank.nextReady = std::max(bank.nextReady, now + cfg.tRfcPerBank);
+        channel.refreshBank =
+            (channel.refreshBank + 1) % cfg.banksPerChannel;
+        channel.nextRefreshAt += cfg.tRefi / cfg.banksPerChannel;
+        ++statRefreshes;
+    }
+    if (channel.queue.empty())
+        return;
+
+    // FR-FCFS: prefer the oldest row hit within the lookahead window,
+    // otherwise the oldest transaction whose bank is ready and whose
+    // activate is allowed by tRRD.
+    const bool can_activate = now >= channel.nextActivateAt;
+    const std::size_t window =
+        std::min<std::size_t>(channel.queue.size(), cfg.frfcfsWindow);
+    std::size_t pick = window; // sentinel: nothing issuable
+    std::size_t oldest_miss = window;
+    for (std::size_t i = 0; i < window; ++i) {
+        const Transaction &tx = channel.queue[i];
+        const Bank &bank = channel.banks[tx.bank];
+        if (bank.nextReady > now)
+            continue;
+        if (bank.openRow == tx.row) {
+            pick = i;
+            break;
+        }
+        if (can_activate && oldest_miss == window)
+            oldest_miss = i;
+    }
+    if (pick == window)
+        pick = oldest_miss;
+    if (pick == window)
+        return; // no bank ready this cycle
+
+    const Transaction tx = channel.queue[pick];
+    channel.queue.erase(channel.queue.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+
+    Bank &bank = channel.banks[tx.bank];
+    Cycle column_at;
+    if (bank.openRow == tx.row) {
+        ++statRowHits;
+        column_at = now;
+    } else {
+        ++statRowMisses;
+        const Cycle precharge = bank.openRow == noRow ? 0 : cfg.tRp;
+        column_at = now + precharge + cfg.tRcd;
+        bank.openRow = tx.row;
+        channel.nextActivateAt = now + cfg.tRrd;
+    }
+    const Cycle data_start =
+        std::max(column_at + cfg.tCl, channel.busFreeAt);
+    const Cycle done = data_start + cfg.tBurst;
+    channel.busFreeAt = done;
+    bank.nextReady = column_at + cfg.tCcd;
+    statDataBusBusy += static_cast<double>(cfg.tBurst);
+    ++statTransactions;
+    completions.push(Completion{done, tx.requestIndex});
+}
+
+void
+Hbm::finishCompletions()
+{
+    while (!completions.empty() && completions.top().at <= now) {
+        const std::uint32_t index = completions.top().requestIndex;
+        completions.pop();
+        Request &req = requests[index];
+        gds_assert(req.pendingTx > 0, "double completion");
+        --inflightTx;
+        if (--req.pendingTx == 0) {
+            req.port->responses.push_back(req.tag);
+            req.port->_inflight -= 1;
+            statLatencySum += static_cast<double>(now - req.issuedAt);
+            ++statRequests;
+            freeList.push_back(index);
+        }
+    }
+}
+
+void
+Hbm::tick()
+{
+    finishCompletions();
+    for (unsigned ch = 0; ch < cfg.numChannels; ++ch)
+        serviceChannel(ch);
+    statOccupancySum += static_cast<double>(inflightTx);
+    ++now;
+}
+
+double
+Hbm::bandwidthUtilization() const
+{
+    if (now == 0)
+        return 0.0;
+    const double peak = cfg.peakBytesPerCycle() * static_cast<double>(now);
+    return totalBytes() / peak;
+}
+
+double
+Hbm::rowHitRate() const
+{
+    const double issued = statRowHits.value() + statRowMisses.value();
+    return issued == 0.0 ? 0.0 : statRowHits.value() / issued;
+}
+
+} // namespace gds::mem

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Cycle-level HBM 1.0 model (the role Ramulator plays in the paper's
+ * methodology).
+ *
+ * Geometry: N independent channels (32 by default; 32 x 16 B/cycle at the
+ * 1 GHz accelerator clock = 512 GB/s peak, Table 3), each with its own
+ * command issue slot, data bus, and banks. Requests are split into 32 B
+ * transactions, queued per channel, and scheduled FR-FCFS (row hits first
+ * within a lookahead window). Row misses pay precharge + activate + CAS;
+ * hits pay CAS only; periodic refresh blocks a channel for tRFC every
+ * tREFI. These are exactly the behaviours the paper's results lean on:
+ * streaming accesses ride open rows at near-peak bandwidth while random
+ * accesses suffer row misses and queueing.
+ *
+ * Requesters own a Port; responses (request tags) appear in the port's
+ * response queue once every transaction of the request has completed.
+ */
+
+#ifndef GDS_MEM_HBM_HH
+#define GDS_MEM_HBM_HH
+
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "sim/component.hh"
+
+namespace gds::mem
+{
+
+/** HBM 1.0 timing/geometry, in accelerator cycles (1 cycle = 1 ns). */
+struct HbmConfig
+{
+    unsigned numChannels = 32;
+    unsigned banksPerChannel = 16;
+    unsigned rowBytes = 1024;
+    unsigned txBytes = 32;  ///< transaction (burst) granularity
+    Cycle tBurst = 2;       ///< data-bus occupancy per transaction
+    Cycle tCl = 14;         ///< CAS latency
+    Cycle tRcd = 14;        ///< activate-to-column
+    Cycle tRp = 14;         ///< precharge
+    Cycle tCcd = 2;         ///< column-to-column, same bank
+    Cycle tRrd = 4;         ///< activate-to-activate, same channel
+    Cycle tRefi = 3900;     ///< all-bank refresh interval per channel
+    Cycle tRfcPerBank = 60; ///< per-bank refresh duration (staggered)
+    unsigned queueDepth = 64;   ///< per-channel transaction queue
+    unsigned frfcfsWindow = 8;  ///< FR-FCFS lookahead
+
+    /** Peak bandwidth in bytes per cycle. */
+    double
+    peakBytesPerCycle() const
+    {
+        return static_cast<double>(numChannels) * txBytes / tBurst;
+    }
+};
+
+/** Asynchronous memory interface handed to each requester. */
+class HbmPort
+{
+  public:
+    /** True when a completed request tag is waiting. */
+    bool hasResponse() const { return !responses.empty(); }
+
+    /** Pop the oldest completed request tag. */
+    std::uint64_t
+    popResponse()
+    {
+        gds_assert(!responses.empty(), "no response pending");
+        const std::uint64_t tag = responses.front();
+        responses.pop_front();
+        return tag;
+    }
+
+    /** Requests issued but not yet fully completed. */
+    std::uint64_t inflight() const { return _inflight; }
+
+  private:
+    friend class Hbm;
+    std::deque<std::uint64_t> responses;
+    std::uint64_t _inflight = 0;
+};
+
+/** The memory device. Tick once per accelerator cycle. */
+class Hbm : public sim::Component
+{
+  public:
+    Hbm(const HbmConfig &config, sim::Component *parent);
+
+    /**
+     * Try to enqueue a request. Returns false (and changes nothing) when
+     * any target channel queue lacks space; the caller retries next cycle.
+     *
+     * @param addr byte address
+     * @param bytes request length (split into 32 B transactions)
+     * @param is_write write request (timed like a read, counted separately)
+     * @param tag requester-chosen id returned on completion
+     * @param port response destination
+     */
+    bool access(Addr addr, unsigned bytes, bool is_write, std::uint64_t tag,
+                HbmPort *port);
+
+    void tick() override;
+    bool busy() const override { return inflightTx > 0; }
+
+    const HbmConfig &config() const { return cfg; }
+
+    /** Total bytes moved (reads + writes, transaction-granular). */
+    double totalBytes() const
+    {
+        return statReadBytes.value() + statWriteBytes.value();
+    }
+
+    /** Achieved / peak bandwidth over the elapsed simulated time. */
+    double bandwidthUtilization() const;
+
+    /** Row-hit fraction of all issued transactions. */
+    double rowHitRate() const;
+
+    /** Cycles this model has been ticked. */
+    Cycle elapsed() const { return now; }
+
+    /** Mean number of in-flight transactions per cycle. */
+    double
+    meanOccupancy() const
+    {
+        return now == 0 ? 0.0 : statOccupancySum.value() / now;
+    }
+
+    /** Mean request latency (accept to last-transaction completion). */
+    double
+    meanLatency() const
+    {
+        return statRequests.value() == 0.0
+                   ? 0.0
+                   : statLatencySum.value() / statRequests.value();
+    }
+
+  private:
+    struct Request
+    {
+        std::uint64_t tag;
+        HbmPort *port;
+        unsigned pendingTx;
+        bool isWrite;
+        Cycle issuedAt;
+    };
+
+    struct Transaction
+    {
+        std::uint32_t requestIndex;
+        std::uint32_t bank;
+        std::uint64_t row;
+    };
+
+    struct Bank
+    {
+        std::uint64_t openRow = noRow;
+        Cycle nextReady = 0;
+    };
+
+    struct Channel
+    {
+        std::deque<Transaction> queue;
+        std::vector<Bank> banks;
+        Cycle busFreeAt = 0;
+        Cycle nextActivateAt = 0; ///< tRRD gate
+        Cycle nextRefreshAt;
+        unsigned refreshBank = 0; ///< round-robin per-bank refresh index
+    };
+
+    struct Completion
+    {
+        Cycle at;
+        std::uint32_t requestIndex;
+        bool operator>(const Completion &o) const { return at > o.at; }
+    };
+
+    static constexpr std::uint64_t noRow = ~0ULL;
+
+    /** Map a transaction-aligned address to (channel, bank, row). */
+    void mapAddress(Addr tx_addr, unsigned &channel, std::uint32_t &bank,
+                    std::uint64_t &row) const;
+
+    void serviceChannel(unsigned ch);
+    void finishCompletions();
+
+    HbmConfig cfg;
+    std::vector<Channel> channels;
+    std::vector<Request> requests;       ///< slab of live requests
+    std::vector<std::uint32_t> freeList; ///< recycled request slots
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        completions;
+    std::vector<unsigned> demandScratch; ///< per-channel admission counts
+    std::uint64_t inflightTx = 0;
+    Cycle now = 0;
+
+    stats::Scalar statReadBytes;
+    stats::Scalar statWriteBytes;
+    stats::Scalar statRowHits;
+    stats::Scalar statRowMisses;
+    stats::Scalar statRefreshes;
+    stats::Scalar statDataBusBusy;
+    stats::Scalar statTransactions;
+    stats::Scalar statOccupancySum; ///< sum over cycles of in-flight tx
+    stats::Scalar statLatencySum;   ///< total request latency (cycles)
+    stats::Scalar statRequests;     ///< completed requests
+};
+
+} // namespace gds::mem
+
+#endif // GDS_MEM_HBM_HH

@@ -1,0 +1,11 @@
+#include "sim/component.hh"
+
+namespace gds::sim
+{
+
+Component::Component(std::string component_name, Component *parent)
+    : _name(std::move(component_name)),
+      _stats(parent ? &parent->statsGroup() : nullptr, _name)
+{}
+
+} // namespace gds::sim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Base class for every clocked hardware model in the repository.
+ *
+ * A Component is a named node in a hierarchy, owns a stats group mirroring
+ * that hierarchy, and exposes a tick() advanced once per simulated cycle by
+ * the Simulator. Components are ticked in the order they were registered;
+ * models register consumers before producers (reverse dataflow order) so a
+ * value written into a queue in cycle N is consumed no earlier than cycle
+ * N+1, giving well-defined single-cycle stage latencies without a two-phase
+ * update protocol.
+ */
+
+#ifndef GDS_SIM_COMPONENT_HH
+#define GDS_SIM_COMPONENT_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+
+namespace gds::sim
+{
+
+class Simulator;
+
+/** A named, clocked model element. */
+class Component
+{
+  public:
+    /**
+     * @param component_name leaf name of this component
+     * @param parent enclosing component, or nullptr for a root
+     */
+    Component(std::string component_name, Component *parent);
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Advance one clock cycle. */
+    virtual void tick() {}
+
+    /** True while the component still has work in flight. */
+    virtual bool busy() const { return false; }
+
+    const std::string &name() const { return _name; }
+
+    /** Stats group for this component (child of the parent's group). */
+    stats::Group &statsGroup() { return _stats; }
+    const stats::Group &statsGroup() const { return _stats; }
+
+  private:
+    std::string _name;
+    stats::Group _stats;
+};
+
+} // namespace gds::sim
+
+#endif // GDS_SIM_COMPONENT_HH

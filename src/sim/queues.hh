@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Inter-stage communication primitives.
+ *
+ * BoundedQueue models a hardware FIFO with a fixed capacity; a full queue
+ * exerts backpressure (the producer must check canPush()). DelayQueue adds
+ * a fixed pipeline latency: an element pushed at cycle T becomes visible to
+ * the consumer at cycle T + latency, modelling SRAM/eDRAM access pipelines.
+ */
+
+#ifndef GDS_SIM_QUEUES_HH
+#define GDS_SIM_QUEUES_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace gds::sim
+{
+
+/** Fixed-capacity FIFO with backpressure. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(std::size_t queue_capacity)
+        : _capacity(queue_capacity)
+    {
+        gds_assert(_capacity > 0, "queue capacity must be positive");
+    }
+
+    bool canPush() const { return entries.size() < _capacity; }
+    bool empty() const { return entries.empty(); }
+    std::size_t size() const { return entries.size(); }
+    std::size_t capacity() const { return _capacity; }
+
+    void
+    push(T value)
+    {
+        gds_assert(canPush(), "push into full queue (capacity %zu)",
+                   _capacity);
+        entries.push_back(std::move(value));
+    }
+
+    const T &
+    front() const
+    {
+        gds_assert(!entries.empty(), "front of empty queue");
+        return entries.front();
+    }
+
+    T &
+    front()
+    {
+        gds_assert(!entries.empty(), "front of empty queue");
+        return entries.front();
+    }
+
+    T
+    pop()
+    {
+        gds_assert(!entries.empty(), "pop from empty queue");
+        T value = std::move(entries.front());
+        entries.pop_front();
+        return value;
+    }
+
+  private:
+    std::size_t _capacity;
+    std::deque<T> entries;
+};
+
+/**
+ * FIFO whose elements become visible only after a fixed latency.
+ * The owner must call tick() once per cycle.
+ */
+template <typename T>
+class DelayQueue
+{
+  public:
+    DelayQueue(std::size_t queue_capacity, Cycle delay_cycles)
+        : _capacity(queue_capacity), delay(delay_cycles)
+    {
+        gds_assert(_capacity > 0, "queue capacity must be positive");
+    }
+
+    void tick() { ++now; }
+
+    bool canPush() const { return entries.size() < _capacity; }
+    std::size_t size() const { return entries.size(); }
+    bool empty() const { return entries.empty(); }
+
+    /** True when the head element has matured and can be popped. */
+    bool
+    ready() const
+    {
+        return !entries.empty() && entries.front().readyAt <= now;
+    }
+
+    void
+    push(T value)
+    {
+        gds_assert(canPush(), "push into full delay queue (capacity %zu)",
+                   _capacity);
+        entries.push_back(Entry{now + delay, std::move(value)});
+    }
+
+    const T &
+    front() const
+    {
+        gds_assert(ready(), "front of non-ready delay queue");
+        return entries.front().value;
+    }
+
+    T
+    pop()
+    {
+        gds_assert(ready(), "pop from non-ready delay queue");
+        T value = std::move(entries.front().value);
+        entries.pop_front();
+        return value;
+    }
+
+  private:
+    struct Entry
+    {
+        Cycle readyAt;
+        T value;
+    };
+
+    std::size_t _capacity;
+    Cycle delay;
+    Cycle now = 0;
+    std::deque<Entry> entries;
+};
+
+} // namespace gds::sim
+
+#endif // GDS_SIM_QUEUES_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Cycle-stepped simulation driver.
+ *
+ * The Simulator owns the global cycle counter and a flat, ordered list of
+ * components to tick. Accelerator top-levels register their pieces in
+ * reverse dataflow order (see Component) and then call run() with a
+ * completion predicate; the driver also watches for deadlock (no component
+ * busy yet predicate unsatisfied) and runaway simulations.
+ */
+
+#ifndef GDS_SIM_SIMULATOR_HH
+#define GDS_SIM_SIMULATOR_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/component.hh"
+
+namespace gds::sim
+{
+
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Register a component; ticked in registration order every cycle. */
+    void
+    add(Component *c)
+    {
+        gds_assert(c != nullptr, "null component");
+        components.push_back(c);
+    }
+
+    /** Current simulated cycle. */
+    Cycle cycle() const { return _cycle; }
+
+    /** Tick every registered component exactly once. */
+    void
+    step()
+    {
+        for (Component *c : components)
+            c->tick();
+        ++_cycle;
+    }
+
+    /**
+     * Run until done() returns true.
+     *
+     * @param done completion predicate, evaluated after every cycle
+     * @param max_cycles hard safety limit; panics if exceeded
+     * @return cycles elapsed during this call
+     */
+    Cycle
+    run(const std::function<bool()> &done,
+        Cycle max_cycles = 100'000'000'000ULL)
+    {
+        const Cycle start = _cycle;
+        while (!done()) {
+            step();
+            gds_assert(_cycle - start < max_cycles,
+                       "simulation exceeded %llu cycles without finishing",
+                       static_cast<unsigned long long>(max_cycles));
+        }
+        return _cycle - start;
+    }
+
+    /** True if any registered component reports in-flight work. */
+    bool
+    anyBusy() const
+    {
+        for (const Component *c : components) {
+            if (c->busy())
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<Component *> components;
+    Cycle _cycle = 0;
+};
+
+} // namespace gds::sim
+
+#endif // GDS_SIM_SIMULATOR_HH

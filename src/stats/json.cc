@@ -1,0 +1,89 @@
+#include "stats/json.hh"
+
+#include <cmath>
+
+namespace gds::stats
+{
+
+namespace
+{
+
+void
+emitNumber(std::ostream &os, double v)
+{
+    if (std::isfinite(v)) {
+        os << v;
+    } else {
+        os << "null";
+    }
+}
+
+void
+emitString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\';
+        os << c;
+    }
+    os << '"';
+}
+
+void
+dumpGroup(const Group &group, std::ostream &os)
+{
+    os << '{';
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ',';
+        first = false;
+    };
+    for (const Stat *s : group.stats()) {
+        sep();
+        emitString(os, s->name());
+        os << ':';
+        if (const auto *scalar = dynamic_cast<const Scalar *>(s)) {
+            emitNumber(os, scalar->value());
+        } else if (const auto *vec = dynamic_cast<const Vector *>(s)) {
+            os << '[';
+            for (std::size_t i = 0; i < vec->size(); ++i) {
+                if (i)
+                    os << ',';
+                emitNumber(os, vec->at(i));
+            }
+            os << ']';
+        } else if (const auto *dist =
+                       dynamic_cast<const Distribution *>(s)) {
+            os << '{';
+            for (std::size_t b = 0; b < Distribution::numBuckets(); ++b) {
+                if (b)
+                    os << ',';
+                emitString(os, Distribution::bucketLabel(b));
+                os << ':' << dist->bucketCount(b);
+            }
+            os << '}';
+        } else {
+            os << "null";
+        }
+    }
+    for (const Group *child : group.childGroups()) {
+        sep();
+        emitString(os, child->name());
+        os << ':';
+        dumpGroup(*child, os);
+    }
+    os << '}';
+}
+
+} // namespace
+
+void
+dumpJson(const Group &group, std::ostream &os)
+{
+    dumpGroup(group, os);
+    os << '\n';
+}
+
+} // namespace gds::stats

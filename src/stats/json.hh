@@ -1,0 +1,26 @@
+/**
+ * @file
+ * JSON export of a statistics tree, for machine consumption of run
+ * results (plotting scripts, CI dashboards).
+ */
+
+#ifndef GDS_STATS_JSON_HH
+#define GDS_STATS_JSON_HH
+
+#include <ostream>
+
+#include "stats/stats.hh"
+
+namespace gds::stats
+{
+
+/**
+ * Serialize a group (and all children) as a JSON object:
+ * scalars as numbers, vectors as arrays, distributions as
+ * {bucketLabel: count} objects.
+ */
+void dumpJson(const Group &group, std::ostream &os);
+
+} // namespace gds::stats
+
+#endif // GDS_STATS_JSON_HH

@@ -1,0 +1,223 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <numeric>
+
+namespace gds::stats
+{
+
+Stat::Stat(Group *parent, std::string stat_name, std::string stat_desc)
+    : _name(std::move(stat_name)), _desc(std::move(stat_desc))
+{
+    gds_assert(parent != nullptr, "stat '%s' needs a parent group",
+               _name.c_str());
+    parent->addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << std::left << std::setw(52) << (prefix + name())
+       << std::right << std::setw(16) << _value
+       << "  # " << desc() << "\n";
+}
+
+double
+Vector::total() const
+{
+    return std::accumulate(values.begin(), values.end(), 0.0);
+}
+
+double
+Vector::max() const
+{
+    return values.empty() ? 0.0
+                          : *std::max_element(values.begin(), values.end());
+}
+
+double
+Vector::min() const
+{
+    return values.empty() ? 0.0
+                          : *std::min_element(values.begin(), values.end());
+}
+
+double
+Vector::mean() const
+{
+    return values.empty() ? 0.0 : total() / static_cast<double>(values.size());
+}
+
+void
+Vector::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        os << std::left << std::setw(52)
+           << (prefix + name() + "[" + std::to_string(i) + "]")
+           << std::right << std::setw(16) << values[i]
+           << "  # " << desc() << "\n";
+    }
+}
+
+Distribution::Distribution(Group *parent, std::string stat_name,
+                           std::string stat_desc)
+    : Stat(parent, std::move(stat_name), std::move(stat_desc)),
+      buckets(numBuckets(), 0)
+{}
+
+void
+Distribution::sample(std::uint64_t v)
+{
+    // Paper's Fig. 2 buckets: [0,0] [1,2] [3,4] [5,8] [9,16] [17,32]
+    // [33,64] and >64.
+    std::size_t b;
+    if (v == 0)
+        b = 0;
+    else if (v <= 2)
+        b = 1;
+    else if (v <= 4)
+        b = 2;
+    else if (v <= 8)
+        b = 3;
+    else if (v <= 16)
+        b = 4;
+    else if (v <= 32)
+        b = 5;
+    else if (v <= 64)
+        b = 6;
+    else
+        b = 7;
+    ++buckets[b];
+    ++samples;
+    sum += v;
+    maxSample = std::max(maxSample, v);
+}
+
+std::string
+Distribution::bucketLabel(std::size_t b)
+{
+    static const char *labels[] = {"[0,0]",   "[1,2]",   "[3,4]",  "[5,8]",
+                                   "[9,16]",  "[17,32]", "[33,64]", ">64"};
+    gds_assert(b < numBuckets(), "bucket %zu out of range", b);
+    return labels[b];
+}
+
+void
+Distribution::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (std::size_t b = 0; b < numBuckets(); ++b) {
+        os << std::left << std::setw(52)
+           << (prefix + name() + "::" + bucketLabel(b))
+           << std::right << std::setw(16) << buckets[b]
+           << "  # " << desc() << "\n";
+    }
+}
+
+void
+Distribution::reset()
+{
+    buckets.assign(numBuckets(), 0);
+    samples = 0;
+    sum = 0;
+    maxSample = 0;
+}
+
+Group::Group(Group *parent_group, std::string group_name)
+    : parent(parent_group), _name(std::move(group_name))
+{
+    if (parent)
+        parent->addChild(this);
+}
+
+Group::~Group()
+{
+    if (parent)
+        parent->removeChild(this);
+}
+
+std::string
+Group::path() const
+{
+    if (!parent)
+        return _name;
+    std::string parent_path = parent->path();
+    return parent_path.empty() ? _name : parent_path + "." + _name;
+}
+
+void
+Group::addStat(Stat *s)
+{
+    auto [it, inserted] = statMap.emplace(s->name(), s);
+    gds_assert(inserted, "duplicate stat '%s' in group '%s'",
+               s->name().c_str(), _name.c_str());
+    statList.push_back(s);
+}
+
+void
+Group::addChild(Group *g)
+{
+    children.push_back(g);
+}
+
+void
+Group::removeChild(Group *g)
+{
+    std::erase(children, g);
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    const std::string prefix = path().empty() ? "" : path() + ".";
+    for (const Stat *s : statList)
+        s->dump(os, prefix);
+    for (const Group *g : children)
+        g->dump(os);
+}
+
+void
+Group::resetAll()
+{
+    for (Stat *s : statList)
+        s->reset();
+    for (Group *g : children)
+        g->resetAll();
+}
+
+const Stat *
+Group::find(const std::string &dotted_path) const
+{
+    auto dot = dotted_path.find('.');
+    if (dot == std::string::npos) {
+        auto it = statMap.find(dotted_path);
+        return it == statMap.end() ? nullptr : it->second;
+    }
+    const std::string head = dotted_path.substr(0, dot);
+    const std::string rest = dotted_path.substr(dot + 1);
+    for (const Group *g : children) {
+        if (g->name() == head)
+            return g->find(rest);
+    }
+    return nullptr;
+}
+
+const Scalar &
+Group::scalar(const std::string &dotted_path) const
+{
+    const auto *s = dynamic_cast<const Scalar *>(find(dotted_path));
+    gds_assert(s, "no scalar stat '%s' under group '%s'",
+               dotted_path.c_str(), _name.c_str());
+    return *s;
+}
+
+const Vector &
+Group::vector(const std::string &dotted_path) const
+{
+    const auto *v = dynamic_cast<const Vector *>(find(dotted_path));
+    gds_assert(v, "no vector stat '%s' under group '%s'",
+               dotted_path.c_str(), _name.c_str());
+    return *v;
+}
+
+} // namespace gds::stats

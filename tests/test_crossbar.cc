@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Tests for the radix-N crossbar model: one grant per output per cycle,
+ * conflict accounting, and cycle reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/crossbar.hh"
+
+namespace gds::mem
+{
+namespace
+{
+
+TEST(Crossbar, GrantsOnePerOutputPerCycle)
+{
+    Crossbar xbar(4, nullptr);
+    xbar.beginCycle();
+    EXPECT_TRUE(xbar.tryRoute(2));
+    EXPECT_FALSE(xbar.tryRoute(2)); // same output, same cycle
+    EXPECT_TRUE(xbar.tryRoute(3));  // different output is fine
+}
+
+TEST(Crossbar, BeginCycleResetsGrants)
+{
+    Crossbar xbar(2, nullptr);
+    xbar.beginCycle();
+    EXPECT_TRUE(xbar.tryRoute(0));
+    xbar.beginCycle();
+    EXPECT_TRUE(xbar.tryRoute(0));
+}
+
+TEST(Crossbar, StatsCountFlitsAndConflicts)
+{
+    Crossbar xbar(2, nullptr);
+    xbar.beginCycle();
+    xbar.tryRoute(0);
+    xbar.tryRoute(0);
+    xbar.tryRoute(1);
+    EXPECT_EQ(xbar.flitsRouted(), 2.0);
+    EXPECT_EQ(xbar.statsGroup().scalar("conflicts").value(), 1.0);
+}
+
+TEST(Crossbar, FullRadixInOneCycle)
+{
+    Crossbar xbar(128, nullptr);
+    xbar.beginCycle();
+    for (unsigned out = 0; out < 128; ++out)
+        EXPECT_TRUE(xbar.tryRoute(out));
+    EXPECT_EQ(xbar.flitsRouted(), 128.0);
+}
+
+TEST(CrossbarDeath, OutputOutOfRangePanics)
+{
+    Crossbar xbar(4, nullptr);
+    xbar.beginCycle();
+    EXPECT_DEATH((void)xbar.tryRoute(4), "out of range");
+}
+
+} // namespace
+} // namespace gds::mem

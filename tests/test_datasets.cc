@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the Table 4 dataset registry: coverage of all 11 graphs,
+ * scaling behaviour, and surrogate fidelity (|V|, |E|, skew).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "graph/datasets.hh"
+
+namespace gds::graph
+{
+namespace
+{
+
+TEST(Datasets, RegistryCoversTable4)
+{
+    EXPECT_EQ(realWorldDatasets().size(), 6u);
+    EXPECT_EQ(rmatDatasets().size(), 5u);
+    const char *names[] = {"FR", "PK", "LJ", "HO", "IN", "OR",
+                           "RM22", "RM23", "RM24", "RM25", "RM26"};
+    for (const char *n : names)
+        EXPECT_EQ(datasetByName(n).name, n);
+}
+
+TEST(DatasetsDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT((void)datasetByName("BOGUS"),
+                ::testing::ExitedWithCode(1), "unknown dataset");
+}
+
+TEST(Datasets, Table4PaperSizes)
+{
+    EXPECT_EQ(datasetByName("FR").paperVertices, 820'000u);
+    EXPECT_EQ(datasetByName("FR").paperEdges, 9'840'000u);
+    EXPECT_EQ(datasetByName("OR").paperEdges, 234'370'000u);
+    EXPECT_EQ(datasetByName("RM22").rmatScale, 22u);
+    EXPECT_EQ(datasetByName("RM26").rmatScale, 26u);
+}
+
+TEST(Datasets, ScalingDividesSizes)
+{
+    const DatasetSpec &fr = datasetByName("FR");
+    EXPECT_EQ(fr.scaledVertices(1), 820'000u);
+    EXPECT_EQ(fr.scaledVertices(16), 820'000u / 16);
+    EXPECT_EQ(fr.scaledEdges(16), 9'840'000u / 16);
+}
+
+TEST(Datasets, RmatScalingReducesScaleParameter)
+{
+    const DatasetSpec &rm = datasetByName("RM22");
+    // Divisor 16 = 2^4 -> scale 18.
+    EXPECT_EQ(rm.scaledVertices(16), 1ULL << 18);
+    EXPECT_EQ(rm.scaledEdges(16), (1ULL << 18) * 16);
+}
+
+TEST(Datasets, ScaleDivisorEnvOverride)
+{
+    ::setenv("GDS_SCALE", "32", 1);
+    EXPECT_EQ(datasetScaleDivisor(), 32u);
+    ::setenv("GDS_SCALE", "bogus", 1);
+    EXPECT_EQ(datasetScaleDivisor(), 16u);
+    ::unsetenv("GDS_SCALE");
+    EXPECT_EQ(datasetScaleDivisor(), 16u);
+}
+
+TEST(Datasets, SurrogateMatchesSpecSizes)
+{
+    const DatasetSpec &fr = datasetByName("FR");
+    const unsigned divisor = 64;
+    const Csr g = makeDataset(fr, divisor, false);
+    EXPECT_EQ(g.numVertices(), fr.scaledVertices(divisor));
+    EXPECT_EQ(g.numEdges(), fr.scaledEdges(divisor));
+    EXPECT_FALSE(g.hasWeights());
+}
+
+TEST(Datasets, WeightedVariant)
+{
+    const Csr g = makeDataset(datasetByName("FR"), 64, true);
+    EXPECT_TRUE(g.hasWeights());
+}
+
+TEST(Datasets, SurrogatePreservesEdgeVertexRatio)
+{
+    for (const auto &spec : realWorldDatasets()) {
+        const double paper_ratio =
+            static_cast<double>(spec.paperEdges) / spec.paperVertices;
+        const Csr g = makeDataset(spec, 128, false);
+        EXPECT_NEAR(g.edgeVertexRatio(), paper_ratio, paper_ratio * 0.05)
+            << spec.name;
+    }
+}
+
+TEST(Datasets, SurrogatesAreSkewed)
+{
+    const Csr g = makeDataset(datasetByName("LJ"), 64, false);
+    const DegreeStats ds = g.degreeStats();
+    EXPECT_GT(ds.maxDegree, static_cast<std::uint64_t>(10 * ds.meanDegree));
+}
+
+TEST(Datasets, DeterministicAcrossCalls)
+{
+    const Csr a = makeDataset(datasetByName("PK"), 128, false);
+    const Csr b = makeDataset(datasetByName("PK"), 128, false);
+    EXPECT_EQ(a.neighborArray(), b.neighborArray());
+}
+
+} // namespace
+} // namespace gds::graph

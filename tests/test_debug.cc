@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Tests for the debug-trace category infrastructure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/debug.hh"
+
+namespace gds::debug
+{
+namespace
+{
+
+TEST(Debug, FlagsOffByDefault)
+{
+    setActiveFlags("");
+    for (unsigned f = 0; f < static_cast<unsigned>(Flag::NumFlags); ++f)
+        EXPECT_FALSE(enabled(static_cast<Flag>(f)));
+}
+
+TEST(Debug, SingleFlag)
+{
+    setActiveFlags("Dispatch");
+    EXPECT_TRUE(enabled(Flag::Dispatch));
+    EXPECT_FALSE(enabled(Flag::Prefetch));
+    setActiveFlags("");
+}
+
+TEST(Debug, CommaList)
+{
+    setActiveFlags("Prefetch,Memory");
+    EXPECT_TRUE(enabled(Flag::Prefetch));
+    EXPECT_TRUE(enabled(Flag::Memory));
+    EXPECT_FALSE(enabled(Flag::Reduce));
+    setActiveFlags("");
+}
+
+TEST(Debug, AllEnablesEverything)
+{
+    setActiveFlags("All");
+    for (unsigned f = 0; f < static_cast<unsigned>(Flag::NumFlags); ++f)
+        EXPECT_TRUE(enabled(static_cast<Flag>(f)));
+    setActiveFlags("");
+}
+
+TEST(Debug, UnknownTokensIgnored)
+{
+    setActiveFlags("Bogus,Reduce,AlsoBogus");
+    EXPECT_TRUE(enabled(Flag::Reduce));
+    EXPECT_FALSE(enabled(Flag::Dispatch));
+    setActiveFlags("");
+}
+
+TEST(Debug, FlagNames)
+{
+    EXPECT_STREQ(flagName(Flag::Dispatch), "Dispatch");
+    EXPECT_STREQ(flagName(Flag::Phase), "Phase");
+}
+
+TEST(Debug, DprintfCompilesAndIsSilentWhenOff)
+{
+    setActiveFlags("");
+    DPRINTF(Dispatch, "this should not appear %d", 1);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gds::debug

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Degenerate-workload edge cases through the full GraphDynS stack:
+ * single-vertex graphs, isolated vertices, self loops, parallel edges,
+ * stars (one giant hub), chains (maximum iteration counts), empty
+ * frontiers, and sources with no outgoing edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algo/reference_engine.hh"
+#include "core/gds_accel.hh"
+#include "graph/builder.hh"
+
+namespace gds::core
+{
+namespace
+{
+
+using algo::AlgorithmId;
+using graph::BuildOptions;
+using graph::CooEdge;
+using graph::Csr;
+
+void
+expectMatch(const Csr &g, AlgorithmId id, VertexId source)
+{
+    auto ref_algo = algo::makeAlgorithm(id);
+    const auto golden = algo::runReference(g, *ref_algo, source);
+    auto sim_algo = algo::makeAlgorithm(id);
+    GdsAccel accel(GdsConfig{}, g, *sim_algo);
+    RunOptions run;
+    run.source = source;
+    const auto result = accel.run(run);
+    ASSERT_EQ(result.iterations, golden.iterations);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(result.properties[v], golden.properties[v])
+            << "vertex " << v;
+}
+
+Csr
+weighted(VertexId v, std::vector<CooEdge> edges)
+{
+    BuildOptions opts;
+    opts.keepWeights = true;
+    return graph::buildCsr(v, std::move(edges), opts);
+}
+
+TEST(EdgeCases, SingleVertexNoEdges)
+{
+    const Csr g = weighted(1, {});
+    expectMatch(g, AlgorithmId::Bfs, 0);
+    expectMatch(g, AlgorithmId::Cc, 0);
+}
+
+TEST(EdgeCases, TwoVerticesOneEdge)
+{
+    const Csr g = weighted(2, {{0, 1, 5}});
+    expectMatch(g, AlgorithmId::Sssp, 0);
+    expectMatch(g, AlgorithmId::Sswp, 0);
+}
+
+TEST(EdgeCases, SourceHasNoOutEdges)
+{
+    const Csr g = weighted(3, {{1, 2, 1}});
+    // BFS from vertex 0 (no out-edges): terminates after one iteration.
+    expectMatch(g, AlgorithmId::Bfs, 0);
+}
+
+TEST(EdgeCases, SelfLoops)
+{
+    const Csr g = weighted(3, {{0, 0, 1}, {0, 1, 2}, {1, 1, 3},
+                               {1, 2, 4}});
+    expectMatch(g, AlgorithmId::Bfs, 0);
+    expectMatch(g, AlgorithmId::Sssp, 0);
+    expectMatch(g, AlgorithmId::Cc, 0);
+}
+
+TEST(EdgeCases, ParallelEdgesKeepMinimumSemantics)
+{
+    const Csr g = weighted(2, {{0, 1, 9}, {0, 1, 2}, {0, 1, 5}});
+    expectMatch(g, AlgorithmId::Sssp, 0);
+    expectMatch(g, AlgorithmId::Sswp, 0);
+}
+
+TEST(EdgeCases, StarGraphOneGiantHub)
+{
+    // One hub pointing at 5000 leaves: a single record larger than the
+    // split threshold, the Epref budget, and any one PE queue.
+    std::vector<CooEdge> edges;
+    for (VertexId leaf = 1; leaf <= 5000; ++leaf)
+        edges.push_back(CooEdge{0, leaf, leaf % 255 + 1});
+    const Csr g = weighted(5001, std::move(edges));
+    expectMatch(g, AlgorithmId::Bfs, 0);
+    expectMatch(g, AlgorithmId::Sssp, 0);
+}
+
+TEST(EdgeCases, ReverseStarAllIntoOneVertex)
+{
+    // 5000 sources all updating the same destination: the ultimate RAW
+    // conflict pattern for the reduce pipeline.
+    std::vector<CooEdge> edges;
+    for (VertexId src = 1; src <= 5000; ++src)
+        edges.push_back(CooEdge{src, 0, src % 255 + 1});
+    const Csr g = weighted(5001, std::move(edges));
+    auto cc_sim = algo::makeAlgorithm(AlgorithmId::Cc);
+    GdsConfig cfg;
+    cfg.zeroStallAtomics = false; // stress the stall path too
+    GdsAccel accel(cfg, g, *cc_sim);
+    const auto result = accel.run();
+    auto cc_ref = algo::makeAlgorithm(AlgorithmId::Cc);
+    const auto golden = algo::runReference(g, *cc_ref, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(result.properties[v], golden.properties[v]);
+}
+
+TEST(EdgeCases, LongChainManyIterations)
+{
+    // A 3000-deep chain: 3000 BFS iterations of single-vertex frontiers.
+    std::vector<CooEdge> edges;
+    for (VertexId v = 0; v + 1 < 3000; ++v)
+        edges.push_back(CooEdge{v, v + 1, 1});
+    const Csr g = weighted(3000, std::move(edges));
+    auto bfs_sim = algo::makeAlgorithm(AlgorithmId::Bfs);
+    GdsConfig cfg;
+    cfg.maxIterations = 4000;
+    GdsAccel accel(cfg, g, *bfs_sim);
+    RunOptions run;
+    run.source = 0;
+    const auto result = accel.run(run);
+    // Iteration k activates vertex k; the 3000th iteration scatters the
+    // final (edge-less) frontier and activates nothing.
+    EXPECT_EQ(result.iterations, 3000u);
+    EXPECT_EQ(result.properties[2999], 2999.0f);
+}
+
+TEST(EdgeCases, DisconnectedIslands)
+{
+    // CC over many singleton vertices plus one small component.
+    std::vector<CooEdge> edges = {{0, 1, 1}, {1, 0, 1}};
+    const Csr g = weighted(1000, std::move(edges));
+    expectMatch(g, AlgorithmId::Cc, 0);
+}
+
+TEST(EdgeCases, MaxIterationsZeroReturnsInitialState)
+{
+    const Csr g = weighted(10, {{0, 1, 1}});
+    auto bfs = algo::makeAlgorithm(AlgorithmId::Bfs);
+    GdsConfig cfg;
+    cfg.maxIterations = 0;
+    GdsAccel accel(cfg, g, *bfs);
+    const auto result = accel.run();
+    EXPECT_EQ(result.iterations, 0u);
+    EXPECT_EQ(result.properties[0], 0.0f);
+    EXPECT_EQ(result.properties[1], propInf);
+}
+
+TEST(EdgeCases, PrOnTinyCycle)
+{
+    // 3-cycle: PR fixed point is exactly uniform.
+    const Csr g = weighted(3, {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}});
+    auto pr = algo::makeAlgorithm(AlgorithmId::Pr);
+    GdsConfig cfg;
+    cfg.maxIterations = 50;
+    GdsAccel accel(cfg, g, *pr);
+    const auto result = accel.run();
+    for (VertexId v = 0; v < 3; ++v)
+        EXPECT_NEAR(result.properties[v], 1.0f / 3.0f, 1e-3f);
+}
+
+} // namespace
+} // namespace gds::core

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the power/area/energy model against the paper's synthesis
+ * numbers: total 3.38 W / 12.08 mm2, the Fig. 8 breakdown percentages,
+ * the Graphicionado relation (GraphDynS = ~68% power / ~57% area), the
+ * HBM 7 pJ/bit accounting, the ~92% HBM energy share (Fig. 10), and
+ * scaling behaviour across the Fig. 14e UE sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+namespace gds::energy
+{
+namespace
+{
+
+TEST(PowerArea, GdsTotalsMatchPaper)
+{
+    EnergyModel model;
+    const auto b = model.gdsBreakdown(core::GdsConfig{});
+    // Paper: 3.38 W and 12.08 mm2.
+    EXPECT_NEAR(b.totalPowerW(), 3.38, 3.38 * 0.03);
+    EXPECT_NEAR(b.totalAreaMm2(), 12.08, 12.08 * 0.03);
+}
+
+TEST(PowerArea, Fig8PowerBreakdown)
+{
+    EnergyModel model;
+    const auto b = model.gdsBreakdown(core::GdsConfig{});
+    const double total = b.totalPowerW();
+    // Fig. 8: Dispatcher 1%, Processor 59%, Updater 36%, Prefetcher 4%.
+    EXPECT_NEAR(b.dispatcher.powerW / total, 0.01, 0.01);
+    EXPECT_NEAR(b.processor.powerW / total, 0.59, 0.03);
+    EXPECT_NEAR(b.updater.powerW / total, 0.36, 0.03);
+    EXPECT_NEAR(b.prefetcher.powerW / total, 0.04, 0.02);
+}
+
+TEST(PowerArea, Fig8AreaBreakdown)
+{
+    EnergyModel model;
+    const auto b = model.gdsBreakdown(core::GdsConfig{});
+    const double total = b.totalAreaMm2();
+    // Fig. 8: Dispatcher ~0%, Processor 8%, Updater 90%, Prefetcher 2%.
+    EXPECT_LT(b.dispatcher.areaMm2 / total, 0.01);
+    EXPECT_NEAR(b.processor.areaMm2 / total, 0.08, 0.02);
+    EXPECT_NEAR(b.updater.areaMm2 / total, 0.90, 0.02);
+    EXPECT_NEAR(b.prefetcher.areaMm2 / total, 0.02, 0.01);
+}
+
+TEST(PowerArea, GraphicionadoRelationMatchesPaper)
+{
+    // Paper Sec. 7: GraphDynS power and area are 68% and 57% of
+    // Graphicionado's.
+    EnergyModel model;
+    const auto gds = model.gdsBreakdown(core::GdsConfig{});
+    const auto gi =
+        model.graphicionadoBreakdown(baseline::GraphicionadoConfig{});
+    EXPECT_NEAR(gds.totalPowerW() / gi.totalPowerW(), 0.68, 0.06);
+    EXPECT_NEAR(gds.totalAreaMm2() / gi.totalAreaMm2(), 0.57, 0.06);
+}
+
+TEST(PowerArea, UpdaterScalesWithUeCount)
+{
+    EnergyModel model;
+    core::GdsConfig half;
+    half.numUes = 64;
+    core::GdsConfig full;
+    const auto b_half = model.gdsBreakdown(half);
+    const auto b_full = model.gdsBreakdown(full);
+    // UEs scale linearly; the crossbar scales quadratically, so the
+    // updater at radix 64 costs less than half of radix 128.
+    EXPECT_LT(b_half.updater.areaMm2, 0.55 * b_full.updater.areaMm2);
+    EXPECT_GT(b_half.updater.areaMm2, 0.25 * b_full.updater.areaMm2);
+    // Other components are unaffected.
+    EXPECT_EQ(b_half.processor.powerW, b_full.processor.powerW);
+}
+
+TEST(Energy, HbmSevenPicojoulesPerBit)
+{
+    EnergyModel model;
+    // 1 GB = 8e9 bits -> 56 mJ.
+    EXPECT_NEAR(model.hbmEnergyJ(1'000'000'000ULL), 0.056, 1e-6);
+    EXPECT_EQ(model.hbmEnergyJ(0), 0.0);
+}
+
+TEST(Energy, HbmDominatesRunEnergy)
+{
+    // Fig. 10: ~92% of GraphDynS energy is HBM. A representative run:
+    // ~1 GB moved over ~3 ms.
+    EnergyModel model;
+    const auto e =
+        model.gdsEnergy(core::GdsConfig{}, 3'000'000, 1'000'000'000ULL);
+    EXPECT_GT(e.hbmShare(), 0.80);
+    EXPECT_LT(e.hbmShare(), 0.98);
+    // Processor is the largest on-chip consumer.
+    EXPECT_GT(e.processorJ, e.updaterJ);
+    EXPECT_GT(e.updaterJ, e.dispatcherJ);
+}
+
+TEST(Energy, ScalesLinearlyWithTimeAndBytes)
+{
+    EnergyModel model;
+    const auto e1 = model.gdsEnergy(core::GdsConfig{}, 1'000'000,
+                                    100'000'000ULL);
+    const auto e2 = model.gdsEnergy(core::GdsConfig{}, 2'000'000,
+                                    200'000'000ULL);
+    EXPECT_NEAR(e2.totalJ(), 2.0 * e1.totalJ(), 1e-9);
+    EXPECT_NEAR(e2.hbmJ, 2.0 * e1.hbmJ, 1e-12);
+    EXPECT_NEAR(e2.processorJ, 2.0 * e1.processorJ, 1e-12);
+}
+
+TEST(Energy, GraphicionadoSpendsMoreForSameWork)
+{
+    // Same cycles + same traffic: Graphicionado's higher static power
+    // (64 MB eDRAM, 128 streams) costs more energy.
+    EnergyModel model;
+    const auto gds = model.gdsEnergy(core::GdsConfig{}, 1'000'000,
+                                     500'000'000ULL);
+    const auto gi = model.graphicionadoEnergy(
+        baseline::GraphicionadoConfig{}, 1'000'000, 500'000'000ULL);
+    EXPECT_LT(gds.totalJ(), gi.totalJ());
+}
+
+} // namespace
+} // namespace gds::energy

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the CSR representation, the COO->CSR builder, file I/O
+ * and the destination-range slicer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hh"
+#include "graph/csr.hh"
+#include "graph/loader.hh"
+#include "graph/slicer.hh"
+
+namespace gds::graph
+{
+namespace
+{
+
+/** The example graph from Fig. 1 of the paper (vertices relabelled 0..5):
+ *  paper ids {3, 6, 99, 245, 4228, 6838} -> {0, 1, 5, 2, 3, 4}. */
+Csr
+fig1Graph()
+{
+    std::vector<CooEdge> edges = {
+        {1, 2, 10}, {1, 3, 20}, {1, 4, 30}, // 6 -> 245, 4228, 6838
+        {0, 4, 5},                          // 3 -> 6838
+        {2, 5, 7},                          // 245 -> 99
+        {3, 5, 9},                          // 4228 -> 99
+    };
+    BuildOptions opts;
+    opts.keepWeights = true;
+    return buildCsr(6, std::move(edges), opts);
+}
+
+TEST(Csr, EmptyGraph)
+{
+    Csr g;
+    EXPECT_EQ(g.numVertices(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_FALSE(g.hasWeights());
+}
+
+TEST(Csr, BasicTopology)
+{
+    const Csr g = fig1Graph();
+    EXPECT_EQ(g.numVertices(), 6u);
+    EXPECT_EQ(g.numEdges(), 6u);
+    EXPECT_TRUE(g.hasWeights());
+    EXPECT_EQ(g.outDegree(1), 3u);
+    EXPECT_EQ(g.outDegree(5), 0u);
+    EXPECT_EQ(g.offsetOf(0), 0u);
+    EXPECT_EQ(g.offsetOf(1), 1u);
+
+    const auto nbrs = g.neighborsOf(1);
+    ASSERT_EQ(nbrs.size(), 3u);
+    EXPECT_EQ(nbrs[0], 2u);
+    EXPECT_EQ(nbrs[1], 3u);
+    EXPECT_EQ(nbrs[2], 4u);
+    const auto ws = g.weightsOf(1);
+    EXPECT_EQ(ws[0], 10u);
+    EXPECT_EQ(ws[2], 30u);
+}
+
+TEST(Csr, DegreeStats)
+{
+    const Csr g = fig1Graph();
+    const DegreeStats ds = g.degreeStats();
+    EXPECT_EQ(ds.minDegree, 0u);
+    EXPECT_EQ(ds.maxDegree, 3u);
+    EXPECT_NEAR(ds.meanDegree, 1.0, 1e-9);
+    EXPECT_NEAR(ds.zeroFraction, 2.0 / 6.0, 1e-9);
+    EXPECT_NEAR(g.edgeVertexRatio(), 1.0, 1e-9);
+}
+
+TEST(Csr, RandomWeightsDeterministicAndInRange)
+{
+    const Csr g = fig1Graph().withoutWeights();
+    EXPECT_FALSE(g.hasWeights());
+    const Csr w1 = g.withRandomWeights(9);
+    const Csr w2 = g.withRandomWeights(9);
+    const Csr w3 = g.withRandomWeights(10);
+    ASSERT_TRUE(w1.hasWeights());
+    EXPECT_EQ(w1.weightArray(), w2.weightArray());
+    EXPECT_NE(w1.weightArray(), w3.weightArray());
+    for (const Weight w : w1.weightArray()) {
+        EXPECT_GE(w, 1u);
+        EXPECT_LE(w, 255u);
+    }
+}
+
+TEST(CsrDeath, MalformedOffsetsPanic)
+{
+    EXPECT_DEATH(Csr({0, 2}, {0}), "must equal edge count");
+    EXPECT_DEATH(Csr({1, 1}, {}), "start at 0");
+    EXPECT_DEATH(Csr({0, 2, 1}, {0}), "non-decreasing");
+}
+
+TEST(CsrDeath, OutOfRangeDestinationPanics)
+{
+    EXPECT_DEATH(Csr({0, 1}, {5}), "out of range");
+}
+
+TEST(Builder, CountingSortGroupsBySource)
+{
+    std::vector<CooEdge> edges = {{2, 0}, {0, 1}, {2, 1}, {0, 2}, {1, 0}};
+    const Csr g = buildCsr(3, std::move(edges));
+    EXPECT_EQ(g.outDegree(0), 2u);
+    EXPECT_EQ(g.outDegree(1), 1u);
+    EXPECT_EQ(g.outDegree(2), 2u);
+    // Stable within a source: (0,1) came before (0,2).
+    EXPECT_EQ(g.neighborsOf(0)[0], 1u);
+    EXPECT_EQ(g.neighborsOf(0)[1], 2u);
+}
+
+TEST(Builder, RemoveSelfLoops)
+{
+    std::vector<CooEdge> edges = {{0, 0}, {0, 1}, {1, 1}};
+    BuildOptions opts;
+    opts.removeSelfLoops = true;
+    const Csr g = buildCsr(2, std::move(edges), opts);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.neighborsOf(0)[0], 1u);
+}
+
+TEST(Builder, RemoveDuplicatesKeepsFirstWeight)
+{
+    std::vector<CooEdge> edges = {{0, 1, 5}, {0, 1, 9}, {0, 2, 3}};
+    BuildOptions opts;
+    opts.removeDuplicates = true;
+    opts.keepWeights = true;
+    const Csr g = buildCsr(3, std::move(edges), opts);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.weightsOf(0)[0], 5u);
+}
+
+TEST(BuilderDeath, EndpointOutOfRangePanics)
+{
+    std::vector<CooEdge> edges = {{0, 7}};
+    EXPECT_DEATH(buildCsr(3, std::move(edges)), "out of range");
+}
+
+TEST(Loader, EdgeListRoundTrip)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "gds_test_edges.txt";
+    {
+        std::ofstream out(path);
+        out << "# comment line\n";
+        out << "0 1 10\n";
+        out << "1 2 20\n";
+        out << "% another comment\n";
+        out << "2 0 30\n";
+    }
+    const Csr g = loadEdgeList(path.string(), 0, true);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.weightsOf(0)[0], 10u);
+    std::filesystem::remove(path);
+}
+
+TEST(Loader, BinaryRoundTripPreservesEverything)
+{
+    const Csr g = fig1Graph();
+    const auto path = std::filesystem::temp_directory_path() /
+                      "gds_test_graph.bin";
+    saveBinary(g, path.string());
+    const Csr h = loadBinary(path.string());
+    EXPECT_EQ(g.offsetArray(), h.offsetArray());
+    EXPECT_EQ(g.neighborArray(), h.neighborArray());
+    EXPECT_EQ(g.weightArray(), h.weightArray());
+    std::filesystem::remove(path);
+}
+
+TEST(Slicer, SingleSliceWhenGraphFits)
+{
+    const Csr g = fig1Graph();
+    const auto slices = sliceByDestination(g, 100);
+    ASSERT_EQ(slices.size(), 1u);
+    EXPECT_EQ(slices[0].dstBegin, 0u);
+    EXPECT_EQ(slices[0].dstEnd, 6u);
+    EXPECT_EQ(slices[0].subgraph.numEdges(), g.numEdges());
+}
+
+TEST(Slicer, PartitionsEdgesByDestinationRange)
+{
+    const Csr g = fig1Graph();
+    const auto slices = sliceByDestination(g, 3);
+    ASSERT_EQ(slices.size(), 2u);
+    // Slice 0 holds destinations 0..2, slice 1 holds 3..5.
+    EdgeId total = 0;
+    for (const auto &s : slices) {
+        for (VertexId u = 0; u < s.subgraph.numVertices(); ++u) {
+            for (const VertexId dst : s.subgraph.neighborsOf(u)) {
+                EXPECT_GE(dst, s.dstBegin);
+                EXPECT_LT(dst, s.dstEnd);
+            }
+        }
+        total += s.subgraph.numEdges();
+    }
+    EXPECT_EQ(total, g.numEdges());
+}
+
+TEST(Slicer, PreservesWeights)
+{
+    const Csr g = fig1Graph();
+    const auto slices = sliceByDestination(g, 3);
+    // Edge 1->2 (weight 10) lands in slice 0.
+    const auto &s0 = slices[0].subgraph;
+    ASSERT_EQ(s0.outDegree(1), 1u);
+    EXPECT_EQ(s0.neighborsOf(1)[0], 2u);
+    EXPECT_EQ(s0.weightsOf(1)[0], 10u);
+}
+
+TEST(Slicer, NumSlices)
+{
+    EXPECT_EQ(numSlices(10, 10), 1u);
+    EXPECT_EQ(numSlices(11, 10), 2u);
+    EXPECT_EQ(numSlices(0, 10), 1u);
+    EXPECT_EQ(numSlices(100, 1), 100u);
+}
+
+} // namespace
+} // namespace gds::graph

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the GunrockSim GPU baseline model: functional results equal
+ * the reference engine (the model runs it), timing monotonicity and
+ * plausibility, traffic/storage relations to the accelerators, and the
+ * calibration bands the paper reports (single-digit GTEPS, ~31% bandwidth
+ * utilization, GraphDynS 2-8x faster).
+ */
+
+#include <gtest/gtest.h>
+
+#include "algo/reference_engine.hh"
+#include "baseline/gunrock_sim.hh"
+#include "core/gds_accel.hh"
+#include "graph/generators.hh"
+
+namespace gds::baseline
+{
+namespace
+{
+
+using algo::AlgorithmId;
+
+graph::Csr
+testGraph(VertexId v_count, EdgeId e_count, std::uint64_t seed)
+{
+    return graph::powerLaw(v_count, e_count, 0.6, seed, /*weighted=*/true);
+}
+
+TEST(GunrockSim, PropertiesEqualReference)
+{
+    const auto g = testGraph(2000, 16000, 71);
+    const VertexId source = algo::defaultSource(g);
+
+    auto algo_ref = algo::makeAlgorithm(AlgorithmId::Sssp);
+    const auto golden = algo::runReference(g, *algo_ref, source);
+
+    auto algo_sim = algo::makeAlgorithm(AlgorithmId::Sssp);
+    GunrockSim gpu(GunrockConfig{}, g, *algo_sim);
+    const auto result = gpu.run(source);
+
+    ASSERT_EQ(result.properties.size(), golden.properties.size());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(result.properties[v], golden.properties[v]);
+    EXPECT_EQ(result.iterations, golden.iterations);
+    EXPECT_EQ(result.edgesProcessed, golden.totalEdgesProcessed);
+}
+
+TEST(GunrockSim, TimeAndEnergyArePositive)
+{
+    const auto g = testGraph(2000, 16000, 72);
+    auto bfs = algo::makeAlgorithm(AlgorithmId::Bfs);
+    GunrockSim gpu(GunrockConfig{}, g, *bfs);
+    const auto r = gpu.run(algo::defaultSource(g));
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.energyJoules, 0.0);
+    EXPECT_GT(r.memoryBytes, 0u);
+    EXPECT_GT(r.gteps(), 0.0);
+}
+
+TEST(GunrockSim, ThroughputInPaperBand)
+{
+    // Fig. 7: Gunrock averages ~8 GTEPS; any value in the low single to
+    // low double digits is the right band for a mid-size skewed graph.
+    GunrockConfig cfg;
+    cfg.maxIterations = 10;
+    const auto g = testGraph(50000, 800000, 73);
+    auto pr = algo::makeAlgorithm(AlgorithmId::Pr);
+    GunrockSim gpu(cfg, g, *pr);
+    const auto r = gpu.run(0);
+    EXPECT_GT(r.gteps(), 1.0);
+    EXPECT_LT(r.gteps(), 30.0);
+}
+
+TEST(GunrockSim, BandwidthUtilizationInPaperBand)
+{
+    // Fig. 13: ~31% average bandwidth utilization.
+    GunrockConfig cfg;
+    cfg.maxIterations = 10;
+    const auto g = testGraph(50000, 800000, 74);
+    auto pr = algo::makeAlgorithm(AlgorithmId::Pr);
+    GunrockSim gpu(cfg, g, *pr);
+    const auto r = gpu.run(0);
+    EXPECT_GT(r.bandwidthUtilization, 0.10);
+    EXPECT_LT(r.bandwidthUtilization, 0.60);
+}
+
+TEST(GunrockSim, FootprintDominatedByPreprocessingMetadata)
+{
+    // Fig. 11: Gunrock stores >2x the original graph data as metadata.
+    const auto g = testGraph(2000, 16000, 75);
+    auto bfs = algo::makeAlgorithm(AlgorithmId::Bfs);
+    GunrockSim gpu(GunrockConfig{}, g, *bfs);
+    const std::uint64_t csr = (g.numVertices() + 1) * 4 + g.numEdges() * 4;
+    EXPECT_GT(gpu.footprintBytes(), 2 * csr);
+}
+
+TEST(GunrockSim, GraphDynSWinsOnTimeTrafficAndFootprint)
+{
+    // Fig. 6 / Fig. 11 / Fig. 12 directions for the GPU comparison.
+    const auto g = testGraph(20000, 320000, 76);
+    auto pr_a = algo::makeAlgorithm(AlgorithmId::Pr);
+    auto pr_b = algo::makeAlgorithm(AlgorithmId::Pr);
+    GunrockConfig gpu_cfg;
+    gpu_cfg.maxIterations = 5;
+    core::GdsConfig gds_cfg;
+    gds_cfg.maxIterations = 5;
+    GunrockSim gpu(gpu_cfg, g, *pr_a);
+    core::GdsAccel gds(gds_cfg, g, *pr_b);
+    const auto r_gpu = gpu.run(0);
+    const auto r_gds = gds.run();
+
+    const double gds_seconds = static_cast<double>(r_gds.cycles) * 1e-9;
+    EXPECT_LT(gds_seconds, r_gpu.seconds);
+    EXPECT_LT(r_gds.memoryBytes, r_gpu.memoryBytes);
+    EXPECT_LT(r_gds.footprintBytes, r_gpu.footprintBytes);
+}
+
+TEST(GunrockSim, MoreEdgesTakeLonger)
+{
+    // Fixed-iteration PR: work scales with |E| (BFS would not be
+    // monotone -- a denser graph converges in fewer, launch-dominated
+    // iterations).
+    GunrockConfig cfg;
+    cfg.maxIterations = 5;
+    auto pr1 = algo::makeAlgorithm(AlgorithmId::Pr);
+    auto pr2 = algo::makeAlgorithm(AlgorithmId::Pr);
+    const auto small = testGraph(2000, 16000, 77);
+    const auto large = testGraph(2000, 64000, 77);
+    GunrockSim gpu_small(cfg, small, *pr1);
+    GunrockSim gpu_large(cfg, large, *pr2);
+    const auto r_small = gpu_small.run(0);
+    const auto r_large = gpu_large.run(0);
+    EXPECT_GT(r_large.seconds, r_small.seconds);
+}
+
+TEST(GunrockSimDeath, WeightedAlgorithmNeedsWeights)
+{
+    const auto g = graph::uniform(100, 500, 1, false);
+    auto sssp = algo::makeAlgorithm(AlgorithmId::Sssp);
+    EXPECT_DEATH(GunrockSim(GunrockConfig{}, g, *sssp), "weighted");
+}
+
+/** All five algorithms produce reference-equal results and sane timing. */
+class GunrockSweep : public ::testing::TestWithParam<AlgorithmId>
+{};
+
+TEST_P(GunrockSweep, ReferenceResultsAndSaneTiming)
+{
+    const AlgorithmId id = GetParam();
+    GunrockConfig cfg;
+    cfg.maxIterations = 20;
+    const auto g = testGraph(1500, 12000, 78);
+    const VertexId source = algo::defaultSource(g);
+
+    auto algo_sim = algo::makeAlgorithm(id);
+    GunrockSim gpu(cfg, g, *algo_sim);
+    const auto r = gpu.run(source);
+
+    auto algo_ref = algo::makeAlgorithm(id);
+    algo::ReferenceOptions opts;
+    opts.maxIterations = cfg.maxIterations;
+    const auto golden = algo::runReference(g, *algo_ref, source, opts);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(r.properties[v], golden.properties[v]);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_LE(r.bandwidthUtilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, GunrockSweep,
+                         ::testing::Values(AlgorithmId::Bfs,
+                                           AlgorithmId::Sssp,
+                                           AlgorithmId::Cc,
+                                           AlgorithmId::Sswp,
+                                           AlgorithmId::Pr));
+
+} // namespace
+} // namespace gds::baseline

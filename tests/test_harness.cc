@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the experiment harness: variant configuration mapping,
+ * iteration/source policies, the disk-backed result cache (round-trip,
+ * persistence across instances), dataset caching, geometric means and
+ * table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/generators.hh"
+#include "harness/experiment.hh"
+
+namespace gds::harness
+{
+namespace
+{
+
+/** Run tests in a scratch directory so cache files don't pollute CWD. */
+class HarnessTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        original = std::filesystem::current_path();
+        scratch = std::filesystem::temp_directory_path() /
+                  ("gds_harness_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(scratch);
+        std::filesystem::current_path(scratch);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::current_path(original);
+        std::filesystem::remove_all(scratch);
+    }
+
+    std::filesystem::path original;
+    std::filesystem::path scratch;
+};
+
+TEST(Harness, SystemNames)
+{
+    EXPECT_EQ(systemName(SystemId::GraphDynS), "GraphDynS");
+    EXPECT_EQ(systemName(SystemId::Graphicionado), "Graphicionado");
+    EXPECT_EQ(systemName(SystemId::Gunrock), "Gunrock");
+}
+
+TEST(Harness, VariantConfigurations)
+{
+    const core::GdsConfig wb =
+        applyVariant(core::GdsConfig{}, GdsVariant::Wb);
+    EXPECT_TRUE(wb.workloadBalance);
+    EXPECT_FALSE(wb.exactPrefetch);
+    EXPECT_FALSE(wb.zeroStallAtomics);
+    EXPECT_FALSE(wb.updateScheduling);
+
+    const core::GdsConfig we =
+        applyVariant(core::GdsConfig{}, GdsVariant::We);
+    EXPECT_TRUE(we.exactPrefetch);
+    EXPECT_FALSE(we.zeroStallAtomics);
+
+    const core::GdsConfig wea =
+        applyVariant(core::GdsConfig{}, GdsVariant::Wea);
+    EXPECT_TRUE(wea.zeroStallAtomics);
+    EXPECT_FALSE(wea.updateScheduling);
+
+    const core::GdsConfig full =
+        applyVariant(core::GdsConfig{}, GdsVariant::Full);
+    EXPECT_TRUE(full.workloadBalance && full.exactPrefetch &&
+                full.zeroStallAtomics && full.updateScheduling);
+
+    const core::GdsConfig no_wb =
+        applyVariant(core::GdsConfig{}, GdsVariant::NoWb);
+    EXPECT_FALSE(no_wb.workloadBalance);
+    EXPECT_TRUE(no_wb.exactPrefetch);
+}
+
+TEST(Harness, IterationCapPolicy)
+{
+    EXPECT_EQ(iterationCap(algo::AlgorithmId::Pr), 10u);
+    EXPECT_EQ(iterationCap(algo::AlgorithmId::Bfs), 1000u);
+}
+
+TEST(Harness, SourcePolicy)
+{
+    const auto g = graph::uniform(100, 1000, 3, true);
+    EXPECT_EQ(sourceFor(algo::AlgorithmId::Bfs, g),
+              algo::defaultSource(g));
+    EXPECT_EQ(sourceFor(algo::AlgorithmId::Cc, g), 0u);
+    EXPECT_EQ(sourceFor(algo::AlgorithmId::Pr, g), 0u);
+}
+
+TEST(Harness, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(geometricMean({8.0}), 8.0);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_EQ(geometricMean({}), 0.0);
+    // Non-positive values are ignored.
+    EXPECT_DOUBLE_EQ(geometricMean({0.0, 4.0, 1.0}), 2.0);
+}
+
+TEST(Harness, TableNumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(10.0, 0), "10");
+}
+
+TEST_F(HarnessTest, CacheRoundTripsRecords)
+{
+    RunRecord r;
+    r.system = "GraphDynS";
+    r.algorithm = "BFS";
+    r.dataset = "FR";
+    r.iterations = 7;
+    r.seconds = 0.00123;
+    r.gteps = 45.5;
+    r.memoryBytes = 1e8;
+    r.footprintBytes = 2e8;
+    r.bandwidthUtilization = 0.56;
+    r.energyJoules = 0.012;
+    r.schedulingOps = 1000;
+    r.atomicStalls = 5;
+    r.updatesSkipped = 99;
+    r.vertexUpdates = 1234;
+    r.edgesProcessed = 5678;
+
+    {
+        ResultCache cache;
+        cache.store("k1", r);
+    }
+    ResultCache reloaded;
+    const auto found = reloaded.lookup("k1");
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->system, "GraphDynS");
+    EXPECT_EQ(found->algorithm, "BFS");
+    EXPECT_EQ(found->dataset, "FR");
+    EXPECT_EQ(found->iterations, 7u);
+    EXPECT_DOUBLE_EQ(found->seconds, 0.00123);
+    EXPECT_DOUBLE_EQ(found->gteps, 45.5);
+    EXPECT_DOUBLE_EQ(found->bandwidthUtilization, 0.56);
+    EXPECT_DOUBLE_EQ(found->edgesProcessed, 5678);
+}
+
+TEST_F(HarnessTest, CacheMissReturnsNullopt)
+{
+    ResultCache cache;
+    EXPECT_FALSE(cache.lookup("missing").has_value());
+}
+
+TEST_F(HarnessTest, GetOrRunComputesOnceThenCaches)
+{
+    ResultCache cache;
+    int calls = 0;
+    auto compute = [&] {
+        ++calls;
+        RunRecord r;
+        r.system = "X";
+        r.algorithm = "Y";
+        r.dataset = "Z";
+        r.gteps = 1.5;
+        return r;
+    };
+    const auto first = cache.getOrRun("key", compute);
+    const auto second = cache.getOrRun("key", compute);
+    EXPECT_EQ(calls, 1);
+    EXPECT_DOUBLE_EQ(first.gteps, second.gteps);
+}
+
+TEST_F(HarnessTest, CellKeyIncludesScale)
+{
+    const std::string key = cellKey("gds", algo::AlgorithmId::Bfs, "FR");
+    EXPECT_NE(key.find("gds|BFS|FR|s"), std::string::npos);
+}
+
+TEST_F(HarnessTest, RunGdsProducesConsistentRecord)
+{
+    const auto g = graph::powerLaw(1000, 8000, 0.6, 5, true);
+    const auto r = runGds(algo::AlgorithmId::Bfs, "toy", g);
+    EXPECT_EQ(r.system, "GraphDynS");
+    EXPECT_EQ(r.algorithm, "BFS");
+    EXPECT_EQ(r.dataset, "toy");
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.gteps, 0.0);
+    EXPECT_GT(r.energyJoules, 0.0);
+    EXPECT_GT(r.memoryBytes, 0.0);
+}
+
+TEST_F(HarnessTest, VariantRecordsCarryVariantTag)
+{
+    const auto g = graph::powerLaw(500, 4000, 0.6, 6, true);
+    const auto r = runGds(algo::AlgorithmId::Bfs, "toy", g,
+                          GdsVariant::We);
+    EXPECT_EQ(r.system, "GraphDynS-WE");
+}
+
+TEST_F(HarnessTest, AllThreeSystemsRunnable)
+{
+    const auto g = graph::powerLaw(800, 6400, 0.6, 7, true);
+    const auto gds = runGds(algo::AlgorithmId::Sssp, "toy", g);
+    const auto gi = runGraphicionado(algo::AlgorithmId::Sssp, "toy", g);
+    const auto gpu = runGunrock(algo::AlgorithmId::Sssp, "toy", g);
+    EXPECT_GT(gds.seconds, 0.0);
+    EXPECT_GT(gi.seconds, 0.0);
+    EXPECT_GT(gpu.seconds, 0.0);
+    // The headline ordering on a skewed graph.
+    EXPECT_LT(gds.seconds, gi.seconds);
+}
+
+TEST_F(HarnessTest, FindRecordLocatesCells)
+{
+    std::vector<RunRecord> records(2);
+    records[0].system = "A";
+    records[0].algorithm = "BFS";
+    records[0].dataset = "FR";
+    records[1].system = "B";
+    records[1].algorithm = "PR";
+    records[1].dataset = "LJ";
+    EXPECT_EQ(&findRecord(records, "B", "PR", "LJ"), &records[1]);
+}
+
+TEST_F(HarnessTest, DatasetLoaderCachesBinary)
+{
+    ::setenv("GDS_SCALE", "512", 1);
+    const auto g1 = loadDataset("FR", false);
+    EXPECT_TRUE(std::filesystem::exists("gds_dataset_FR_s512_u.bin"));
+    const auto g2 = loadDataset("FR", false);
+    EXPECT_EQ(g1.neighborArray(), g2.neighborArray());
+    ::unsetenv("GDS_SCALE");
+}
+
+} // namespace
+} // namespace gds::harness

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the off-chip memory layout: region placement, address
+ * arithmetic, footprint accounting per engine record format, and the
+ * tProp-spill rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/memmap.hh"
+
+namespace gds::core
+{
+namespace
+{
+
+constexpr RecordFormat gdsUnweighted{4, 12, 0};
+constexpr RecordFormat gdsWeighted{8, 12, 0};
+constexpr RecordFormat graphicionadoUnweighted{8, 8, 0};
+
+TEST(MemoryLayout, RegionsArePageAlignedAndDisjoint)
+{
+    MemoryLayout layout(1000, 8000, gdsUnweighted, false, false);
+    const Addr regions[] = {layout.offsetArrayBase(),
+                            layout.edgeArrayBase(),
+                            layout.vertexPropBase(),
+                            layout.activeArrayBase(0),
+                            layout.activeArrayBase(1),
+                            layout.tPropSpillBase()};
+    for (std::size_t i = 0; i < std::size(regions); ++i) {
+        EXPECT_EQ(regions[i] % 4096, 0u) << "region " << i;
+        for (std::size_t j = i + 1; j < std::size(regions); ++j)
+            EXPECT_NE(regions[i], regions[j]);
+    }
+    EXPECT_GT(layout.offsetArrayBase(), 0u); // address 0 unused
+}
+
+TEST(MemoryLayout, AddressArithmetic)
+{
+    MemoryLayout layout(1000, 8000, gdsWeighted, true, false);
+    EXPECT_EQ(layout.offsetAddr(10),
+              layout.offsetArrayBase() + 10 * bytesPerWord);
+    EXPECT_EQ(layout.edgeAddr(5), layout.edgeArrayBase() + 5 * 8);
+    EXPECT_EQ(layout.propAddr(3),
+              layout.vertexPropBase() + 3 * bytesPerWord);
+    EXPECT_EQ(layout.cPropAddr(3),
+              layout.constPropBase() + 3 * bytesPerWord);
+    EXPECT_EQ(layout.activeRecordAddr(1, 2),
+              layout.activeArrayBase(1) + 2 * 12);
+}
+
+TEST(MemoryLayout, FootprintScalesWithEdgeBytes)
+{
+    MemoryLayout narrow(1000, 8000, gdsUnweighted, false, false);
+    MemoryLayout wide(1000, 8000, graphicionadoUnweighted, false, false);
+    // Graphicionado's 8 B edges store ~4 KB more per 1000 edges.
+    EXPECT_GT(wide.footprintBytes(), narrow.footprintBytes());
+    EXPECT_NEAR(static_cast<double>(wide.footprintBytes() -
+                                    narrow.footprintBytes()),
+                8000.0 * 4, 2 * 4096.0);
+}
+
+TEST(MemoryLayout, ConstPropOnlyWhenRequested)
+{
+    MemoryLayout without(1000, 8000, gdsUnweighted, false, false);
+    MemoryLayout with(1000, 8000, gdsUnweighted, true, false);
+    EXPECT_EQ(without.constPropBase(), 0u);
+    EXPECT_GT(with.constPropBase(), 0u);
+    EXPECT_GT(with.footprintBytes(), without.footprintBytes());
+}
+
+TEST(MemoryLayout, TPropSpillCountsOnlyWhenOffChip)
+{
+    MemoryLayout on_chip(100000, 800000, gdsUnweighted, false, false);
+    MemoryLayout off_chip(100000, 800000, gdsUnweighted, false, true);
+    EXPECT_EQ(off_chip.footprintBytes() - on_chip.footprintBytes(),
+              alignUp(100000 * bytesPerWord, 4096));
+}
+
+TEST(MemoryLayout, MetadataBytesIncluded)
+{
+    const RecordFormat with_meta{4, 12, 16};
+    MemoryLayout plain(1000, 8000, gdsUnweighted, false, false);
+    MemoryLayout meta(1000, 8000, with_meta, false, false);
+    EXPECT_GE(meta.footprintBytes(),
+              plain.footprintBytes() + 1000 * 16 - 4096);
+}
+
+} // namespace
+} // namespace gds::core

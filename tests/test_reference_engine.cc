@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Tests for the functional VCPM reference engine against independent
+ * textbook oracles (queue BFS, Dijkstra, union-find, bottleneck Dijkstra,
+ * dense power iteration), plus trace instrumentation checks. These oracles
+ * anchor the correctness of the whole repository: both accelerator models
+ * are later verified against the reference engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "algo/reference_engine.hh"
+#include "common/rng.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+
+namespace gds::algo
+{
+namespace
+{
+
+using graph::CooEdge;
+using graph::Csr;
+
+/** Random directed weighted graph with every vertex on a Hamiltonian-ish
+ *  cycle (so out-degree >= 1 everywhere, convenient for PR). */
+Csr
+randomGraph(VertexId v_count, EdgeId extra_edges, std::uint64_t seed,
+            bool symmetric = false)
+{
+    Rng rng(seed);
+    std::vector<CooEdge> edges;
+    for (VertexId v = 0; v < v_count; ++v) {
+        edges.push_back(CooEdge{
+            v, static_cast<VertexId>((v + 1) % v_count),
+            static_cast<Weight>(1 + rng.below(255))});
+    }
+    for (EdgeId e = 0; e < extra_edges; ++e) {
+        const auto u = static_cast<VertexId>(rng.below(v_count));
+        const auto w = static_cast<VertexId>(rng.below(v_count));
+        const auto wt = static_cast<Weight>(1 + rng.below(255));
+        edges.push_back(CooEdge{u, w, wt});
+        if (symmetric)
+            edges.push_back(CooEdge{w, u, wt});
+    }
+    if (symmetric) {
+        // Mirror the cycle as well.
+        for (VertexId v = 0; v < v_count; ++v) {
+            edges.push_back(CooEdge{
+                static_cast<VertexId>((v + 1) % v_count), v, 1});
+        }
+    }
+    graph::BuildOptions opts;
+    opts.keepWeights = true;
+    return graph::buildCsr(v_count, std::move(edges), opts);
+}
+
+std::vector<double>
+bfsOracle(const Csr &g, VertexId source)
+{
+    std::vector<double> level(g.numVertices(),
+                              std::numeric_limits<double>::infinity());
+    std::queue<VertexId> frontier;
+    level[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+        const VertexId u = frontier.front();
+        frontier.pop();
+        for (const VertexId v : g.neighborsOf(u)) {
+            if (level[v] > level[u] + 1) {
+                level[v] = level[u] + 1;
+                frontier.push(v);
+            }
+        }
+    }
+    return level;
+}
+
+std::vector<double>
+dijkstraOracle(const Csr &g, VertexId source)
+{
+    using Entry = std::pair<double, VertexId>;
+    std::vector<double> dist(g.numVertices(),
+                             std::numeric_limits<double>::infinity());
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+    dist[source] = 0;
+    pq.emplace(0.0, source);
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[u])
+            continue;
+        const auto nbrs = g.neighborsOf(u);
+        const auto ws = g.weightsOf(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const double nd = d + ws[i];
+            if (nd < dist[nbrs[i]]) {
+                dist[nbrs[i]] = nd;
+                pq.emplace(nd, nbrs[i]);
+            }
+        }
+    }
+    return dist;
+}
+
+std::vector<double>
+widestPathOracle(const Csr &g, VertexId source)
+{
+    using Entry = std::pair<double, VertexId>;
+    std::vector<double> width(g.numVertices(), 0.0);
+    std::priority_queue<Entry> pq; // max-heap on width
+    width[source] = std::numeric_limits<double>::infinity();
+    pq.emplace(width[source], source);
+    while (!pq.empty()) {
+        const auto [w, u] = pq.top();
+        pq.pop();
+        if (w < width[u])
+            continue;
+        const auto nbrs = g.neighborsOf(u);
+        const auto ws = g.weightsOf(u);
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            const double nw = std::min(w, static_cast<double>(ws[i]));
+            if (nw > width[nbrs[i]]) {
+                width[nbrs[i]] = nw;
+                pq.emplace(nw, nbrs[i]);
+            }
+        }
+    }
+    return width;
+}
+
+/** Union-find components (graph must be symmetric for this oracle). */
+std::vector<VertexId>
+componentsOracle(const Csr &g)
+{
+    std::vector<VertexId> parent(g.numVertices());
+    std::iota(parent.begin(), parent.end(), 0);
+    std::function<VertexId(VertexId)> find = [&](VertexId x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        for (const VertexId v : g.neighborsOf(u)) {
+            const VertexId ru = find(u);
+            const VertexId rv = find(v);
+            if (ru != rv)
+                parent[std::max(ru, rv)] = std::min(ru, rv);
+        }
+    }
+    std::vector<VertexId> label(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        label[v] = find(v);
+    return label;
+}
+
+TEST(ReferenceEngine, BfsMatchesQueueOracle)
+{
+    const Csr g = randomGraph(300, 1200, 17);
+    auto bfs = makeAlgorithm(AlgorithmId::Bfs);
+    const auto result = runReference(g, *bfs, 0);
+    const auto oracle = bfsOracle(g, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(static_cast<double>(result.properties[v]), oracle[v])
+            << "vertex " << v;
+}
+
+TEST(ReferenceEngine, SsspMatchesDijkstra)
+{
+    const Csr g = randomGraph(300, 1500, 23);
+    auto sssp = makeAlgorithm(AlgorithmId::Sssp);
+    const auto result = runReference(g, *sssp, 5);
+    const auto oracle = dijkstraOracle(g, 5);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(static_cast<double>(result.properties[v]), oracle[v])
+            << "vertex " << v;
+}
+
+TEST(ReferenceEngine, SswpMatchesBottleneckDijkstra)
+{
+    const Csr g = randomGraph(250, 1000, 31);
+    auto sswp = makeAlgorithm(AlgorithmId::Sswp);
+    const auto result = runReference(g, *sswp, 3);
+    const auto oracle = widestPathOracle(g, 3);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(static_cast<double>(result.properties[v]), oracle[v])
+            << "vertex " << v;
+}
+
+TEST(ReferenceEngine, CcMatchesUnionFindOnSymmetricGraph)
+{
+    // Several disconnected symmetric clusters.
+    std::vector<CooEdge> edges;
+    auto link = [&edges](VertexId a, VertexId b) {
+        edges.push_back(CooEdge{a, b, 1});
+        edges.push_back(CooEdge{b, a, 1});
+    };
+    // Cluster A: 0-1-2, Cluster B: 3-4, Cluster C: 5 alone, D: 6-7-8-9.
+    link(0, 1);
+    link(1, 2);
+    link(3, 4);
+    link(6, 7);
+    link(7, 8);
+    link(8, 9);
+    link(6, 9);
+    const Csr g = graph::buildCsr(10, std::move(edges));
+
+    auto cc = makeAlgorithm(AlgorithmId::Cc);
+    const auto result = runReference(g, *cc, 0);
+    const auto oracle = componentsOracle(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(result.properties[v], static_cast<PropValue>(oracle[v]))
+            << "vertex " << v;
+}
+
+TEST(ReferenceEngine, CcOnRandomSymmetricGraph)
+{
+    const Csr g = randomGraph(200, 300, 41, /*symmetric=*/true);
+    auto cc = makeAlgorithm(AlgorithmId::Cc);
+    const auto result = runReference(g, *cc, 0);
+    const auto oracle = componentsOracle(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_EQ(result.properties[v], static_cast<PropValue>(oracle[v]));
+}
+
+TEST(ReferenceEngine, PrMatchesPowerIteration)
+{
+    const Csr g = randomGraph(150, 900, 53);
+    auto pr = makeAlgorithm(AlgorithmId::Pr);
+    ReferenceOptions options;
+    options.maxIterations = 200;
+    const auto result = runReference(g, *pr, 0, options);
+
+    // Dense power iteration on the same damping model.
+    const double d = 0.85;
+    const VertexId n = g.numVertices();
+    std::vector<double> rank(n, 1.0 / n);
+    std::vector<double> next(n);
+    for (int iter = 0; iter < 300; ++iter) {
+        std::fill(next.begin(), next.end(), (1.0 - d) / n);
+        for (VertexId u = 0; u < n; ++u) {
+            const double share = rank[u] / g.outDegree(u);
+            for (const VertexId v : g.neighborsOf(u))
+                next[v] += d * share;
+        }
+        rank.swap(next);
+    }
+
+    // Engine stores rank/degree.
+    for (VertexId v = 0; v < n; ++v) {
+        const double engine_rank =
+            static_cast<double>(result.properties[v]) * g.outDegree(v);
+        EXPECT_NEAR(engine_rank, rank[v], std::max(rank[v] * 0.02, 1e-4))
+            << "vertex " << v;
+    }
+}
+
+TEST(ReferenceEngine, PrRankMassIsConserved)
+{
+    const Csr g = randomGraph(100, 400, 59);
+    auto pr = makeAlgorithm(AlgorithmId::Pr);
+    ReferenceOptions options;
+    options.maxIterations = 100;
+    const auto result = runReference(g, *pr, 0, options);
+    double total = 0.0;
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        total += static_cast<double>(result.properties[v]) * g.outDegree(v);
+    // Activation-based ("delta") PR deactivates vertices once their rank
+    // stabilizes within tolerance, so a few percent of rank mass leaks
+    // relative to an exact power iteration.
+    EXPECT_GT(total, 0.90);
+    EXPECT_LT(total, 1.001);
+}
+
+TEST(ReferenceEngine, IterationCapRespected)
+{
+    const Csr g = randomGraph(100, 500, 61);
+    auto pr = makeAlgorithm(AlgorithmId::Pr);
+    ReferenceOptions options;
+    options.maxIterations = 3;
+    const auto result = runReference(g, *pr, 0, options);
+    EXPECT_EQ(result.iterations, 3u);
+}
+
+TEST(ReferenceEngine, BfsTerminatesBeforeCap)
+{
+    const Csr g = randomGraph(200, 800, 67);
+    auto bfs = makeAlgorithm(AlgorithmId::Bfs);
+    const auto result = runReference(g, *bfs, 0);
+    EXPECT_LT(result.iterations, 1000u);
+    EXPECT_GT(result.iterations, 0u);
+}
+
+TEST(ReferenceEngine, TraceShapesMatchRun)
+{
+    const Csr g = randomGraph(200, 800, 71);
+    auto bfs = makeAlgorithm(AlgorithmId::Bfs);
+    ReferenceOptions options;
+    options.collectTrace = true;
+    const auto result = runReference(g, *bfs, 0, options);
+    ASSERT_EQ(result.trace.size(), result.iterations);
+
+    // First iteration: exactly the source is active.
+    EXPECT_EQ(result.trace[0].activeVertices, 1u);
+    EXPECT_EQ(result.trace[0].edgesProcessed, g.outDegree(0));
+
+    std::uint64_t edges = 0;
+    std::uint64_t updates = 0;
+    for (const auto &t : result.trace) {
+        edges += t.edgesProcessed;
+        updates += t.vertexUpdates;
+        // Histogram counts all active vertices.
+        std::uint64_t hist_total = 0;
+        for (const auto b : t.degreeHistogram)
+            hist_total += b;
+        EXPECT_EQ(hist_total, t.activeVertices);
+    }
+    EXPECT_EQ(edges, result.totalEdgesProcessed);
+    EXPECT_EQ(updates, result.totalVertexUpdates);
+}
+
+TEST(ReferenceEngine, UpdateIrregularityVisibleInTrace)
+{
+    // On a skewed graph, later BFS iterations update few vertices --
+    // the Fig. 2 observation that motivates update scheduling.
+    const Csr g = graph::powerLaw(5000, 40000, 0.6, 3, true);
+    auto sssp = makeAlgorithm(AlgorithmId::Sssp);
+    ReferenceOptions options;
+    options.collectTrace = true;
+    const auto result =
+        runReference(g, *sssp, defaultSource(g), options);
+    ASSERT_GT(result.trace.size(), 2u);
+    const auto &last = result.trace.back();
+    EXPECT_LT(last.vertexUpdates, g.numVertices() / 10);
+}
+
+TEST(ReferenceEngineDeath, WeightedAlgorithmNeedsWeights)
+{
+    const Csr g = randomGraph(10, 10, 3).withoutWeights();
+    auto sssp = makeAlgorithm(AlgorithmId::Sssp);
+    EXPECT_DEATH((void)runReference(g, *sssp, 0), "weighted");
+}
+
+TEST(ReferenceEngineDeath, SourceOutOfRange)
+{
+    const Csr g = randomGraph(10, 10, 3);
+    auto bfs = makeAlgorithm(AlgorithmId::Bfs);
+    EXPECT_DEATH((void)runReference(g, *bfs, 10), "out of range");
+}
+
+/** Property sweep: oracles hold across sizes, densities and seeds. */
+class ReferenceSweep
+    : public ::testing::TestWithParam<std::tuple<VertexId, EdgeId,
+                                                 std::uint64_t>>
+{};
+
+TEST_P(ReferenceSweep, BfsAndSsspMatchOracles)
+{
+    const auto [v_count, extra, seed] = GetParam();
+    const Csr g = randomGraph(v_count, extra, seed);
+    const VertexId source = static_cast<VertexId>(seed % v_count);
+
+    auto bfs = makeAlgorithm(AlgorithmId::Bfs);
+    const auto bfs_result = runReference(g, *bfs, source);
+    const auto bfs_oracle = bfsOracle(g, source);
+    for (VertexId v = 0; v < v_count; ++v)
+        ASSERT_EQ(static_cast<double>(bfs_result.properties[v]),
+                  bfs_oracle[v]);
+
+    auto sssp = makeAlgorithm(AlgorithmId::Sssp);
+    const auto sssp_result = runReference(g, *sssp, source);
+    const auto sssp_oracle = dijkstraOracle(g, source);
+    for (VertexId v = 0; v < v_count; ++v)
+        ASSERT_EQ(static_cast<double>(sssp_result.properties[v]),
+                  sssp_oracle[v]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, ReferenceSweep,
+    ::testing::Combine(::testing::Values(50u, 200u, 500u),
+                       ::testing::Values(100u, 1000u, 4000u),
+                       ::testing::Values(1u, 2u, 3u)));
+
+} // namespace
+} // namespace gds::algo

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: component hierarchy, tick ordering,
+ * run loop termination, and the bounded/delay queues.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/component.hh"
+#include "sim/queues.hh"
+#include "sim/simulator.hh"
+
+namespace gds::sim
+{
+namespace
+{
+
+class CountingComponent : public Component
+{
+  public:
+    CountingComponent(std::string n, Component *parent,
+                      std::vector<std::string> *order)
+        : Component(std::move(n), parent), tickOrder(order)
+    {}
+
+    void
+    tick() override
+    {
+        ++ticks;
+        if (tickOrder)
+            tickOrder->push_back(name());
+    }
+
+    bool busy() const override { return pendingWork > 0; }
+
+    int ticks = 0;
+    int pendingWork = 0;
+
+  private:
+    std::vector<std::string> *tickOrder;
+};
+
+TEST(Component, StatsGroupMirrorsHierarchy)
+{
+    CountingComponent top("accel", nullptr, nullptr);
+    CountingComponent child("pe", &top, nullptr);
+    EXPECT_EQ(top.statsGroup().path(), "accel");
+    EXPECT_EQ(child.statsGroup().path(), "accel.pe");
+}
+
+TEST(Simulator, TicksInRegistrationOrder)
+{
+    std::vector<std::string> order;
+    CountingComponent a("a", nullptr, &order);
+    CountingComponent b("b", nullptr, &order);
+    Simulator sim;
+    sim.add(&b);
+    sim.add(&a);
+    sim.step();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], "b");
+    EXPECT_EQ(order[1], "a");
+    EXPECT_EQ(sim.cycle(), 1u);
+}
+
+TEST(Simulator, RunUntilPredicate)
+{
+    CountingComponent c("c", nullptr, nullptr);
+    Simulator sim;
+    sim.add(&c);
+    const Cycle elapsed = sim.run([&] { return c.ticks >= 10; });
+    EXPECT_EQ(elapsed, 10u);
+    EXPECT_EQ(c.ticks, 10);
+}
+
+TEST(SimulatorDeath, RunawayGuardFires)
+{
+    CountingComponent c("c", nullptr, nullptr);
+    Simulator sim;
+    sim.add(&c);
+    EXPECT_DEATH(sim.run([] { return false; }, 100), "exceeded");
+}
+
+TEST(Simulator, AnyBusyReflectsComponents)
+{
+    CountingComponent a("a", nullptr, nullptr);
+    CountingComponent b("b", nullptr, nullptr);
+    Simulator sim;
+    sim.add(&a);
+    sim.add(&b);
+    EXPECT_FALSE(sim.anyBusy());
+    b.pendingWork = 1;
+    EXPECT_TRUE(sim.anyBusy());
+}
+
+TEST(BoundedQueue, FifoOrderAndBackpressure)
+{
+    BoundedQueue<int> q(3);
+    EXPECT_TRUE(q.empty());
+    EXPECT_TRUE(q.canPush());
+    q.push(1);
+    q.push(2);
+    q.push(3);
+    EXPECT_FALSE(q.canPush());
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_TRUE(q.canPush());
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(BoundedQueueDeath, OverflowPanics)
+{
+    BoundedQueue<int> q(1);
+    q.push(1);
+    EXPECT_DEATH(q.push(2), "full queue");
+}
+
+TEST(BoundedQueueDeath, UnderflowPanics)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_DEATH(q.pop(), "empty queue");
+}
+
+TEST(DelayQueue, ElementsMatureAfterLatency)
+{
+    DelayQueue<int> q(4, 3);
+    q.push(42);
+    EXPECT_FALSE(q.ready());
+    q.tick();
+    EXPECT_FALSE(q.ready());
+    q.tick();
+    EXPECT_FALSE(q.ready());
+    q.tick();
+    EXPECT_TRUE(q.ready());
+    EXPECT_EQ(q.pop(), 42);
+}
+
+TEST(DelayQueue, ZeroLatencyIsImmediatelyReady)
+{
+    DelayQueue<int> q(4, 0);
+    q.push(7);
+    EXPECT_TRUE(q.ready());
+    EXPECT_EQ(q.pop(), 7);
+}
+
+TEST(DelayQueue, PreservesOrderWithMixedMaturity)
+{
+    DelayQueue<int> q(8, 2);
+    q.push(1);
+    q.tick();
+    q.push(2);
+    q.tick();
+    EXPECT_TRUE(q.ready());
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_FALSE(q.ready()); // 2 needs one more cycle
+    q.tick();
+    EXPECT_TRUE(q.ready());
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(DelayQueueDeath, PopBeforeMaturityPanics)
+{
+    DelayQueue<int> q(4, 5);
+    q.push(1);
+    EXPECT_DEATH(q.pop(), "non-ready");
+}
+
+} // namespace
+} // namespace gds::sim

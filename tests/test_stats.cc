@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the statistics framework: registration, accumulation,
+ * hierarchy paths, lookup, dump formatting and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stats.hh"
+
+namespace gds::stats
+{
+namespace
+{
+
+TEST(Scalar, AccumulatesAndAssigns)
+{
+    Group root(nullptr, "root");
+    Scalar s(&root, "count", "a counter");
+    EXPECT_EQ(s.value(), 0.0);
+    s += 3;
+    ++s;
+    EXPECT_EQ(s.value(), 4.0);
+    s = 10.5;
+    EXPECT_EQ(s.value(), 10.5);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Vector, PerElementAndAggregates)
+{
+    Group root(nullptr, "root");
+    Vector v(&root, "perPe", "work per PE", 4);
+    v[0] = 1;
+    v[1] = 2;
+    v[2] = 3;
+    v[3] = 10;
+    EXPECT_EQ(v.total(), 16.0);
+    EXPECT_EQ(v.max(), 10.0);
+    EXPECT_EQ(v.min(), 1.0);
+    EXPECT_EQ(v.mean(), 4.0);
+    EXPECT_EQ(v.size(), 4u);
+    v.reset();
+    EXPECT_EQ(v.total(), 0.0);
+}
+
+TEST(VectorDeath, OutOfRangeIndexPanics)
+{
+    Group root(nullptr, "root");
+    Vector v(&root, "v", "d", 2);
+    EXPECT_DEATH(v[2] = 1, "out of");
+}
+
+TEST(Distribution, PaperBuckets)
+{
+    Group root(nullptr, "root");
+    Distribution d(&root, "degrees", "active vertex degrees");
+    d.sample(0);
+    d.sample(1);
+    d.sample(2);
+    d.sample(3);
+    d.sample(8);
+    d.sample(9);
+    d.sample(32);
+    d.sample(33);
+    d.sample(64);
+    d.sample(65);
+    d.sample(100000);
+    EXPECT_EQ(d.count(), 11u);
+    EXPECT_EQ(d.bucketCount(0), 1u); // [0,0]
+    EXPECT_EQ(d.bucketCount(1), 2u); // [1,2]
+    EXPECT_EQ(d.bucketCount(2), 1u); // [3,4]
+    EXPECT_EQ(d.bucketCount(3), 1u); // [5,8]
+    EXPECT_EQ(d.bucketCount(4), 1u); // [9,16]
+    EXPECT_EQ(d.bucketCount(5), 1u); // [17,32]
+    EXPECT_EQ(d.bucketCount(6), 2u); // [33,64]
+    EXPECT_EQ(d.bucketCount(7), 2u); // >64
+}
+
+TEST(Distribution, BucketLabels)
+{
+    EXPECT_EQ(Distribution::bucketLabel(0), "[0,0]");
+    EXPECT_EQ(Distribution::bucketLabel(7), ">64");
+}
+
+TEST(Group, PathsAreHierarchical)
+{
+    Group root(nullptr, "accel");
+    Group child(&root, "pe");
+    Group grand(&child, "simt");
+    EXPECT_EQ(root.path(), "accel");
+    EXPECT_EQ(child.path(), "accel.pe");
+    EXPECT_EQ(grand.path(), "accel.pe.simt");
+}
+
+TEST(Group, LookupByDottedPath)
+{
+    Group root(nullptr, "root");
+    Group child(&root, "mem");
+    Scalar s(&child, "bytes", "bytes");
+    s += 42;
+    EXPECT_EQ(root.scalar("mem.bytes").value(), 42.0);
+    EXPECT_EQ(child.scalar("bytes").value(), 42.0);
+}
+
+TEST(GroupDeath, LookupMissingStatPanics)
+{
+    Group root(nullptr, "root");
+    EXPECT_DEATH((void)root.scalar("nope"), "no scalar");
+}
+
+TEST(GroupDeath, DuplicateStatNamePanics)
+{
+    Group root(nullptr, "root");
+    Scalar a(&root, "x", "first");
+    EXPECT_DEATH(Scalar(&root, "x", "second"), "duplicate");
+}
+
+TEST(Group, DumpContainsAllStats)
+{
+    Group root(nullptr, "top");
+    Scalar s(&root, "cycles", "total cycles");
+    Group child(&root, "pe");
+    Vector v(&child, "ops", "ops per lane", 2);
+    s = 123;
+    v[0] = 1;
+    v[1] = 2;
+    std::ostringstream os;
+    root.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("top.cycles"), std::string::npos);
+    EXPECT_NE(text.find("top.pe.ops[0]"), std::string::npos);
+    EXPECT_NE(text.find("top.pe.ops[1]"), std::string::npos);
+    EXPECT_NE(text.find("123"), std::string::npos);
+}
+
+TEST(Group, ResetAllRecurses)
+{
+    Group root(nullptr, "top");
+    Scalar s(&root, "a", "a");
+    Group child(&root, "sub");
+    Scalar t(&child, "b", "b");
+    s = 5;
+    t = 7;
+    root.resetAll();
+    EXPECT_EQ(s.value(), 0.0);
+    EXPECT_EQ(t.value(), 0.0);
+}
+
+} // namespace
+} // namespace gds::stats

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests of the JSON statistics export: structure, escaping, all stat
+ * kinds, nesting, and numeric edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/json.hh"
+
+namespace gds::stats
+{
+namespace
+{
+
+std::string
+toJson(const Group &g)
+{
+    std::ostringstream os;
+    dumpJson(g, os);
+    return os.str();
+}
+
+TEST(StatsJson, EmptyGroup)
+{
+    Group root(nullptr, "root");
+    EXPECT_EQ(toJson(root), "{}\n");
+}
+
+TEST(StatsJson, ScalarsAndVectors)
+{
+    Group root(nullptr, "root");
+    Scalar s(&root, "cycles", "d");
+    s = 42.5;
+    Vector v(&root, "perPe", "d", 3);
+    v[0] = 1;
+    v[2] = 3;
+    EXPECT_EQ(toJson(root),
+              "{\"cycles\":42.5,\"perPe\":[1,0,3]}\n");
+}
+
+TEST(StatsJson, DistributionsUseBucketLabels)
+{
+    Group root(nullptr, "root");
+    Distribution d(&root, "deg", "d");
+    d.sample(1);
+    d.sample(100);
+    const std::string json = toJson(root);
+    EXPECT_NE(json.find("\"[1,2]\":1"), std::string::npos);
+    EXPECT_NE(json.find("\">64\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"[0,0]\":0"), std::string::npos);
+}
+
+TEST(StatsJson, NestedGroups)
+{
+    Group root(nullptr, "accel");
+    Scalar top(&root, "total", "d");
+    top = 7;
+    Group child(&root, "pe");
+    Scalar inner(&child, "ops", "d");
+    inner = 3;
+    EXPECT_EQ(toJson(root), "{\"total\":7,\"pe\":{\"ops\":3}}\n");
+}
+
+TEST(StatsJson, NonFiniteValuesBecomeNull)
+{
+    Group root(nullptr, "root");
+    Scalar s(&root, "ratio", "d");
+    s = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(toJson(root), "{\"ratio\":null}\n");
+}
+
+TEST(StatsJson, QuotesAreEscaped)
+{
+    Group root(nullptr, "root");
+    Scalar s(&root, "a\"b", "d");
+    EXPECT_NE(toJson(root).find("\"a\\\"b\""), std::string::npos);
+}
+
+} // namespace
+} // namespace gds::stats

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Tests for graph transformations: transpose (involution, degree
+ * exchange), symmetrization, degree-sorted reordering (and its
+ * algorithm-invariance), permutation application, and structural
+ * queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algo/reference_engine.hh"
+#include "graph/builder.hh"
+#include "graph/generators.hh"
+#include "graph/transforms.hh"
+
+namespace gds::graph
+{
+namespace
+{
+
+Csr
+smallGraph()
+{
+    std::vector<CooEdge> edges = {{0, 1, 5}, {0, 2, 7}, {1, 2, 3},
+                                  {3, 0, 2}};
+    BuildOptions opts;
+    opts.keepWeights = true;
+    return buildCsr(4, std::move(edges), opts);
+}
+
+TEST(Transpose, ReversesEdges)
+{
+    const Csr g = smallGraph();
+    const Csr t = transpose(g);
+    EXPECT_EQ(t.numEdges(), g.numEdges());
+    // 0->1 becomes 1->0 etc.
+    EXPECT_EQ(t.outDegree(0), 1u); // from 3->0
+    EXPECT_EQ(t.outDegree(1), 1u);
+    EXPECT_EQ(t.outDegree(2), 2u);
+    EXPECT_EQ(t.neighborsOf(2)[0], 0u);
+    EXPECT_EQ(t.neighborsOf(2)[1], 1u);
+}
+
+TEST(Transpose, PreservesWeights)
+{
+    const Csr g = smallGraph();
+    const Csr t = transpose(g);
+    // Edge 0->2 weight 7 becomes 2->0 weight 7.
+    const auto nbrs = t.neighborsOf(2);
+    const auto ws = t.weightsOf(2);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+        if (nbrs[i] == 0) {
+            EXPECT_EQ(ws[i], 7u);
+        }
+    }
+}
+
+TEST(Transpose, IsAnInvolution)
+{
+    const Csr g = powerLaw(500, 4000, 0.6, 3, true);
+    const Csr tt = transpose(transpose(g));
+    EXPECT_EQ(tt.offsetArray(), g.offsetArray());
+    // Within a vertex, transpose-of-transpose may reorder the edge list,
+    // so compare sorted adjacency.
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        auto a = std::vector<VertexId>(g.neighborsOf(v).begin(),
+                                       g.neighborsOf(v).end());
+        auto b = std::vector<VertexId>(tt.neighborsOf(v).begin(),
+                                       tt.neighborsOf(v).end());
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        ASSERT_EQ(a, b) << "vertex " << v;
+    }
+}
+
+TEST(Transpose, InDegreesBecomeOutDegrees)
+{
+    const Csr g = powerLaw(300, 2400, 0.6, 5);
+    const auto in_deg = inDegrees(g);
+    const Csr t = transpose(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(t.outDegree(v), in_deg[v]);
+}
+
+TEST(Symmetrize, EveryEdgeHasAReverse)
+{
+    const Csr g = powerLaw(200, 1000, 0.6, 7);
+    const Csr s = symmetrize(g);
+    for (VertexId u = 0; u < s.numVertices(); ++u) {
+        for (const VertexId v : s.neighborsOf(u)) {
+            const auto back = s.neighborsOf(v);
+            EXPECT_NE(std::find(back.begin(), back.end(), u), back.end())
+                << u << "->" << v << " lacks a reverse";
+        }
+    }
+}
+
+TEST(Symmetrize, NoDuplicateEdges)
+{
+    const Csr g = smallGraph();
+    const Csr s = symmetrize(g);
+    for (VertexId u = 0; u < s.numVertices(); ++u) {
+        auto nbrs = std::vector<VertexId>(s.neighborsOf(u).begin(),
+                                          s.neighborsOf(u).end());
+        std::sort(nbrs.begin(), nbrs.end());
+        EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()),
+                  nbrs.end());
+    }
+}
+
+TEST(DegreeSort, OrdersByDescendingDegree)
+{
+    const Csr g = powerLaw(400, 3200, 0.7, 9);
+    const Csr sorted = degreeSortReorder(g);
+    for (VertexId v = 0; v + 1 < sorted.numVertices(); ++v)
+        ASSERT_GE(sorted.outDegree(v), sorted.outDegree(v + 1));
+    EXPECT_EQ(sorted.numEdges(), g.numEdges());
+}
+
+TEST(DegreeSort, PermutationIsBijective)
+{
+    const Csr g = powerLaw(300, 2400, 0.6, 11);
+    std::vector<VertexId> perm;
+    (void)degreeSortReorder(g, &perm);
+    std::vector<VertexId> sorted_perm = perm;
+    std::sort(sorted_perm.begin(), sorted_perm.end());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(sorted_perm[v], v);
+}
+
+TEST(DegreeSort, SsspResultsPermuteConsistently)
+{
+    // Reordering must not change the algorithm's answers (modulo the
+    // relabeling) -- the property GPU preprocessing relies on.
+    const Csr g = powerLaw(500, 4000, 0.6, 13, true);
+    std::vector<VertexId> perm;
+    const Csr sorted = degreeSortReorder(g, &perm);
+
+    auto sssp_a = algo::makeAlgorithm(algo::AlgorithmId::Sssp);
+    auto sssp_b = algo::makeAlgorithm(algo::AlgorithmId::Sssp);
+    const VertexId source = algo::defaultSource(g);
+    const auto plain = algo::runReference(g, *sssp_a, source);
+    const auto reordered =
+        algo::runReference(sorted, *sssp_b, perm[source]);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ASSERT_EQ(plain.properties[v], reordered.properties[perm[v]]);
+}
+
+TEST(ApplyPermutation, IdentityIsNoop)
+{
+    const Csr g = smallGraph();
+    std::vector<VertexId> identity(g.numVertices());
+    std::iota(identity.begin(), identity.end(), 0);
+    const Csr h = applyPermutation(g, identity);
+    EXPECT_EQ(h.offsetArray(), g.offsetArray());
+    EXPECT_EQ(h.neighborArray(), g.neighborArray());
+    EXPECT_EQ(h.weightArray(), g.weightArray());
+}
+
+TEST(ApplyPermutationDeath, WrongSizePanics)
+{
+    const Csr g = smallGraph();
+    EXPECT_DEATH((void)applyPermutation(g, {0, 1}), "permutation size");
+}
+
+TEST(InDegrees, CountsIncomingEdges)
+{
+    const Csr g = smallGraph();
+    const auto d = inDegrees(g);
+    EXPECT_EQ(d[0], 1u);
+    EXPECT_EQ(d[1], 1u);
+    EXPECT_EQ(d[2], 2u);
+    EXPECT_EQ(d[3], 0u);
+}
+
+TEST(WeakComponents, CountsGroups)
+{
+    std::vector<CooEdge> edges = {{0, 1}, {1, 2}, {3, 4}};
+    const Csr g = buildCsr(6, std::move(edges));
+    // {0,1,2}, {3,4}, {5} -> 3 components.
+    EXPECT_EQ(countWeakComponents(g), 3u);
+}
+
+TEST(WeakComponents, FullyConnectedGraphIsOne)
+{
+    const Csr g = grid2d(10, 10, 1);
+    EXPECT_EQ(countWeakComponents(g), 1u);
+}
+
+} // namespace
+} // namespace gds::graph

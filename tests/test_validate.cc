@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests of the independent result validators: correct outputs pass,
+ * systematically corrupted outputs are caught (each violated condition
+ * exercised), and every engine's output on every algorithm certifies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "algo/reference_engine.hh"
+#include "algo/validate.hh"
+#include "baseline/graphicionado.hh"
+#include "core/gds_accel.hh"
+#include "graph/generators.hh"
+
+namespace gds::algo
+{
+namespace
+{
+
+graph::Csr
+testGraph(std::uint64_t seed)
+{
+    return graph::powerLaw(800, 6400, 0.6, seed, /*weighted=*/true);
+}
+
+struct RunData
+{
+    graph::Csr g;
+    VertexId source;
+    std::vector<PropValue> props;
+};
+
+RunData
+runRef(AlgorithmId id, std::uint64_t seed, unsigned max_iter = 1000)
+{
+    RunData r{testGraph(seed), 0, {}};
+    r.source = id == AlgorithmId::Cc || id == AlgorithmId::Pr
+                   ? 0
+                   : defaultSource(r.g);
+    auto a = makeAlgorithm(id);
+    ReferenceOptions opts;
+    opts.maxIterations = max_iter;
+    r.props = runReference(r.g, *a, r.source, opts).properties;
+    return r;
+}
+
+TEST(ValidateBfs, AcceptsCorrectLevels)
+{
+    const RunData r = runRef(AlgorithmId::Bfs, 1);
+    EXPECT_TRUE(validateBfs(r.g, r.source, r.props).valid);
+}
+
+TEST(ValidateBfs, CatchesWrongSource)
+{
+    RunData r = runRef(AlgorithmId::Bfs, 1);
+    r.props[r.source] = 1.0f;
+    EXPECT_FALSE(validateBfs(r.g, r.source, r.props).valid);
+}
+
+TEST(ValidateBfs, CatchesSkippedLevel)
+{
+    RunData r = runRef(AlgorithmId::Bfs, 1);
+    // Push a reached vertex two levels deeper than its best parent.
+    for (VertexId v = 0; v < r.g.numVertices(); ++v) {
+        if (v != r.source && r.props[v] == 1.0f) {
+            r.props[v] = 5.0f;
+            break;
+        }
+    }
+    EXPECT_FALSE(validateBfs(r.g, r.source, r.props).valid);
+}
+
+TEST(ValidateBfs, CatchesTooGoodLevel)
+{
+    RunData r = runRef(AlgorithmId::Bfs, 1);
+    for (VertexId v = 0; v < r.g.numVertices(); ++v) {
+        if (r.props[v] == 2.0f) {
+            r.props[v] = 1.0f; // claims a parent at level 0 it lacks
+            break;
+        }
+    }
+    const auto result = validateBfs(r.g, r.source, r.props);
+    EXPECT_FALSE(result.valid);
+}
+
+TEST(ValidateSssp, AcceptsCorrectDistances)
+{
+    const RunData r = runRef(AlgorithmId::Sssp, 2);
+    EXPECT_TRUE(validateSssp(r.g, r.source, r.props).valid);
+}
+
+TEST(ValidateSssp, CatchesRelaxableEdge)
+{
+    RunData r = runRef(AlgorithmId::Sssp, 2);
+    for (VertexId v = 0; v < r.g.numVertices(); ++v) {
+        if (v != r.source && r.props[v] != propInf &&
+            r.props[v] != 0.0f) {
+            r.props[v] += 1000.0f; // now an in-edge can relax it
+            break;
+        }
+    }
+    EXPECT_FALSE(validateSssp(r.g, r.source, r.props).valid);
+}
+
+TEST(ValidateSssp, CatchesUnderestimatedDistance)
+{
+    RunData r = runRef(AlgorithmId::Sssp, 2);
+    for (VertexId v = 0; v < r.g.numVertices(); ++v) {
+        if (v != r.source && r.props[v] != propInf &&
+            r.props[v] > 2.0f) {
+            r.props[v] = 1.0f; // unachievable by any in-edge
+            break;
+        }
+    }
+    EXPECT_FALSE(validateSssp(r.g, r.source, r.props).valid);
+}
+
+TEST(ValidateSswp, AcceptsCorrectWidths)
+{
+    const RunData r = runRef(AlgorithmId::Sswp, 3);
+    EXPECT_TRUE(validateSswp(r.g, r.source, r.props).valid);
+}
+
+TEST(ValidateSswp, CatchesOverstatedWidth)
+{
+    RunData r = runRef(AlgorithmId::Sswp, 3);
+    for (VertexId v = 0; v < r.g.numVertices(); ++v) {
+        if (v != r.source && r.props[v] > 0.0f &&
+            r.props[v] != propInf) {
+            r.props[v] = 1e6f; // wider than any in-path allows
+            break;
+        }
+    }
+    EXPECT_FALSE(validateSswp(r.g, r.source, r.props).valid);
+}
+
+TEST(ValidateCc, AcceptsCorrectLabels)
+{
+    const RunData r = runRef(AlgorithmId::Cc, 4);
+    EXPECT_TRUE(validateCc(r.g, r.props).valid);
+}
+
+TEST(ValidateCc, CatchesLabelAboveOwnId)
+{
+    RunData r = runRef(AlgorithmId::Cc, 4);
+    r.props[0] = 5.0f; // vertex 0 can never hold a label > 0
+    EXPECT_FALSE(validateCc(r.g, r.props).valid);
+}
+
+TEST(ValidateCc, CatchesUnpropagatedLabel)
+{
+    RunData r = runRef(AlgorithmId::Cc, 4);
+    // Find an edge whose endpoints share a label and split them.
+    for (VertexId u = 0; u < r.g.numVertices(); ++u) {
+        const auto nbrs = r.g.neighborsOf(u);
+        if (!nbrs.empty() && r.props[nbrs[0]] == r.props[u] &&
+            nbrs[0] > u) {
+            r.props[nbrs[0]] = static_cast<PropValue>(nbrs[0]);
+            break;
+        }
+    }
+    EXPECT_FALSE(validateCc(r.g, r.props).valid);
+}
+
+TEST(ValidatePr, AcceptsConvergedRanks)
+{
+    const RunData r = runRef(AlgorithmId::Pr, 5, 300);
+    EXPECT_TRUE(validatePr(r.g, r.props).valid);
+}
+
+TEST(ValidatePr, CatchesMassLoss)
+{
+    RunData r = runRef(AlgorithmId::Pr, 5, 300);
+    for (auto &p : r.props)
+        p *= 0.5f;
+    EXPECT_FALSE(validatePr(r.g, r.props).valid);
+}
+
+TEST(ValidatePr, CatchesNegativeRank)
+{
+    RunData r = runRef(AlgorithmId::Pr, 5, 300);
+    r.props[3] = -r.props[3];
+    EXPECT_FALSE(validatePr(r.g, r.props).valid);
+}
+
+TEST(ValidatePr, CatchesLocalImbalance)
+{
+    RunData r = runRef(AlgorithmId::Pr, 5, 300);
+    // Move most of one vertex's mass to another: the total is nearly
+    // preserved (mass check passes) but the pointwise deviation at the
+    // donor far exceeds what activation hysteresis can produce.
+    const double moved = r.props[1] * 0.9;
+    r.props[1] -= static_cast<PropValue>(moved);
+    r.props[2] += static_cast<PropValue>(
+        moved * std::max<std::uint64_t>(r.g.outDegree(1), 1) /
+        std::max<std::uint64_t>(r.g.outDegree(2), 1));
+    EXPECT_FALSE(validatePr(r.g, r.props).valid);
+}
+
+TEST(Validate, DispatcherCoversAllAlgorithms)
+{
+    for (const AlgorithmId id : allAlgorithms) {
+        const unsigned iters = id == AlgorithmId::Pr ? 300 : 1000;
+        const RunData r = runRef(id, 6, iters);
+        EXPECT_TRUE(validate(id, r.g, r.source, r.props).valid)
+            << algorithmName(id);
+    }
+}
+
+TEST(Validate, CertifiesBothAcceleratorOutputs)
+{
+    const graph::Csr g = testGraph(7);
+    const VertexId source = defaultSource(g);
+    auto a1 = makeAlgorithm(AlgorithmId::Sssp);
+    auto a2 = makeAlgorithm(AlgorithmId::Sssp);
+    core::GdsAccel gds(core::GdsConfig{}, g, *a1);
+    baseline::GraphicionadoAccel gi(baseline::GraphicionadoConfig{}, g,
+                                    *a2);
+    core::RunOptions run;
+    run.source = source;
+    EXPECT_TRUE(validateSssp(g, source, gds.run(run).properties).valid);
+    EXPECT_TRUE(validateSssp(g, source, gi.run(run).properties).valid);
+}
+
+} // namespace
+} // namespace gds::algo
