@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_energy_breakdown.cc" "bench/CMakeFiles/bench_fig10_energy_breakdown.dir/bench_fig10_energy_breakdown.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_energy_breakdown.dir/bench_fig10_energy_breakdown.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gds_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/gds_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/gds_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gds_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gds_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gds_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gds_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/gds_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gds_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gds_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14d_access_reduction.dir/bench_fig14d_access_reduction.cc.o"
+  "CMakeFiles/bench_fig14d_access_reduction.dir/bench_fig14d_access_reduction.cc.o.d"
+  "bench_fig14d_access_reduction"
+  "bench_fig14d_access_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14d_access_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

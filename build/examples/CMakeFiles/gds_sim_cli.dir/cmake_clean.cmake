@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_sim_cli.dir/gds_sim.cpp.o"
+  "CMakeFiles/gds_sim_cli.dir/gds_sim.cpp.o.d"
+  "gds_sim"
+  "gds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/algorithms.cc" "src/algo/CMakeFiles/gds_algo.dir/algorithms.cc.o" "gcc" "src/algo/CMakeFiles/gds_algo.dir/algorithms.cc.o.d"
+  "/root/repo/src/algo/pull_engine.cc" "src/algo/CMakeFiles/gds_algo.dir/pull_engine.cc.o" "gcc" "src/algo/CMakeFiles/gds_algo.dir/pull_engine.cc.o.d"
+  "/root/repo/src/algo/reference_engine.cc" "src/algo/CMakeFiles/gds_algo.dir/reference_engine.cc.o" "gcc" "src/algo/CMakeFiles/gds_algo.dir/reference_engine.cc.o.d"
+  "/root/repo/src/algo/validate.cc" "src/algo/CMakeFiles/gds_algo.dir/validate.cc.o" "gcc" "src/algo/CMakeFiles/gds_algo.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gds_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gds_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_algo.dir/algorithms.cc.o"
+  "CMakeFiles/gds_algo.dir/algorithms.cc.o.d"
+  "CMakeFiles/gds_algo.dir/pull_engine.cc.o"
+  "CMakeFiles/gds_algo.dir/pull_engine.cc.o.d"
+  "CMakeFiles/gds_algo.dir/reference_engine.cc.o"
+  "CMakeFiles/gds_algo.dir/reference_engine.cc.o.d"
+  "CMakeFiles/gds_algo.dir/validate.cc.o"
+  "CMakeFiles/gds_algo.dir/validate.cc.o.d"
+  "libgds_algo.a"
+  "libgds_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_baseline.dir/graphicionado.cc.o"
+  "CMakeFiles/gds_baseline.dir/graphicionado.cc.o.d"
+  "CMakeFiles/gds_baseline.dir/gunrock_sim.cc.o"
+  "CMakeFiles/gds_baseline.dir/gunrock_sim.cc.o.d"
+  "libgds_baseline.a"
+  "libgds_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

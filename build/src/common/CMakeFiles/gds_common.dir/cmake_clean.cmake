@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_common.dir/debug.cc.o"
+  "CMakeFiles/gds_common.dir/debug.cc.o.d"
+  "CMakeFiles/gds_common.dir/logging.cc.o"
+  "CMakeFiles/gds_common.dir/logging.cc.o.d"
+  "libgds_common.a"
+  "libgds_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_core.dir/gds_accel.cc.o"
+  "CMakeFiles/gds_core.dir/gds_accel.cc.o.d"
+  "CMakeFiles/gds_core.dir/gds_apply.cc.o"
+  "CMakeFiles/gds_core.dir/gds_apply.cc.o.d"
+  "CMakeFiles/gds_core.dir/gds_scatter.cc.o"
+  "CMakeFiles/gds_core.dir/gds_scatter.cc.o.d"
+  "CMakeFiles/gds_core.dir/memmap.cc.o"
+  "CMakeFiles/gds_core.dir/memmap.cc.o.d"
+  "libgds_core.a"
+  "libgds_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

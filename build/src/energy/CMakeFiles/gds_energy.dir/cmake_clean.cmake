@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_energy.dir/energy_model.cc.o"
+  "CMakeFiles/gds_energy.dir/energy_model.cc.o.d"
+  "libgds_energy.a"
+  "libgds_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgds_energy.a"
+)

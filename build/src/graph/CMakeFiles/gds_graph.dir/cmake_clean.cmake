@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_graph.dir/builder.cc.o"
+  "CMakeFiles/gds_graph.dir/builder.cc.o.d"
+  "CMakeFiles/gds_graph.dir/csr.cc.o"
+  "CMakeFiles/gds_graph.dir/csr.cc.o.d"
+  "CMakeFiles/gds_graph.dir/datasets.cc.o"
+  "CMakeFiles/gds_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/gds_graph.dir/generators.cc.o"
+  "CMakeFiles/gds_graph.dir/generators.cc.o.d"
+  "CMakeFiles/gds_graph.dir/loader.cc.o"
+  "CMakeFiles/gds_graph.dir/loader.cc.o.d"
+  "CMakeFiles/gds_graph.dir/slicer.cc.o"
+  "CMakeFiles/gds_graph.dir/slicer.cc.o.d"
+  "CMakeFiles/gds_graph.dir/transforms.cc.o"
+  "CMakeFiles/gds_graph.dir/transforms.cc.o.d"
+  "libgds_graph.a"
+  "libgds_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_harness.dir/experiment.cc.o"
+  "CMakeFiles/gds_harness.dir/experiment.cc.o.d"
+  "libgds_harness.a"
+  "libgds_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

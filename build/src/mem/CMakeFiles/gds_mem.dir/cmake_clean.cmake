@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_mem.dir/hbm.cc.o"
+  "CMakeFiles/gds_mem.dir/hbm.cc.o.d"
+  "libgds_mem.a"
+  "libgds_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_sim.dir/component.cc.o"
+  "CMakeFiles/gds_sim.dir/component.cc.o.d"
+  "libgds_sim.a"
+  "libgds_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

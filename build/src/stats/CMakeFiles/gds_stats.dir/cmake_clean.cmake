@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gds_stats.dir/json.cc.o"
+  "CMakeFiles/gds_stats.dir/json.cc.o.d"
+  "CMakeFiles/gds_stats.dir/stats.cc.o"
+  "CMakeFiles/gds_stats.dir/stats.cc.o.d"
+  "libgds_stats.a"
+  "libgds_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gds_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

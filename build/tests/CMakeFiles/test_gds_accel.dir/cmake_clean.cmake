@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gds_accel.dir/test_gds_accel.cc.o"
+  "CMakeFiles/test_gds_accel.dir/test_gds_accel.cc.o.d"
+  "test_gds_accel"
+  "test_gds_accel.pdb"
+  "test_gds_accel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gds_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphicionado.dir/test_graphicionado.cc.o"
+  "CMakeFiles/test_graphicionado.dir/test_graphicionado.cc.o.d"
+  "test_graphicionado"
+  "test_graphicionado.pdb"
+  "test_graphicionado[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphicionado.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_graphicionado.
+# This may be replaced when dependencies are built.

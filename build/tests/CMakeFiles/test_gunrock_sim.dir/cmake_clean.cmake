@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gunrock_sim.dir/test_gunrock_sim.cc.o"
+  "CMakeFiles/test_gunrock_sim.dir/test_gunrock_sim.cc.o.d"
+  "test_gunrock_sim"
+  "test_gunrock_sim.pdb"
+  "test_gunrock_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gunrock_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

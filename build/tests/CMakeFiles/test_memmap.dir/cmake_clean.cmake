@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memmap.dir/test_memmap.cc.o"
+  "CMakeFiles/test_memmap.dir/test_memmap.cc.o.d"
+  "test_memmap"
+  "test_memmap.pdb"
+  "test_memmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

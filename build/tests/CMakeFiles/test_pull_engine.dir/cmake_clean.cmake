@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pull_engine.dir/test_pull_engine.cc.o"
+  "CMakeFiles/test_pull_engine.dir/test_pull_engine.cc.o.d"
+  "test_pull_engine"
+  "test_pull_engine.pdb"
+  "test_pull_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pull_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

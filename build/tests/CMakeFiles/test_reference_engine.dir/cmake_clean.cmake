@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_engine.dir/test_reference_engine.cc.o"
+  "CMakeFiles/test_reference_engine.dir/test_reference_engine.cc.o.d"
+  "test_reference_engine"
+  "test_reference_engine.pdb"
+  "test_reference_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

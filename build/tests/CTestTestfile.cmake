@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_datasets[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_reference_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_hbm[1]_include.cmake")
+include("/root/repo/build/tests/test_crossbar[1]_include.cmake")
+include("/root/repo/build/tests/test_gds_accel[1]_include.cmake")
+include("/root/repo/build/tests/test_graphicionado[1]_include.cmake")
+include("/root/repo/build/tests/test_gunrock_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_memmap[1]_include.cmake")
+include("/root/repo/build/tests/test_transforms[1]_include.cmake")
+include("/root/repo/build/tests/test_stats_json[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_debug[1]_include.cmake")
+include("/root/repo/build/tests/test_config_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_pull_engine[1]_include.cmake")
