@@ -35,17 +35,19 @@ main()
     for (const algo::AlgorithmId id : algo::allAlgorithms) {
         const std::string a = algo::algorithmName(id);
         for (const auto &spec : graph::realWorldDatasets()) {
-            const auto &gpu =
-                harness::findRecord(records, "Gunrock", a, spec.name);
-            const auto &gi = harness::findRecord(records, "Graphicionado",
-                                                 a, spec.name);
-            const auto &gds =
-                harness::findRecord(records, "GraphDynS", a, spec.name);
-            const double s_gi = gpu.seconds / gi.seconds;
-            const double s_gds = gpu.seconds / gds.seconds;
+            const auto *gpu =
+                bench::cellOrSkip(records, "Gunrock", a, spec.name);
+            const auto *gi = bench::cellOrSkip(records, "Graphicionado",
+                                               a, spec.name);
+            const auto *gds =
+                bench::cellOrSkip(records, "GraphDynS", a, spec.name);
+            if (!gpu || !gi || !gds)
+                continue;
+            const double s_gi = gpu->seconds / gi->seconds;
+            const double s_gds = gpu->seconds / gds->seconds;
             gi_speedups.push_back(s_gi);
             gds_speedups.push_back(s_gds);
-            gds_over_gi.push_back(gi.seconds / gds.seconds);
+            gds_over_gi.push_back(gi->seconds / gds->seconds);
             table.addRow({a, spec.name, Table::num(s_gi),
                           Table::num(s_gds), Table::num(s_gds / s_gi)});
         }

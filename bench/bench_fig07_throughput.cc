@@ -30,20 +30,22 @@ main()
     for (const algo::AlgorithmId id : algo::allAlgorithms) {
         const std::string a = algo::algorithmName(id);
         for (const auto &spec : graph::realWorldDatasets()) {
-            const auto &gpu =
-                harness::findRecord(records, "Gunrock", a, spec.name);
-            const auto &gi = harness::findRecord(records, "Graphicionado",
-                                                 a, spec.name);
-            const auto &gds =
-                harness::findRecord(records, "GraphDynS", a, spec.name);
-            gpu_all.push_back(gpu.gteps);
-            gi_all.push_back(gi.gteps);
-            gds_all.push_back(gds.gteps);
+            const auto *gpu =
+                bench::cellOrSkip(records, "Gunrock", a, spec.name);
+            const auto *gi = bench::cellOrSkip(records, "Graphicionado",
+                                               a, spec.name);
+            const auto *gds =
+                bench::cellOrSkip(records, "GraphDynS", a, spec.name);
+            if (!gpu || !gi || !gds)
+                continue;
+            gpu_all.push_back(gpu->gteps);
+            gi_all.push_back(gi->gteps);
+            gds_all.push_back(gds->gteps);
             if (id == algo::AlgorithmId::Pr)
-                gds_pr.push_back(gds.gteps);
-            table.addRow({a, spec.name, Table::num(gpu.gteps, 1),
-                          Table::num(gi.gteps, 1),
-                          Table::num(gds.gteps, 1)});
+                gds_pr.push_back(gds->gteps);
+            table.addRow({a, spec.name, Table::num(gpu->gteps, 1),
+                          Table::num(gi->gteps, 1),
+                          Table::num(gds->gteps, 1)});
         }
     }
     table.addRow({"GM", "all",

@@ -31,11 +31,13 @@ main()
     for (const algo::AlgorithmId id : algo::allAlgorithms) {
         const std::string a = algo::algorithmName(id);
         for (const auto &spec : graph::realWorldDatasets()) {
-            const auto &gds =
-                harness::findRecord(records, "GraphDynS", a, spec.name);
+            const auto *gds =
+                bench::cellOrSkip(records, "GraphDynS", a, spec.name);
+            if (!gds)
+                continue;
             const auto e = model.gdsEnergy(
-                cfg, static_cast<Cycle>(gds.seconds * 1e9),
-                static_cast<std::uint64_t>(gds.memoryBytes));
+                cfg, static_cast<Cycle>(gds->seconds * 1e9),
+                static_cast<std::uint64_t>(gds->memoryBytes));
             const double total = e.totalJ();
             hbm_share.push_back(e.hbmJ / total * 100);
             proc_share.push_back(e.processorJ / total * 100);

@@ -29,19 +29,21 @@ main()
     for (const algo::AlgorithmId id : algo::allAlgorithms) {
         const std::string a = algo::algorithmName(id);
         for (const auto &spec : graph::realWorldDatasets()) {
-            const auto &gpu =
-                harness::findRecord(records, "Gunrock", a, spec.name);
-            const auto &gi = harness::findRecord(records, "Graphicionado",
-                                                 a, spec.name);
-            const auto &gds =
-                harness::findRecord(records, "GraphDynS", a, spec.name);
+            const auto *gpu =
+                bench::cellOrSkip(records, "Gunrock", a, spec.name);
+            const auto *gi = bench::cellOrSkip(records, "Graphicionado",
+                                               a, spec.name);
+            const auto *gds =
+                bench::cellOrSkip(records, "GraphDynS", a, spec.name);
+            if (!gpu || !gi || !gds)
+                continue;
             const double n_gi =
-                gi.footprintBytes / gpu.footprintBytes * 100;
+                gi->footprintBytes / gpu->footprintBytes * 100;
             const double n_gds =
-                gds.footprintBytes / gpu.footprintBytes * 100;
+                gds->footprintBytes / gpu->footprintBytes * 100;
             gi_norm.push_back(n_gi);
             gds_norm.push_back(n_gds);
-            gds_vs_gi.push_back(gds.footprintBytes / gi.footprintBytes);
+            gds_vs_gi.push_back(gds->footprintBytes / gi->footprintBytes);
             table.addRow({a, spec.name, Table::num(n_gi, 1),
                           Table::num(n_gds, 1)});
         }

@@ -29,19 +29,21 @@ main()
     for (const algo::AlgorithmId id : algo::allAlgorithms) {
         const std::string a = algo::algorithmName(id);
         for (const auto &spec : graph::realWorldDatasets()) {
-            const auto &gpu =
-                harness::findRecord(records, "Gunrock", a, spec.name);
-            const auto &gi = harness::findRecord(records, "Graphicionado",
-                                                 a, spec.name);
-            const auto &gds =
-                harness::findRecord(records, "GraphDynS", a, spec.name);
-            gpu_u.push_back(gpu.bandwidthUtilization * 100);
-            gi_u.push_back(gi.bandwidthUtilization * 100);
-            gds_u.push_back(gds.bandwidthUtilization * 100);
+            const auto *gpu =
+                bench::cellOrSkip(records, "Gunrock", a, spec.name);
+            const auto *gi = bench::cellOrSkip(records, "Graphicionado",
+                                               a, spec.name);
+            const auto *gds =
+                bench::cellOrSkip(records, "GraphDynS", a, spec.name);
+            if (!gpu || !gi || !gds)
+                continue;
+            gpu_u.push_back(gpu->bandwidthUtilization * 100);
+            gi_u.push_back(gi->bandwidthUtilization * 100);
+            gds_u.push_back(gds->bandwidthUtilization * 100);
             table.addRow({a, spec.name,
-                          Table::num(gpu.bandwidthUtilization * 100, 1),
-                          Table::num(gi.bandwidthUtilization * 100, 1),
-                          Table::num(gds.bandwidthUtilization * 100, 1)});
+                          Table::num(gpu->bandwidthUtilization * 100, 1),
+                          Table::num(gi->bandwidthUtilization * 100, 1),
+                          Table::num(gds->bandwidthUtilization * 100, 1)});
         }
     }
     auto mean = [](const std::vector<double> &v) {

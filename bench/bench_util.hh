@@ -9,8 +9,10 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "graph/datasets.hh"
+#include "harness/experiment.hh"
 
 namespace gds::bench
 {
@@ -32,6 +34,25 @@ expectation(const std::string &metric, const std::string &paper,
 {
     std::printf("  %-44s paper: %-12s measured: %s\n", metric.c_str(),
                 paper.c_str(), measured.c_str());
+}
+
+/**
+ * Fetch one successful matrix cell, or announce the skip and return
+ * nullptr. Benches drop the whole row when any system's cell is missing
+ * or failed, so one wedged simulation never kills a figure.
+ */
+inline const harness::RunRecord *
+cellOrSkip(const std::vector<harness::RunRecord> &records,
+           const std::string &system, const std::string &algorithm,
+           const std::string &dataset)
+{
+    const harness::RunRecord *r =
+        harness::tryFindRecord(records, system, algorithm, dataset);
+    if (!r) {
+        std::printf("  [skip] %s %s/%s: cell missing or failed\n",
+                    system.c_str(), algorithm.c_str(), dataset.c_str());
+    }
+    return r;
 }
 
 } // namespace gds::bench

@@ -1,5 +1,8 @@
 #include "baseline/graphicionado.hh"
 
+#include <optional>
+#include <sstream>
+
 #include "common/bitutil.hh"
 
 namespace gds::baseline
@@ -67,8 +70,8 @@ GraphicionadoAccel::GraphicionadoAccel(const GraphicionadoConfig &config,
       statStreamEdges(&statsGroup(), "streamEdges",
                       "edges processed per stream", config.numStreams)
 {
-    gds_assert(!weighted || fullGraph.hasWeights(),
-               "%s needs a weighted graph", algo.name().c_str());
+    if (weighted && !fullGraph.hasWeights())
+        throw ConfigError(algo.name() + " needs a weighted graph");
 
     const VertexId v_count = fullGraph.numVertices();
     const VertexId capacity = cfg.sliceCapacity();
@@ -134,9 +137,11 @@ core::RunResult
 GraphicionadoAccel::run(const core::RunOptions &options)
 {
     const VertexId v_count = fullGraph.numVertices();
-    gds_assert(v_count > 0, "cannot run on an empty graph");
-    gds_assert(options.source < v_count, "source %u out of range",
-               options.source);
+    if (v_count == 0)
+        throw ConfigError("cannot run on an empty graph");
+    if (options.source >= v_count)
+        throw ConfigError(gds::detail::vformat(
+            "source %u out of range (V=%u)", options.source, v_count));
 
     algo.bind(fullGraph);
 
@@ -163,14 +168,31 @@ GraphicionadoAccel::run(const core::RunOptions &options)
     startIteration();
 
     const Cycle start_cycle = now;
-    constexpr Cycle watchdog = 50'000'000'000ULL;
-    while (phase != Phase::Finished) {
-        tick();
-        gds_assert(now - start_cycle < watchdog,
-                   "Graphicionado run exceeded the watchdog cycle limit");
+
+    // Supervised execution (same protocol as GdsAccel::run): completion,
+    // deadlock, livelock and budget exhaustion are distinguished by the
+    // Simulator watchdog instead of an assert.
+    sim::Simulator driver;
+    driver.add(this);
+    sim::RunLimits limits;
+    limits.maxCycles =
+        options.cycleBudget != 0 ? options.cycleBudget : 50'000'000'000ULL;
+    if (options.stallCycles != 0)
+        limits.stallCycles = options.stallCycles;
+
+    std::optional<sim::FaultInjector> injector;
+    if (options.faults.any()) {
+        injector.emplace(options.faults); // throws ConfigError if invalid
+        hbm->setFaultInjector(&*injector);
     }
 
+    const sim::RunReport report =
+        driver.run([&] { return phase == Phase::Finished; }, limits);
+
+    hbm->setFaultInjector(nullptr);
+
     core::RunResult result;
+    result.report = report;
     result.properties = prop;
     result.iterations = iteration;
     result.cycles = now - start_cycle;
@@ -299,6 +321,7 @@ GraphicionadoAccel::tickScatter()
         if (collectPeLoads)
             streamLoadThisIteration[s] += 1;
         ++sc.edgesReduced;
+        progressed(now);
         if (++stream.edgeCursor == degree) {
             stream.records.pop_front();
             stream.edgeCursor = 0;
@@ -443,6 +466,7 @@ GraphicionadoAccel::tickApply()
         ++statApplyOps;
         ++ap.appliedCount;
         ++applied;
+        progressed(now);
     }
 
     // --- Flush stores: active-record batches + property writes. ---
@@ -508,6 +532,59 @@ GraphicionadoAccel::tickApply()
 // ---------------------------------------------------------------------
 // Top-level tick.
 // ---------------------------------------------------------------------
+
+bool
+GraphicionadoAccel::busy() const
+{
+    if (vport.inflight() > 0 || eport.inflight() > 0 ||
+        wport.inflight() > 0)
+        return true;
+    if (vport.hasResponse() || eport.hasResponse() || wport.hasResponse())
+        return true;
+    for (const Stream &stream : streams) {
+        if (!stream.records.empty())
+            return true;
+    }
+    return !ap.pendingApplies.empty() || !ap.writes.empty() ||
+           ap.pendingAuRecords > 0;
+}
+
+std::string
+GraphicionadoAccel::debugState() const
+{
+    std::ostringstream os;
+    os << "phase=";
+    switch (phase) {
+      case Phase::ScatterPhase:
+        os << "scatter";
+        break;
+      case Phase::ApplyPhase:
+        os << "apply";
+        break;
+      case Phase::Finished:
+        os << "finished";
+        break;
+    }
+    os << " iter=" << iteration << " slice=" << curSlice << "/" << sliceCount
+       << " cycle=" << now;
+    os << " inflight[v=" << vport.inflight() << " e=" << eport.inflight()
+       << " w=" << wport.inflight() << "]";
+    if (phase == Phase::ScatterPhase) {
+        os << " scatter[done=" << sc.recordsDone << "/" << sc.recordsTotal
+           << " reduced=" << sc.edgesReduced << "/" << sc.expectedEdges
+           << " commit=" << sc.commitCursor << "]";
+    } else if (phase == Phase::ApplyPhase) {
+        os << " apply[applied=" << ap.appliedCount << "/"
+           << (ap.sweepEnd - ap.sweepBegin)
+           << " pending=" << ap.pendingApplies.size()
+           << " writes=" << ap.writes.size() << "]";
+    }
+    std::size_t stream_q = 0;
+    for (const Stream &stream : streams)
+        stream_q += stream.records.size();
+    os << " queues[streams=" << stream_q << "]";
+    return os.str();
+}
 
 void
 GraphicionadoAccel::tick()

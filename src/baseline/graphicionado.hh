@@ -70,15 +70,23 @@ struct GraphicionadoConfig
 class GraphicionadoAccel : public sim::Component
 {
   public:
+    /** @throws ConfigError when the configuration is inconsistent. */
     GraphicionadoAccel(const GraphicionadoConfig &config,
                        const graph::Csr &g, algo::VcpmAlgorithm &algorithm,
                        sim::Component *parent = nullptr);
     ~GraphicionadoAccel() override;
 
-    /** Execute to convergence (or the iteration cap). */
+    /**
+     * Execute to convergence (or the iteration cap) under watchdog
+     * supervision; RunResult::report carries the verdict.
+     *
+     * @throws ConfigError on an invalid source or fault plan
+     */
     core::RunResult run(const core::RunOptions &options = {});
 
     void tick() override;
+    bool busy() const override;
+    std::string debugState() const override;
 
     const mem::Hbm &hbmDevice() const { return *hbm; }
     std::uint64_t footprintBytes() const { return layout->footprintBytes(); }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
+
 namespace gds::baseline
 {
 
@@ -9,8 +11,8 @@ GunrockSim::GunrockSim(const GunrockConfig &config, const graph::Csr &g,
                        algo::VcpmAlgorithm &algorithm)
     : cfg(config), graph(g), algo(algorithm)
 {
-    gds_assert(!algo.usesWeights() || graph.hasWeights(),
-               "%s needs a weighted graph", algo.name().c_str());
+    if (algo.usesWeights() && !graph.hasWeights())
+        throw ConfigError(algo.name() + " needs a weighted graph");
 }
 
 std::uint64_t

@@ -13,8 +13,8 @@ namespace
 unsigned activeMask = 0;
 bool parsed = false;
 
-const char *names[] = {"Dispatch", "Prefetch", "Reduce",
-                       "Apply",    "Memory",   "Phase"};
+const char *names[] = {"Dispatch", "Prefetch", "Reduce",    "Apply",
+                       "Memory",   "Phase",    "Watchdog",  "Fault"};
 
 void
 parse(const std::string &list)

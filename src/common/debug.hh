@@ -27,6 +27,8 @@ enum class Flag : unsigned
     Apply,        ///< Apply-phase group/list flow
     Memory,       ///< HBM request/response traffic
     Phase,        ///< phase/iteration transitions
+    Watchdog,     ///< stall detection and failure-diagnostic snapshots
+    Fault,        ///< fault-injection decisions
     NumFlags,
 };
 

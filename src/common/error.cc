@@ -1,0 +1,66 @@
+#include "common/error.hh"
+
+namespace gds
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::Deadlock:
+        return "deadlock";
+      case ErrorCode::Livelock:
+        return "livelock";
+      case ErrorCode::CycleLimit:
+        return "cycle-limit";
+      case ErrorCode::CorruptInput:
+        return "corrupt-input";
+      case ErrorCode::Config:
+        return "config";
+      case ErrorCode::Internal:
+        return "internal";
+    }
+    panic("bad error code %d", static_cast<int>(code));
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(errorCodeName(_code)) + ": " + _message;
+}
+
+std::string
+CorruptInputError::describe(const std::string &input_path,
+                            std::size_t line_number, const std::string &msg)
+{
+    std::string where = input_path;
+    if (line_number != 0)
+        where += ":" + std::to_string(line_number);
+    return where.empty() ? msg : where + ": " + msg;
+}
+
+void
+throwStatus(const Status &status)
+{
+    gds_assert(!status.ok(), "cannot throw an ok Status");
+    switch (status.code()) {
+      case ErrorCode::Deadlock:
+        throw DeadlockError(status.message());
+      case ErrorCode::Livelock:
+        throw LivelockError(status.message());
+      case ErrorCode::CycleLimit:
+        throw CycleLimitError(status.message());
+      case ErrorCode::CorruptInput:
+        throw CorruptInputError("", 0, status.message());
+      case ErrorCode::Config:
+        throw ConfigError(status.message());
+      default:
+        throw SimError(status.code(), status.message());
+    }
+}
+
+} // namespace gds

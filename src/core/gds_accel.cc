@@ -6,6 +6,9 @@
 
 #include "core/gds_accel.hh"
 
+#include <optional>
+#include <sstream>
+
 #include "core/detail.hh"
 
 namespace gds::core
@@ -57,19 +60,23 @@ GdsAccel::GdsAccel(const GdsConfig &config, const graph::Csr &g,
       statCommitBlockedVpb(&statsGroup(), "commitBlockedVpb",
                            "record commits stalled on a full VPB RAM")
 {
-    gds_assert(!weighted || fullGraph.hasWeights(),
-               "%s needs a weighted graph", algo.name().c_str());
-    gds_assert(cfg.numUes % cfg.numPes == 0,
-               "numUes must be a multiple of numPes");
-    gds_assert(cfg.numDispatchers == cfg.numPes,
-               "the DE->PE pairing assumes one DE per PE");
+    // User-facing configuration consistency: typed errors, not asserts,
+    // so a bad sweep point fails its cell instead of killing the bench.
+    if (weighted && !fullGraph.hasWeights())
+        throw ConfigError(algo.name() + " needs a weighted graph");
+    if (cfg.numPes == 0 || cfg.numUes % cfg.numPes != 0)
+        throw ConfigError("numUes must be a positive multiple of numPes");
+    if (cfg.numDispatchers != cfg.numPes)
+        throw ConfigError("the DE->PE pairing assumes one DE per PE");
     // The workload queue must be able to hold the largest single
     // dispatch: a whole sub-threshold edge list or one split chunk.
-    gds_assert(cfg.peQueueEdges >= cfg.eThreshold &&
-                   cfg.peQueueEdges >= cfg.eListSize,
-               "peQueueEdges (%u) must cover eThreshold (%u) and "
-               "eListSize (%u) or dispatch can deadlock",
-               cfg.peQueueEdges, cfg.eThreshold, cfg.eListSize);
+    if (cfg.peQueueEdges < cfg.eThreshold ||
+        cfg.peQueueEdges < cfg.eListSize) {
+        throw ConfigError(gds::detail::vformat(
+            "peQueueEdges (%u) must cover eThreshold (%u) and "
+            "eListSize (%u) or dispatch can deadlock",
+            cfg.peQueueEdges, cfg.eThreshold, cfg.eListSize));
+    }
 
     // Destination-range slicing when tProp exceeds the Vertex Buffer.
     const VertexId v_count = fullGraph.numVertices();
@@ -159,9 +166,11 @@ RunResult
 GdsAccel::run(const RunOptions &options)
 {
     const VertexId v_count = fullGraph.numVertices();
-    gds_assert(v_count > 0, "cannot run on an empty graph");
-    gds_assert(options.source < v_count, "source %u out of range",
-               options.source);
+    if (v_count == 0)
+        throw ConfigError("cannot run on an empty graph");
+    if (options.source >= v_count)
+        throw ConfigError(gds::detail::vformat(
+            "source %u out of range (V=%u)", options.source, v_count));
 
     algo.bind(fullGraph);
 
@@ -189,28 +198,54 @@ GdsAccel::run(const RunOptions &options)
     startIteration();
 
     const Cycle start_cycle = now;
-    constexpr Cycle watchdog = 50'000'000'000ULL;
     const bool progress = std::getenv("GDS_PROGRESS") != nullptr;
-    while (phase != Phase::Finished) {
-        tick();
-        // Diagnostic heartbeat for debugging long runs (GDS_PROGRESS=1).
-        if (progress && (now - start_cycle) % 1'000'000 == 0) {
-            inform("cycle=%llu iter=%u slice=%u phase=%d "
-                   "scatter=%llu/%llu reduced=%llu/%llu apply=%llu/%zu",
-                   static_cast<unsigned long long>(now - start_cycle),
-                   iteration, curSlice, static_cast<int>(phase),
-                   static_cast<unsigned long long>(sc.recordsDispatched),
-                   static_cast<unsigned long long>(sc.recordsTotal),
-                   static_cast<unsigned long long>(sc.edgesReduced),
-                   static_cast<unsigned long long>(sc.expectedEdges),
-                   static_cast<unsigned long long>(ap.groupsCompleted),
-                   ap.groups.size());
-        }
-        gds_assert(now - start_cycle < watchdog,
-                   "GraphDynS run exceeded the watchdog cycle limit");
+
+    // Supervised execution: a Simulator drives tick() under a watchdog
+    // that distinguishes completion, deadlock, livelock and cycle-budget
+    // exhaustion instead of asserting on runaway simulations.
+    sim::Simulator driver;
+    driver.add(this);
+    sim::RunLimits limits;
+    if (options.cycleBudget != 0)
+        limits.maxCycles = options.cycleBudget;
+    else
+        limits.maxCycles = 50'000'000'000ULL;
+    if (options.stallCycles != 0)
+        limits.stallCycles = options.stallCycles;
+
+    std::optional<sim::FaultInjector> injector;
+    if (options.faults.any()) {
+        injector.emplace(options.faults); // throws ConfigError if invalid
+        hbm->setFaultInjector(&*injector);
+        xbar->setFaultInjector(&*injector);
     }
 
+    const sim::RunReport report = driver.run(
+        [&] {
+            // Diagnostic heartbeat for long runs (GDS_PROGRESS=1).
+            if (progress && now != start_cycle &&
+                (now - start_cycle) % 1'000'000 == 0) {
+                inform("cycle=%llu iter=%u slice=%u phase=%d "
+                       "scatter=%llu/%llu reduced=%llu/%llu apply=%llu/%zu",
+                       static_cast<unsigned long long>(now - start_cycle),
+                       iteration, curSlice, static_cast<int>(phase),
+                       static_cast<unsigned long long>(
+                           sc.recordsDispatched),
+                       static_cast<unsigned long long>(sc.recordsTotal),
+                       static_cast<unsigned long long>(sc.edgesReduced),
+                       static_cast<unsigned long long>(sc.expectedEdges),
+                       static_cast<unsigned long long>(ap.groupsCompleted),
+                       ap.groups.size());
+            }
+            return phase == Phase::Finished;
+        },
+        limits);
+
+    hbm->setFaultInjector(nullptr);
+    xbar->setFaultInjector(nullptr);
+
     RunResult result;
+    result.report = report;
     result.properties = prop;
     result.iterations = iteration;
     result.cycles = now - start_cycle;
@@ -274,6 +309,85 @@ GdsAccel::finishSlice()
         list.clear();
     activeBuf ^= 1;
     startIteration();
+}
+
+bool
+GdsAccel::busy() const
+{
+    // "Busy" means work is actually in flight at the accelerator level --
+    // outstanding memory requests, undelivered responses, or occupied
+    // datapath queues. A wedged run with none of these is a deadlock; one
+    // where responses never drain (e.g. dropped by fault injection) keeps
+    // the ports in flight and classifies as livelock instead.
+    if (vportRead.inflight() > 0 || eportRead.inflight() > 0 ||
+        auPortWrite.inflight() > 0)
+        return true;
+    if (vportRead.hasResponse() || eportRead.hasResponse() ||
+        auPortWrite.hasResponse())
+        return true;
+    for (const De &de : des) {
+        if (!de.vpb.empty())
+            return true;
+    }
+    for (const Pe &pe : pes) {
+        if (!pe.edgeQueue.empty() || !pe.applyQueue.empty() ||
+            !pe.vbStage.empty() || !pe.pendingFlits.empty())
+            return true;
+    }
+    for (const Ue &ue : ues) {
+        if (!ue.inbox.empty())
+            return true;
+    }
+    if (!sc.eprefPending.empty() || !ap.propWrites.empty())
+        return true;
+    return false;
+}
+
+std::string
+GdsAccel::debugState() const
+{
+    std::ostringstream os;
+    os << "phase=";
+    switch (phase) {
+      case Phase::ScatterPhase:
+        os << "scatter";
+        break;
+      case Phase::ApplyPhase:
+        os << "apply";
+        break;
+      case Phase::Finished:
+        os << "finished";
+        break;
+    }
+    os << " iter=" << iteration << " slice=" << curSlice << "/" << sliceCount
+       << " cycle=" << now;
+    os << " inflight[v=" << vportRead.inflight()
+       << " e=" << eportRead.inflight() << " au=" << auPortWrite.inflight()
+       << "]";
+    if (phase == Phase::ScatterPhase) {
+        os << " scatter[dispatched=" << sc.recordsDispatched << "/"
+           << sc.recordsTotal << " reduced=" << sc.edgesReduced << "/"
+           << sc.expectedEdges << " commit=" << sc.commitCursor
+           << " eprefPending=" << sc.eprefPending.size()
+           << " bufferedEdges=" << sc.bufferedEdges << "]";
+    } else if (phase == Phase::ApplyPhase) {
+        os << " apply[groups=" << ap.groupsCompleted << "/"
+           << ap.groups.size() << " commit=" << ap.commitCursor
+           << " auBuffered=" << ap.auBufferedRecords
+           << " propWrites=" << ap.propWrites.size() << "]";
+    }
+    std::size_t edge_q = 0, apply_q = 0, ue_q = 0, vpb_q = 0;
+    for (const Pe &pe : pes) {
+        edge_q += pe.edgeQueue.size();
+        apply_q += pe.applyQueue.size() + pe.vbStage.size();
+    }
+    for (const Ue &ue : ues)
+        ue_q += ue.inbox.size();
+    for (const De &de : des)
+        vpb_q += de.vpb.size();
+    os << " queues[vpb=" << vpb_q << " edge=" << edge_q
+       << " apply=" << apply_q << " ue=" << ue_q << "]";
+    return os.str();
 }
 
 void

@@ -36,7 +36,9 @@
 #include "graph/slicer.hh"
 #include "mem/crossbar.hh"
 #include "mem/hbm.hh"
+#include "sim/fault.hh"
 #include "sim/queues.hh"
+#include "sim/simulator.hh"
 
 namespace gds::core
 {
@@ -47,11 +49,23 @@ struct RunOptions
     VertexId source = 0;
     /** Record per-PE edge counts for every iteration (Fig. 14b). */
     bool collectPeLoads = false;
+    /** Hard cycle budget; 0 = the 50e9-cycle default. */
+    Cycle cycleBudget = 0;
+    /** No-progress window before declaring deadlock/livelock; 0 = default. */
+    Cycle stallCycles = 0;
+    /** Faults to inject (HBM delays/drops, crossbar stalls). */
+    sim::FaultPlan faults;
 };
 
 /** Outcome of one accelerator run. */
 struct RunResult
 {
+    /**
+     * Watchdog verdict + failure diagnostics. On anything other than
+     * RunOutcome::Completed the remaining fields describe the partial
+     * run up to the point the watchdog fired.
+     */
+    sim::RunReport report;
     std::vector<PropValue> properties;
     unsigned iterations = 0;
     Cycle cycles = 0;
@@ -65,6 +79,9 @@ struct RunResult
     std::uint64_t atomicStalls = 0;
     /** Per-iteration per-PE edge loads (only when collectPeLoads). */
     std::vector<std::vector<std::uint64_t>> peLoads;
+
+    /** True when the run finished normally. */
+    bool completed() const { return report.ok(); }
 
     /** Giga-traversed-edges per second at the 1 GHz clock. */
     double
@@ -85,16 +102,25 @@ class GdsAccel : public sim::Component
      * @param config hardware configuration (Table 3 defaults)
      * @param g the graph; must carry weights iff the algorithm needs them
      * @param algorithm the VCPM kernels to execute
+     * @throws ConfigError when the configuration is inconsistent
      */
     GdsAccel(const GdsConfig &config, const graph::Csr &g,
              algo::VcpmAlgorithm &algorithm,
              sim::Component *parent = nullptr);
     ~GdsAccel() override;
 
-    /** Execute the algorithm to convergence (or the iteration cap). */
+    /**
+     * Execute the algorithm to convergence (or the iteration cap) under
+     * watchdog supervision. Never hangs: a wedged run returns with
+     * RunResult::report naming the outcome and the stalled components.
+     *
+     * @throws ConfigError on an invalid source or fault plan
+     */
     RunResult run(const RunOptions &options = {});
 
     void tick() override;
+    bool busy() const override;
+    std::string debugState() const override;
 
     /** The memory device (bandwidth/traffic stats for the benches). */
     const mem::Hbm &hbmDevice() const { return *hbm; }

@@ -176,6 +176,7 @@ GdsAccel::applyVertex(VertexId v)
     if (algo.tPropResetsEachIteration())
         tProp[v] = 0.0f; // PR's reduce identity
     ++statApplyOps;
+    progressed(now);
 }
 
 void

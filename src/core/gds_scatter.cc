@@ -465,6 +465,7 @@ GdsAccel::reduceFlit(const ResultFlit &flit)
     ++statReduceOps;
     statVbAccesses += 2; // read + write
     ++sc.edgesReduced;
+    progressed(now);
 }
 
 void

@@ -7,6 +7,43 @@
 namespace gds::graph
 {
 
+Status
+Csr::validateArrays(const std::vector<EdgeId> &offset_array,
+                    const std::vector<VertexId> &neighbor_array,
+                    const std::vector<Weight> &weight_array)
+{
+    auto corrupt = [](std::string msg) {
+        return Status::failure(ErrorCode::CorruptInput, std::move(msg));
+    };
+    if (offset_array.empty())
+        return corrupt("offset array must have V+1 entries");
+    if (offset_array.front() != 0)
+        return corrupt("offset array must start at 0");
+    if (offset_array.back() != neighbor_array.size()) {
+        return corrupt(gds::detail::vformat(
+            "offset array end (%llu) must equal edge count (%zu)",
+            static_cast<unsigned long long>(offset_array.back()),
+            neighbor_array.size()));
+    }
+    if (!std::is_sorted(offset_array.begin(), offset_array.end()))
+        return corrupt("offset array must be non-decreasing");
+    if (!weight_array.empty() &&
+        weight_array.size() != neighbor_array.size()) {
+        return corrupt(gds::detail::vformat(
+            "weight array size mismatch (%zu weights, %zu edges)",
+            weight_array.size(), neighbor_array.size()));
+    }
+    const VertexId v_count =
+        static_cast<VertexId>(offset_array.size() - 1);
+    for (VertexId dst : neighbor_array) {
+        if (dst >= v_count) {
+            return corrupt(gds::detail::vformat(
+                "edge destination %u out of range (V=%u)", dst, v_count));
+        }
+    }
+    return {};
+}
+
 Csr::Csr(std::vector<EdgeId> offset_array,
          std::vector<VertexId> neighbor_array,
          std::vector<Weight> weight_array)
@@ -14,21 +51,11 @@ Csr::Csr(std::vector<EdgeId> offset_array,
       neighbors(std::move(neighbor_array)),
       weights(std::move(weight_array))
 {
-    gds_assert(!offsets.empty(), "offset array must have V+1 entries");
-    gds_assert(offsets.front() == 0, "offset array must start at 0");
-    gds_assert(offsets.back() == neighbors.size(),
-               "offset array end (%llu) must equal edge count (%zu)",
-               static_cast<unsigned long long>(offsets.back()),
-               neighbors.size());
-    gds_assert(std::is_sorted(offsets.begin(), offsets.end()),
-               "offset array must be non-decreasing");
-    gds_assert(weights.empty() || weights.size() == neighbors.size(),
-               "weight array size mismatch");
-    const VertexId v_count = numVertices();
-    for (VertexId dst : neighbors) {
-        gds_assert(dst < v_count, "edge destination %u out of range (V=%u)",
-                   dst, v_count);
-    }
+    // Constructing from malformed arrays is an internal invariant
+    // violation: untrusted sources (file loaders) must pre-validate and
+    // raise a typed error before getting here.
+    const Status valid = validateArrays(offsets, neighbors, weights);
+    gds_assert(valid.ok(), "%s", valid.message().c_str());
 }
 
 DegreeStats

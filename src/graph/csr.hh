@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -141,6 +142,23 @@ class Csr
 
     /** Return the unweighted view (weights dropped). */
     Csr withoutWeights() const;
+
+    /**
+     * Structural validity check of prebuilt CSR arrays: V+1 monotone
+     * offsets starting at 0 and ending at the edge count, in-range
+     * destinations, and a weight array either empty or edge-sized.
+     * Returns a failed Status instead of aborting, so callers handling
+     * untrusted input (file loaders) can raise a typed error.
+     */
+    static Status validateArrays(const std::vector<EdgeId> &offset_array,
+                                 const std::vector<VertexId> &neighbor_array,
+                                 const std::vector<Weight> &weight_array);
+
+    /** Re-check this graph's invariants (O(V+E)). */
+    Status validate() const
+    {
+        return validateArrays(offsets, neighbors, weights);
+    }
 
   private:
     std::vector<EdgeId> offsets;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -25,13 +26,6 @@ writePod(std::ofstream &os, const T &value)
 
 template <typename T>
 void
-readPod(std::ifstream &is, T &value)
-{
-    is.read(reinterpret_cast<char *>(&value), sizeof(T));
-}
-
-template <typename T>
-void
 writeVec(std::ofstream &os, const std::vector<T> &v)
 {
     const std::uint64_t n = v.size();
@@ -40,17 +34,83 @@ writeVec(std::ofstream &os, const std::vector<T> &v)
              static_cast<std::streamsize>(n * sizeof(T)));
 }
 
-template <typename T>
-std::vector<T>
-readVec(std::ifstream &is)
+/**
+ * Binary reads over untrusted files: every length field is checked
+ * against the bytes actually remaining in the file before anything is
+ * allocated or read, so a truncated or corrupted header raises
+ * CorruptInputError instead of a huge allocation or a silent short read.
+ */
+class BoundedReader
 {
-    std::uint64_t n = 0;
-    readPod(is, n);
-    std::vector<T> v(n);
-    is.read(reinterpret_cast<char *>(v.data()),
-            static_cast<std::streamsize>(n * sizeof(T)));
-    return v;
-}
+  public:
+    BoundedReader(std::ifstream &stream, const std::string &file_path)
+        : is(stream), path(file_path)
+    {
+        std::error_code ec;
+        const auto size = std::filesystem::file_size(path, ec);
+        if (ec)
+            throw CorruptInputError(path, 0, "cannot determine file size");
+        remaining = static_cast<std::uint64_t>(size);
+    }
+
+    template <typename T>
+    T
+    readPod(const char *what)
+    {
+        T value{};
+        need(sizeof(T), what);
+        is.read(reinterpret_cast<char *>(&value), sizeof(T));
+        check(what);
+        remaining -= sizeof(T);
+        return value;
+    }
+
+    template <typename T>
+    std::vector<T>
+    readVec(const char *what)
+    {
+        const auto n = readPod<std::uint64_t>(what);
+        if (n > remaining / sizeof(T)) {
+            throw CorruptInputError(
+                path, 0,
+                gds::detail::vformat(
+                    "%s length %llu exceeds the remaining %llu bytes", what,
+                    static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(remaining)));
+        }
+        std::vector<T> v(n);
+        is.read(reinterpret_cast<char *>(v.data()),
+                static_cast<std::streamsize>(n * sizeof(T)));
+        check(what);
+        remaining -= n * sizeof(T);
+        return v;
+    }
+
+  private:
+    void
+    need(std::uint64_t bytes, const char *what)
+    {
+        if (bytes > remaining) {
+            throw CorruptInputError(
+                path, 0,
+                gds::detail::vformat("truncated while reading %s", what));
+        }
+    }
+
+    void
+    check(const char *what)
+    {
+        if (!is) {
+            throw CorruptInputError(
+                path, 0,
+                gds::detail::vformat("read failure on %s", what));
+        }
+    }
+
+    std::ifstream &is;
+    const std::string &path;
+    std::uint64_t remaining = 0;
+};
 
 } // namespace
 
@@ -59,24 +119,34 @@ loadEdgeList(const std::string &path, VertexId num_vertices, bool weighted)
 {
     std::ifstream in(path);
     if (!in)
-        fatal("cannot open edge list '%s'", path.c_str());
+        throw ConfigError("cannot open edge list '" + path + "'");
 
     std::vector<CooEdge> edges;
     VertexId max_vertex = 0;
     std::string line;
+    std::uint64_t line_number = 0;
     while (std::getline(in, line)) {
+        ++line_number;
         if (line.empty() || line[0] == '#' || line[0] == '%')
             continue;
         std::istringstream iss(line);
         std::uint64_t src = 0;
         std::uint64_t dst = 0;
         std::uint64_t w = 1;
-        if (!(iss >> src >> dst))
-            fatal("malformed edge-list line in '%s': '%s'", path.c_str(),
-                  line.c_str());
-        if (weighted && !(iss >> w))
-            fatal("missing weight in '%s': '%s'", path.c_str(),
-                  line.c_str());
+        if (!(iss >> src >> dst)) {
+            throw CorruptInputError(path, line_number,
+                                    "malformed edge-list line '" + line +
+                                        "'");
+        }
+        if (weighted && !(iss >> w)) {
+            throw CorruptInputError(path, line_number,
+                                    "missing weight in '" + line + "'");
+        }
+        if (src >= invalidVertex || dst >= invalidVertex) {
+            throw CorruptInputError(path, line_number,
+                                    "vertex id overflows 32 bits in '" +
+                                        line + "'");
+        }
         edges.push_back(CooEdge{static_cast<VertexId>(src),
                                 static_cast<VertexId>(dst),
                                 static_cast<Weight>(w)});
@@ -86,6 +156,12 @@ loadEdgeList(const std::string &path, VertexId num_vertices, bool weighted)
 
     if (num_vertices == 0)
         num_vertices = edges.empty() ? 0 : max_vertex + 1;
+    if (!edges.empty() && max_vertex >= num_vertices) {
+        throw CorruptInputError(
+            path, 0,
+            gds::detail::vformat("endpoint %u out of range (V=%u)",
+                                 max_vertex, num_vertices));
+    }
 
     BuildOptions opts;
     opts.keepWeights = weighted;
@@ -112,20 +188,26 @@ loadBinary(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("cannot open graph '%s'", path.c_str());
-    std::uint32_t magic = 0;
-    std::uint32_t version = 0;
-    readPod(in, magic);
-    readPod(in, version);
+        throw ConfigError("cannot open graph '" + path + "'");
+    BoundedReader reader(in, path);
+    const auto magic = reader.readPod<std::uint32_t>("magic");
+    const auto version = reader.readPod<std::uint32_t>("version");
     if (magic != binaryMagic)
-        fatal("'%s' is not a GDSB graph file", path.c_str());
-    if (version != binaryVersion)
-        fatal("'%s' has unsupported version %u", path.c_str(), version);
-    auto offsets = readVec<EdgeId>(in);
-    auto neighbors = readVec<VertexId>(in);
-    auto weights = readVec<Weight>(in);
-    if (!in)
-        fatal("truncated graph file '%s'", path.c_str());
+        throw CorruptInputError(path, 0, "not a GDSB graph file");
+    if (version != binaryVersion) {
+        throw CorruptInputError(
+            path, 0,
+            gds::detail::vformat("unsupported GDSB version %u", version));
+    }
+    auto offsets = reader.readVec<EdgeId>("offset array");
+    auto neighbors = reader.readVec<VertexId>("neighbor array");
+    auto weights = reader.readVec<Weight>("weight array");
+
+    // Pre-validate so corrupted contents surface as a typed error rather
+    // than tripping the Csr constructor's internal invariants.
+    const Status valid = Csr::validateArrays(offsets, neighbors, weights);
+    if (!valid.ok())
+        throw CorruptInputError(path, 0, valid.message());
     return Csr(std::move(offsets), std::move(neighbors), std::move(weights));
 }
 

@@ -18,6 +18,9 @@ namespace gds::graph
 /**
  * Load an edge-list text file. Vertex count is 1 + the largest endpoint
  * unless @p num_vertices is nonzero.
+ *
+ * @throws ConfigError when the file cannot be opened
+ * @throws CorruptInputError (with the line number) on malformed lines
  */
 Csr loadEdgeList(const std::string &path, VertexId num_vertices = 0,
                  bool weighted = false);
@@ -25,7 +28,14 @@ Csr loadEdgeList(const std::string &path, VertexId num_vertices = 0,
 /** Save a CSR graph in the binary format (magic "GDSB", version 1). */
 void saveBinary(const Csr &graph, const std::string &path);
 
-/** Load a CSR graph from the binary format. */
+/**
+ * Load a CSR graph from the binary format. Magic, version, and every
+ * length field are checked against the file size, and the arrays are
+ * validated (Csr::validateArrays) before construction.
+ *
+ * @throws ConfigError when the file cannot be opened
+ * @throws CorruptInputError on a truncated, foreign, or corrupted file
+ */
 Csr loadBinary(const std::string &path);
 
 } // namespace gds::graph

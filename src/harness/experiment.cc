@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -9,6 +10,7 @@
 
 #include "energy/energy_model.hh"
 #include "graph/loader.hh"
+#include "stats/json.hh"
 
 namespace gds::harness
 {
@@ -73,12 +75,55 @@ loadDataset(const std::string &name, bool weighted)
     const std::string cache_file = "gds_dataset_" + name + "_s" +
                                    std::to_string(scale) +
                                    (weighted ? "_w" : "_u") + ".bin";
-    if (std::filesystem::exists(cache_file))
-        return graph::loadBinary(cache_file);
+    if (std::filesystem::exists(cache_file)) {
+        try {
+            return graph::loadBinary(cache_file);
+        } catch (const SimError &e) {
+            warn("dataset cache '%s' unusable (%s); regenerating",
+                 cache_file.c_str(), e.what());
+            std::filesystem::remove(cache_file);
+        }
+    }
     const graph::Csr g =
         graph::makeDataset(graph::datasetByName(name), scale, weighted);
     graph::saveBinary(g, cache_file);
     return g;
+}
+
+Cycle
+cellCycleBudget()
+{
+    constexpr Cycle defaultBudget = 50'000'000'000ULL;
+    const char *env = std::getenv("GDS_CELL_BUDGET");
+    if (!env)
+        return defaultBudget;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || parsed == 0) {
+        warn("ignoring invalid GDS_CELL_BUDGET '%s'", env);
+        return defaultBudget;
+    }
+    return static_cast<Cycle>(parsed);
+}
+
+RunRecord
+runCell(const std::string &system, algo::AlgorithmId algorithm,
+        const std::string &dataset,
+        const std::function<RunRecord()> &compute)
+{
+    try {
+        return compute();
+    } catch (const SimError &e) {
+        warn("cell %s/%s/%s failed: %s", system.c_str(),
+             algo::algorithmName(algorithm).c_str(), dataset.c_str(),
+             e.what());
+        RunRecord r;
+        r.system = system;
+        r.algorithm = algo::algorithmName(algorithm);
+        r.dataset = dataset;
+        r.status = errorCodeName(e.code());
+        return r;
+    }
 }
 
 core::GdsConfig
@@ -135,6 +180,7 @@ runGds(algo::AlgorithmId algorithm, const std::string &dataset,
     core::GdsAccel accel(cfg, g, *a);
     core::RunOptions options;
     options.source = sourceFor(algorithm, g);
+    options.cycleBudget = cellCycleBudget();
     const core::RunResult run = accel.run(options);
 
     energy::EnergyModel energy_model;
@@ -145,6 +191,8 @@ runGds(algo::AlgorithmId algorithm, const std::string &dataset,
                                  ? "GraphDynS"
                                  : "GraphDynS-" + variantName(variant),
                              algorithm, dataset);
+    if (!run.completed())
+        r.status = errorCodeName(sim::runOutcomeError(run.report.outcome));
     r.iterations = run.iterations;
     r.seconds = static_cast<double>(run.cycles) * 1e-9;
     r.gteps = run.gteps();
@@ -171,6 +219,7 @@ runGraphicionado(algo::AlgorithmId algorithm, const std::string &dataset,
     baseline::GraphicionadoAccel accel(cfg, g, *a);
     core::RunOptions options;
     options.source = sourceFor(algorithm, g);
+    options.cycleBudget = cellCycleBudget();
     const core::RunResult run = accel.run(options);
 
     energy::EnergyModel energy_model;
@@ -178,6 +227,8 @@ runGraphicionado(algo::AlgorithmId algorithm, const std::string &dataset,
         cfg, run.cycles, run.memoryBytes);
 
     RunRecord r = baseRecord("Graphicionado", algorithm, dataset);
+    if (!run.completed())
+        r.status = errorCodeName(sim::runOutcomeError(run.report.outcome));
     r.iterations = run.iterations;
     r.seconds = static_cast<double>(run.cycles) * 1e-9;
     r.gteps = run.gteps();
@@ -231,23 +282,32 @@ evaluationMatrix(ResultCache &cache)
                 }
                 return *g;
             };
+            // runCell degrades a failed cell (bad config, corrupt
+            // dataset, watchdog verdict) into a status!="ok" record, so
+            // one broken cell never kills a whole figure regeneration.
             records.push_back(cache.getOrRun(
                 cellKey("gds", id, spec.name), [&] {
                     std::cerr << "[harness] GraphDynS " <<
                         algo::algorithmName(id) << " " << spec.name << "\n";
-                    return runGds(id, spec.name, graph_ref());
+                    return runCell("GraphDynS", id, spec.name, [&] {
+                        return runGds(id, spec.name, graph_ref());
+                    });
                 }));
             records.push_back(cache.getOrRun(
                 cellKey("graphicionado", id, spec.name), [&] {
                     std::cerr << "[harness] Graphicionado " <<
                         algo::algorithmName(id) << " " << spec.name << "\n";
-                    return runGraphicionado(id, spec.name, graph_ref());
+                    return runCell("Graphicionado", id, spec.name, [&] {
+                        return runGraphicionado(id, spec.name, graph_ref());
+                    });
                 }));
             records.push_back(cache.getOrRun(
                 cellKey("gunrock", id, spec.name), [&] {
                     std::cerr << "[harness] Gunrock " <<
                         algo::algorithmName(id) << " " << spec.name << "\n";
-                    return runGunrock(id, spec.name, graph_ref());
+                    return runCell("Gunrock", id, spec.name, [&] {
+                        return runGunrock(id, spec.name, graph_ref());
+                    });
                 }));
         }
     }
@@ -267,6 +327,19 @@ findRecord(const std::vector<RunRecord> &records, const std::string &system,
           dataset.c_str());
 }
 
+const RunRecord *
+tryFindRecord(const std::vector<RunRecord> &records,
+              const std::string &system, const std::string &algorithm,
+              const std::string &dataset)
+{
+    for (const RunRecord &r : records) {
+        if (r.system == system && r.algorithm == algorithm &&
+            r.dataset == dataset)
+            return r.ok() ? &r : nullptr;
+    }
+    return nullptr;
+}
+
 // ---------------------------------------------------------------------
 // Result cache.
 // ---------------------------------------------------------------------
@@ -274,6 +347,8 @@ findRecord(const std::vector<RunRecord> &records, const std::string &system,
 namespace
 {
 constexpr const char *cacheFile = "gds_bench_cache_v1.csv";
+/** First line of the file; bumped whenever the column layout changes. */
+constexpr const char *cacheFormatLine = "# gds-bench-cache format 2";
 }
 
 std::string
@@ -320,51 +395,85 @@ ResultCache::load()
     if (!in)
         return;
     std::string line;
+    if (!std::getline(in, line) || line != cacheFormatLine) {
+        warn("ignoring result cache '%s': unrecognized format (expected "
+             "\"%s\"); it will be rebuilt",
+             cacheFile, cacheFormatLine);
+        return;
+    }
+    std::uint64_t line_number = 1;
     while (std::getline(in, line)) {
+        ++line_number;
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream iss(line);
         std::string key;
         RunRecord r;
-        if (!std::getline(iss, key, ','))
+        bool parsed = std::getline(iss, key, ',') && !key.empty() &&
+                      std::getline(iss, r.system, ',') &&
+                      std::getline(iss, r.algorithm, ',') &&
+                      std::getline(iss, r.dataset, ',') &&
+                      std::getline(iss, r.status, ',');
+        if (parsed) {
+            iss >> r.iterations;
+            iss.ignore(1) >> r.seconds;
+            iss.ignore(1) >> r.gteps;
+            iss.ignore(1) >> r.memoryBytes;
+            iss.ignore(1) >> r.footprintBytes;
+            iss.ignore(1) >> r.bandwidthUtilization;
+            iss.ignore(1) >> r.energyJoules;
+            iss.ignore(1) >> r.schedulingOps;
+            iss.ignore(1) >> r.atomicStalls;
+            iss.ignore(1) >> r.updatesSkipped;
+            iss.ignore(1) >> r.vertexUpdates;
+            iss.ignore(1) >> r.edgesProcessed;
+            parsed = static_cast<bool>(iss);
+        }
+        if (!parsed) {
+            warn("skipping corrupt line %llu in result cache '%s'",
+                 static_cast<unsigned long long>(line_number), cacheFile);
             continue;
-        std::getline(iss, r.system, ',');
-        std::getline(iss, r.algorithm, ',');
-        std::getline(iss, r.dataset, ',');
-        iss >> r.iterations;
-        iss.ignore(1) >> r.seconds;
-        iss.ignore(1) >> r.gteps;
-        iss.ignore(1) >> r.memoryBytes;
-        iss.ignore(1) >> r.footprintBytes;
-        iss.ignore(1) >> r.bandwidthUtilization;
-        iss.ignore(1) >> r.energyJoules;
-        iss.ignore(1) >> r.schedulingOps;
-        iss.ignore(1) >> r.atomicStalls;
-        iss.ignore(1) >> r.updatesSkipped;
-        iss.ignore(1) >> r.vertexUpdates;
-        iss.ignore(1) >> r.edgesProcessed;
-        if (iss)
-            entries[key] = r;
+        }
+        entries[key] = r;
     }
 }
 
 void
 ResultCache::save() const
 {
-    std::ofstream out(cacheFile);
-    out << "# key,system,algorithm,dataset,iterations,seconds,gteps,"
-           "memoryBytes,footprintBytes,bandwidthUtilization,energyJoules,"
-           "schedulingOps,atomicStalls,updatesSkipped,vertexUpdates,"
-           "edgesProcessed\n";
-    out.precision(17);
-    for (const auto &[key, r] : entries) {
-        out << key << ',' << r.system << ',' << r.algorithm << ','
-            << r.dataset << ',' << r.iterations << ',' << r.seconds << ','
-            << r.gteps << ',' << r.memoryBytes << ',' << r.footprintBytes
-            << ',' << r.bandwidthUtilization << ',' << r.energyJoules
-            << ',' << r.schedulingOps << ',' << r.atomicStalls << ','
-            << r.updatesSkipped << ',' << r.vertexUpdates << ','
-            << r.edgesProcessed << '\n';
+    // Write to a temp file and rename so a crash mid-write can never
+    // truncate or corrupt the existing cache (rename is atomic within a
+    // filesystem).
+    const std::string tmp_file = std::string(cacheFile) + ".tmp";
+    {
+        std::ofstream out(tmp_file);
+        out << cacheFormatLine << '\n';
+        out << "# key,system,algorithm,dataset,status,iterations,seconds,"
+               "gteps,memoryBytes,footprintBytes,bandwidthUtilization,"
+               "energyJoules,schedulingOps,atomicStalls,updatesSkipped,"
+               "vertexUpdates,edgesProcessed\n";
+        out.precision(17);
+        for (const auto &[key, r] : entries) {
+            out << key << ',' << r.system << ',' << r.algorithm << ','
+                << r.dataset << ',' << r.status << ',' << r.iterations
+                << ',' << r.seconds << ',' << r.gteps << ','
+                << r.memoryBytes << ',' << r.footprintBytes << ','
+                << r.bandwidthUtilization << ',' << r.energyJoules << ','
+                << r.schedulingOps << ',' << r.atomicStalls << ','
+                << r.updatesSkipped << ',' << r.vertexUpdates << ','
+                << r.edgesProcessed << '\n';
+        }
+        if (!out) {
+            warn("cannot write result cache temp file '%s'",
+                 tmp_file.c_str());
+            return;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_file, cacheFile, ec);
+    if (ec) {
+        warn("cannot replace result cache '%s': %s", cacheFile,
+             ec.message().c_str());
     }
 }
 
@@ -385,6 +494,52 @@ geometricMean(const std::vector<double> &values)
     }
     return count == 0 ? 0.0
                       : std::exp(log_sum / static_cast<double>(count));
+}
+
+void
+dumpRecordsJson(const std::vector<RunRecord> &records, std::ostream &os)
+{
+    os << '[';
+    bool first = true;
+    for (const RunRecord &r : records) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '{';
+        auto str = [&](const char *name, const std::string &value,
+                       bool comma = true) {
+            stats::emitJsonString(os, name);
+            os << ':';
+            stats::emitJsonString(os, value);
+            if (comma)
+                os << ',';
+        };
+        auto num = [&](const char *name, double value, bool comma = true) {
+            stats::emitJsonString(os, name);
+            os << ':';
+            stats::emitJsonNumber(os, value);
+            if (comma)
+                os << ',';
+        };
+        str("system", r.system);
+        str("algorithm", r.algorithm);
+        str("dataset", r.dataset);
+        str("status", r.status);
+        num("iterations", r.iterations);
+        num("seconds", r.seconds);
+        num("gteps", r.gteps);
+        num("memoryBytes", r.memoryBytes);
+        num("footprintBytes", r.footprintBytes);
+        num("bandwidthUtilization", r.bandwidthUtilization);
+        num("energyJoules", r.energyJoules);
+        num("schedulingOps", r.schedulingOps);
+        num("atomicStalls", r.atomicStalls);
+        num("updatesSkipped", r.updatesSkipped);
+        num("vertexUpdates", r.vertexUpdates);
+        num("edgesProcessed", r.edgesProcessed, false);
+        os << '}';
+    }
+    os << "]\n";
 }
 
 Table::Table(std::vector<std::string> columns) : header(std::move(columns))

@@ -11,8 +11,10 @@
 #ifndef GDS_HARNESS_EXPERIMENT_HH
 #define GDS_HARNESS_EXPERIMENT_HH
 
+#include <functional>
 #include <map>
 #include <optional>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -53,6 +55,12 @@ struct RunRecord
     std::string system;
     std::string algorithm;
     std::string dataset;
+    /**
+     * "ok" for a completed run, otherwise the ErrorCode name of what went
+     * wrong ("deadlock", "cycle-limit", "config", ...). Failed cells are
+     * reported but never cached, so a rerun retries them.
+     */
+    std::string status = "ok";
     unsigned iterations = 0;
     double seconds = 0.0;
     double gteps = 0.0;
@@ -65,6 +73,8 @@ struct RunRecord
     double updatesSkipped = 0.0;
     double vertexUpdates = 0.0;
     double edgesProcessed = 0.0;
+
+    bool ok() const { return status == "ok"; }
 };
 
 /** Iteration cap policy: PR runs a fixed budget, others to convergence. */
@@ -76,9 +86,27 @@ VertexId sourceFor(algo::AlgorithmId id, const graph::Csr &g);
 /**
  * Materialize a Table 4 dataset at the global scale divisor, with a
  * binary-file cache beside the working directory so repeated bench
- * invocations skip generation.
+ * invocations skip generation. A corrupt or truncated cache file is
+ * removed and the dataset regenerated (with a warning), never fatal.
  */
 graph::Csr loadDataset(const std::string &name, bool weighted);
+
+/**
+ * Per-cell cycle budget applied to every simulated run (GraphDynS and
+ * Graphicionado): the GDS_CELL_BUDGET environment variable when set,
+ * otherwise 50e9 cycles (50 s at the 1 GHz clock).
+ */
+Cycle cellCycleBudget();
+
+/**
+ * Run one cell's compute function, degrading failure into data: a thrown
+ * SimError (bad config, corrupt dataset, watchdog verdict) becomes a
+ * RunRecord whose status names the error, so the surrounding bench keeps
+ * emitting its remaining cells.
+ */
+RunRecord runCell(const std::string &system, algo::AlgorithmId algorithm,
+                  const std::string &dataset,
+                  const std::function<RunRecord()> &compute);
 
 /** Apply a variant to a base GraphDynS configuration. */
 core::GdsConfig applyVariant(core::GdsConfig cfg, GdsVariant v);
@@ -100,6 +128,11 @@ RunRecord runGunrock(algo::AlgorithmId algorithm,
  * Disk-backed result cache. Keys combine system/variant, algorithm,
  * dataset and the scale divisor; the file lives in the current working
  * directory ("gds_bench_cache_v1.csv"). Delete it to force re-simulation.
+ *
+ * The file carries a format-version header; a cache written by an
+ * incompatible build is ignored wholesale, and individually corrupt lines
+ * are skipped with a warning. Saves are atomic (temp file + rename), so a
+ * crash mid-write never loses the previous cache.
  */
 class ResultCache
 {
@@ -107,7 +140,10 @@ class ResultCache
     ResultCache();
     ~ResultCache();
 
-    /** Fetch a cached record, or run @p compute and cache its result. */
+    /**
+     * Fetch a cached record, or run @p compute. Only successful records
+     * are cached; a failed cell is returned but retried on the next run.
+     */
     template <typename Fn>
     RunRecord
     getOrRun(const std::string &key, Fn &&compute)
@@ -115,7 +151,8 @@ class ResultCache
         if (auto found = lookup(key))
             return *found;
         RunRecord record = compute();
-        store(key, record);
+        if (record.ok())
+            store(key, record);
         return record;
     }
 
@@ -147,12 +184,28 @@ const RunRecord &findRecord(const std::vector<RunRecord> &records,
                             const std::string &algorithm,
                             const std::string &dataset);
 
+/**
+ * Find a *successful* cell, or nullptr when the cell is absent or failed.
+ * Benches use this to skip rows for cells that could not be simulated.
+ */
+const RunRecord *tryFindRecord(const std::vector<RunRecord> &records,
+                               const std::string &system,
+                               const std::string &algorithm,
+                               const std::string &dataset);
+
 // ---------------------------------------------------------------------
 // Reporting helpers.
 // ---------------------------------------------------------------------
 
 /** Geometric mean of a series (ignores non-positive values). */
 double geometricMean(const std::vector<double> &values);
+
+/**
+ * Serialize records as a JSON array (status field included), for
+ * machine consumption next to stats::dumpJson.
+ */
+void dumpRecordsJson(const std::vector<RunRecord> &records,
+                     std::ostream &os);
 
 /**
  * Print a table: header row, one row per entry, fixed-width columns.

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "sim/component.hh"
+#include "sim/fault.hh"
 
 namespace gds::mem
 {
@@ -29,10 +30,16 @@ class Crossbar : public sim::Component
           granted(radix, false),
           statFlits(&statsGroup(), "flits", "flits routed"),
           statConflicts(&statsGroup(), "conflicts",
-                        "output-port conflicts (flit refused)")
+                        "output-port conflicts (flit refused)"),
+          statFaultStalls(&statsGroup(), "faultStalls",
+                          "grants refused by fault injection")
     {
         gds_assert(radix > 0, "crossbar radix must be positive");
     }
+
+    /** Attach (or detach, with nullptr) a fault injector that can refuse
+     *  output-port grants, modelling a glitching switch. */
+    void setFaultInjector(sim::FaultInjector *injector) { fault = injector; }
 
     unsigned radix() const { return static_cast<unsigned>(granted.size()); }
 
@@ -56,6 +63,10 @@ class Crossbar : public sim::Component
             ++statConflicts;
             return false;
         }
+        if (fault && fault->stallOutput()) {
+            ++statFaultStalls;
+            return false;
+        }
         granted[output] = true;
         ++statFlits;
         return true;
@@ -66,8 +77,10 @@ class Crossbar : public sim::Component
 
   private:
     std::vector<bool> granted;
+    sim::FaultInjector *fault = nullptr;
     stats::Scalar statFlits;
     stats::Scalar statConflicts;
+    stats::Scalar statFaultStalls;
 };
 
 } // namespace gds::mem

@@ -21,7 +21,13 @@ Hbm::Hbm(const HbmConfig &config, sim::Component *parent)
                        "sum over cycles of in-flight transactions"),
       statLatencySum(&statsGroup(), "latencySum",
                      "total request latency in cycles"),
-      statRequests(&statsGroup(), "requests", "completed requests")
+      statRequests(&statsGroup(), "requests", "completed requests"),
+      statFaultDropped(&statsGroup(), "faultDropped",
+                       "responses dropped by fault injection"),
+      statFaultDelayed(&statsGroup(), "faultDelayed",
+                       "responses delayed by fault injection"),
+      statFaultRejected(&statsGroup(), "faultRejected",
+                        "requests refused by fault injection")
 {
     gds_assert(isPow2(cfg.txBytes), "txBytes must be a power of two");
     gds_assert(cfg.rowBytes % cfg.txBytes == 0,
@@ -57,6 +63,12 @@ Hbm::access(Addr addr, unsigned bytes, bool is_write, std::uint64_t tag,
 {
     gds_assert(bytes > 0, "zero-length memory request");
     gds_assert(port != nullptr, "request needs a response port");
+
+    // Injected admission backpressure: refuse like a full queue would.
+    if (fault && fault->rejectRequest()) {
+        ++statFaultRejected;
+        return false;
+    }
 
     const Addr first_tx = addr / cfg.txBytes;
     const Addr last_tx = (addr + bytes - 1) / cfg.txBytes;
@@ -184,13 +196,32 @@ Hbm::finishCompletions()
         Request &req = requests[index];
         gds_assert(req.pendingTx > 0, "double completion");
         --inflightTx;
-        if (--req.pendingTx == 0) {
-            req.port->responses.push_back(req.tag);
-            req.port->_inflight -= 1;
-            statLatencySum += static_cast<double>(now - req.issuedAt);
-            ++statRequests;
-            freeList.push_back(index);
+        if (--req.pendingTx != 0)
+            continue;
+        if (fault && !req.faultChecked) {
+            req.faultChecked = true;
+            if (fault->dropResponse()) {
+                // The response is lost on the wire: the requester keeps
+                // waiting (its port still reports the request in flight),
+                // which the run watchdog must catch.
+                ++statFaultDropped;
+                freeList.push_back(index);
+                continue;
+            }
+            if (const Cycle delay = fault->responseDelay()) {
+                ++statFaultDelayed;
+                req.pendingTx = 1;
+                ++inflightTx;
+                completions.push(Completion{now + delay, index});
+                continue;
+            }
         }
+        req.port->responses.push_back(req.tag);
+        req.port->_inflight -= 1;
+        statLatencySum += static_cast<double>(now - req.issuedAt);
+        ++statRequests;
+        progressed(now);
+        freeList.push_back(index);
     }
 }
 
@@ -202,6 +233,20 @@ Hbm::tick()
         serviceChannel(ch);
     statOccupancySum += static_cast<double>(inflightTx);
     ++now;
+}
+
+std::string
+Hbm::debugState() const
+{
+    std::size_t queued = 0;
+    for (const Channel &ch : channels)
+        queued += ch.queue.size();
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "inflightTx=%llu queuedTx=%zu completions=%zu",
+                  static_cast<unsigned long long>(inflightTx), queued,
+                  completions.size());
+    return buf;
 }
 
 double

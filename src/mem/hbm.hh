@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/component.hh"
+#include "sim/fault.hh"
 
 namespace gds::mem
 {
@@ -102,6 +103,14 @@ class Hbm : public sim::Component
 
     void tick() override;
     bool busy() const override { return inflightTx > 0; }
+    std::string debugState() const override;
+
+    /**
+     * Attach (or detach, with nullptr) a fault injector. When attached,
+     * responses may be delayed or dropped and requests refused admission
+     * according to the injector's plan.
+     */
+    void setFaultInjector(sim::FaultInjector *injector) { fault = injector; }
 
     const HbmConfig &config() const { return cfg; }
 
@@ -144,6 +153,7 @@ class Hbm : public sim::Component
         unsigned pendingTx;
         bool isWrite;
         Cycle issuedAt;
+        bool faultChecked = false; ///< injector consulted for this request
     };
 
     struct Transaction
@@ -195,6 +205,7 @@ class Hbm : public sim::Component
     std::vector<unsigned> demandScratch; ///< per-channel admission counts
     std::uint64_t inflightTx = 0;
     Cycle now = 0;
+    sim::FaultInjector *fault = nullptr;
 
     stats::Scalar statReadBytes;
     stats::Scalar statWriteBytes;
@@ -206,6 +217,9 @@ class Hbm : public sim::Component
     stats::Scalar statOccupancySum; ///< sum over cycles of in-flight tx
     stats::Scalar statLatencySum;   ///< total request latency (cycles)
     stats::Scalar statRequests;     ///< completed requests
+    stats::Scalar statFaultDropped; ///< responses dropped by fault injection
+    stats::Scalar statFaultDelayed; ///< responses delayed by fault injection
+    stats::Scalar statFaultRejected;///< requests refused by fault injection
 };
 
 } // namespace gds::mem

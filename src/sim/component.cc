@@ -1,11 +1,47 @@
 #include "sim/component.hh"
 
+#include <algorithm>
+
 namespace gds::sim
 {
 
 Component::Component(std::string component_name, Component *parent)
     : _name(std::move(component_name)),
+      _parent(parent),
       _stats(parent ? &parent->statsGroup() : nullptr, _name)
-{}
+{
+    if (_parent)
+        _parent->_children.push_back(this);
+}
+
+Component::~Component()
+{
+    if (_parent) {
+        auto &siblings = _parent->_children;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(), this),
+                       siblings.end());
+    }
+}
+
+std::uint64_t
+Component::subtreeProgress() const
+{
+    std::uint64_t total = _progressCount;
+    for (const Component *child : _children)
+        total += child->subtreeProgress();
+    return total;
+}
+
+bool
+Component::subtreeBusy() const
+{
+    if (busy())
+        return true;
+    for (const Component *child : _children) {
+        if (child->subtreeBusy())
+            return true;
+    }
+    return false;
+}
 
 } // namespace gds::sim

@@ -9,12 +9,20 @@
  * value written into a queue in cycle N is consumed no earlier than cycle
  * N+1, giving well-defined single-cycle stage latencies without a two-phase
  * update protocol.
+ *
+ * For watchdog supervision every component also carries a monotone progress
+ * counter: models call progressed() whenever observable forward progress
+ * happens (a request completes, a record commits, a vertex applies). The
+ * Simulator samples the counters to distinguish a healthy long run from a
+ * deadlocked or livelocked one, and walks the parent/child links to emit a
+ * component-level diagnostic snapshot on failure.
  */
 
 #ifndef GDS_SIM_COMPONENT_HH
 #define GDS_SIM_COMPONENT_HH
 
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "stats/stats.hh"
@@ -33,7 +41,7 @@ class Component
      * @param parent enclosing component, or nullptr for a root
      */
     Component(std::string component_name, Component *parent);
-    virtual ~Component() = default;
+    virtual ~Component();
 
     Component(const Component &) = delete;
     Component &operator=(const Component &) = delete;
@@ -44,7 +52,41 @@ class Component
     /** True while the component still has work in flight. */
     virtual bool busy() const { return false; }
 
+    /**
+     * One-line free-form state description for failure diagnostics
+     * (queue occupancies, cursors, outstanding requests).
+     */
+    virtual std::string debugState() const { return {}; }
+
     const std::string &name() const { return _name; }
+
+    Component *parent() const { return _parent; }
+    const std::vector<Component *> &children() const { return _children; }
+
+    /**
+     * Record observable forward progress. @p at is the component's local
+     * cycle when known (0 when the caller has no clock); only its maximum
+     * is retained, for diagnostics.
+     */
+    void
+    progressed(Cycle at = 0)
+    {
+        ++_progressCount;
+        if (at > _lastProgressAt)
+            _lastProgressAt = at;
+    }
+
+    /** Monotone count of progressed() calls on this component alone. */
+    std::uint64_t progressCount() const { return _progressCount; }
+
+    /** Largest cycle stamp passed to progressed() (component-local clock). */
+    Cycle lastProgressAt() const { return _lastProgressAt; }
+
+    /** Sum of progress counters over this component and all descendants. */
+    std::uint64_t subtreeProgress() const;
+
+    /** True if this component or any descendant reports busy(). */
+    bool subtreeBusy() const;
 
     /** Stats group for this component (child of the parent's group). */
     stats::Group &statsGroup() { return _stats; }
@@ -52,6 +94,10 @@ class Component
 
   private:
     std::string _name;
+    Component *_parent;
+    std::vector<Component *> _children;
+    std::uint64_t _progressCount = 0;
+    Cycle _lastProgressAt = 0;
     stats::Group _stats;
 };
 

@@ -1,0 +1,168 @@
+#include "sim/simulator.hh"
+
+#include <sstream>
+
+#include "common/debug.hh"
+
+namespace gds::sim
+{
+
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Completed:
+        return "completed";
+      case RunOutcome::Deadlock:
+        return "deadlock";
+      case RunOutcome::Livelock:
+        return "livelock";
+      case RunOutcome::CycleLimit:
+        return "cycle-limit";
+    }
+    panic("bad run outcome %d", static_cast<int>(outcome));
+}
+
+ErrorCode
+runOutcomeError(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Completed:
+        return ErrorCode::Ok;
+      case RunOutcome::Deadlock:
+        return ErrorCode::Deadlock;
+      case RunOutcome::Livelock:
+        return ErrorCode::Livelock;
+      case RunOutcome::CycleLimit:
+        return ErrorCode::CycleLimit;
+    }
+    panic("bad run outcome %d", static_cast<int>(outcome));
+}
+
+std::string
+RunReport::summary() const
+{
+    std::ostringstream os;
+    os << runOutcomeName(outcome) << " after " << cycles << " cycles";
+    if (!ok()) {
+        os << " (last progress at cycle " << lastProgressCycle << ")";
+        unsigned busy_count = 0;
+        for (const ComponentDiag &d : components)
+            busy_count += d.busy ? 1 : 0;
+        os << "; " << busy_count << "/" << components.size()
+           << " components busy";
+    }
+    return os.str();
+}
+
+std::string
+RunReport::snapshotText() const
+{
+    std::ostringstream os;
+    for (const ComponentDiag &d : components) {
+        os << "  " << d.path << ": " << (d.busy ? "busy" : "idle")
+           << ", progress=" << d.progressCount << ", lastProgressAt="
+           << d.lastProgressAt;
+        if (!d.detail.empty())
+            os << ", " << d.detail;
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+RunReport::throwIfFailed() const
+{
+    if (ok())
+        return;
+    const std::string msg = summary() + "\n" + snapshotText();
+    switch (outcome) {
+      case RunOutcome::Deadlock:
+        throw DeadlockError(msg);
+      case RunOutcome::Livelock:
+        throw LivelockError(msg);
+      case RunOutcome::CycleLimit:
+        throw CycleLimitError(msg);
+      case RunOutcome::Completed:
+        break;
+    }
+}
+
+namespace
+{
+
+void
+collectDiag(const Component &c, std::vector<ComponentDiag> &out)
+{
+    out.push_back(ComponentDiag{c.statsGroup().path(), c.busy(),
+                                c.progressCount(), c.lastProgressAt(),
+                                c.debugState()});
+    for (const Component *child : c.children())
+        collectDiag(*child, out);
+}
+
+} // namespace
+
+std::vector<ComponentDiag>
+Simulator::snapshot() const
+{
+    std::vector<ComponentDiag> diags;
+    for (const Component *c : components)
+        collectDiag(*c, diags);
+    return diags;
+}
+
+std::uint64_t
+Simulator::totalProgress() const
+{
+    std::uint64_t total = 0;
+    for (const Component *c : components)
+        total += c->subtreeProgress();
+    return total;
+}
+
+RunReport
+Simulator::run(const std::function<bool()> &done, const RunLimits &limits)
+{
+    gds_assert(limits.checkInterval > 0, "check interval must be positive");
+
+    RunReport report;
+    const Cycle start = _cycle;
+    Cycle last_progress_cycle = 0; // elapsed cycles at last progress
+    std::uint64_t last_progress_count = totalProgress();
+
+    auto fail = [&](RunOutcome outcome) {
+        report.outcome = outcome;
+        report.cycles = _cycle - start;
+        report.lastProgressCycle = last_progress_cycle;
+        report.components = snapshot();
+        warn("simulation %s", report.summary().c_str());
+        DPRINTF(Watchdog, "diagnostic snapshot:\n%s",
+                report.snapshotText().c_str());
+        return report;
+    };
+
+    while (!done()) {
+        const Cycle elapsed = _cycle - start;
+        if (elapsed >= limits.maxCycles)
+            return fail(RunOutcome::CycleLimit);
+        if (elapsed % limits.checkInterval == 0) {
+            const std::uint64_t progress = totalProgress();
+            if (progress != last_progress_count) {
+                last_progress_count = progress;
+                last_progress_cycle = elapsed;
+            } else if (elapsed - last_progress_cycle >= limits.stallCycles) {
+                return fail(anyBusy() ? RunOutcome::Livelock
+                                      : RunOutcome::Deadlock);
+            }
+        }
+        step();
+    }
+
+    report.outcome = RunOutcome::Completed;
+    report.cycles = _cycle - start;
+    report.lastProgressCycle = _cycle - start;
+    return report;
+}
+
+} // namespace gds::sim

@@ -5,21 +5,83 @@
  * The Simulator owns the global cycle counter and a flat, ordered list of
  * components to tick. Accelerator top-levels register their pieces in
  * reverse dataflow order (see Component) and then call run() with a
- * completion predicate; the driver also watches for deadlock (no component
- * busy yet predicate unsatisfied) and runaway simulations.
+ * completion predicate. The driver supervises the run: it samples the
+ * component progress counters and, instead of asserting, returns a
+ * RunReport that distinguishes normal completion from deadlock (nothing
+ * busy, predicate unsatisfied), livelock (busy but no progress for the
+ * stall window) and cycle-budget exhaustion, together with a
+ * component-level diagnostic snapshot.
  */
 
 #ifndef GDS_SIM_SIMULATOR_HH
 #define GDS_SIM_SIMULATOR_HH
 
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/types.hh"
 #include "sim/component.hh"
 
 namespace gds::sim
 {
+
+/** How a supervised run ended. */
+enum class RunOutcome
+{
+    Completed,  ///< the completion predicate was satisfied
+    Deadlock,   ///< no component busy, predicate unsatisfied, no progress
+    Livelock,   ///< components busy but no progress for the stall window
+    CycleLimit, ///< the cycle budget was exhausted
+};
+
+/** Stable name of an outcome ("completed", "deadlock", ...). */
+const char *runOutcomeName(RunOutcome outcome);
+
+/** ErrorCode equivalent of a failed outcome. */
+ErrorCode runOutcomeError(RunOutcome outcome);
+
+/** Per-component diagnostic snapshot entry. */
+struct ComponentDiag
+{
+    std::string path;          ///< hierarchical stats path
+    bool busy = false;
+    std::uint64_t progressCount = 0;
+    Cycle lastProgressAt = 0;  ///< component-local clock
+    std::string detail;        ///< Component::debugState()
+};
+
+/** Outcome + diagnostics of one supervised run. */
+struct RunReport
+{
+    RunOutcome outcome = RunOutcome::Completed;
+    Cycle cycles = 0;             ///< cycles elapsed during the run
+    Cycle lastProgressCycle = 0;  ///< elapsed cycle of the last progress
+    std::vector<ComponentDiag> components; ///< populated on failure
+
+    bool ok() const { return outcome == RunOutcome::Completed; }
+
+    /** One-line human summary ("deadlock after 1234 cycles; ..."). */
+    std::string summary() const;
+
+    /** Multi-line component snapshot for logs. Empty when ok. */
+    std::string snapshotText() const;
+
+    /** Throw the matching SimError subclass unless ok. */
+    void throwIfFailed() const;
+};
+
+/** Supervision limits of one run. */
+struct RunLimits
+{
+    /** Hard cycle budget. */
+    Cycle maxCycles = 100'000'000'000ULL;
+    /** Declare deadlock/livelock after this many cycles without progress. */
+    Cycle stallCycles = 10'000'000;
+    /** Progress-counter sampling period (power of two, amortizes cost). */
+    Cycle checkInterval = 1024;
+};
 
 class Simulator
 {
@@ -47,38 +109,32 @@ class Simulator
     }
 
     /**
-     * Run until done() returns true.
+     * Run until done() returns true, under watchdog supervision.
      *
      * @param done completion predicate, evaluated after every cycle
-     * @param max_cycles hard safety limit; panics if exceeded
-     * @return cycles elapsed during this call
+     * @param limits cycle budget and stall window
+     * @return outcome + diagnostics; never asserts on runaway simulations
      */
-    Cycle
-    run(const std::function<bool()> &done,
-        Cycle max_cycles = 100'000'000'000ULL)
-    {
-        const Cycle start = _cycle;
-        while (!done()) {
-            step();
-            gds_assert(_cycle - start < max_cycles,
-                       "simulation exceeded %llu cycles without finishing",
-                       static_cast<unsigned long long>(max_cycles));
-        }
-        return _cycle - start;
-    }
+    RunReport run(const std::function<bool()> &done,
+                  const RunLimits &limits = {});
 
     /** True if any registered component reports in-flight work. */
     bool
     anyBusy() const
     {
         for (const Component *c : components) {
-            if (c->busy())
+            if (c->subtreeBusy())
                 return true;
         }
         return false;
     }
 
+    /** Current diagnostic snapshot of every registered component tree. */
+    std::vector<ComponentDiag> snapshot() const;
+
   private:
+    std::uint64_t totalProgress() const;
+
     std::vector<Component *> components;
     Cycle _cycle = 0;
 };

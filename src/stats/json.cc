@@ -5,11 +5,8 @@
 namespace gds::stats
 {
 
-namespace
-{
-
 void
-emitNumber(std::ostream &os, double v)
+emitJsonNumber(std::ostream &os, double v)
 {
     if (std::isfinite(v)) {
         os << v;
@@ -19,7 +16,7 @@ emitNumber(std::ostream &os, double v)
 }
 
 void
-emitString(std::ostream &os, const std::string &s)
+emitJsonString(std::ostream &os, const std::string &s)
 {
     os << '"';
     for (const char c : s) {
@@ -28,6 +25,21 @@ emitString(std::ostream &os, const std::string &s)
         os << c;
     }
     os << '"';
+}
+
+namespace
+{
+
+void
+emitNumber(std::ostream &os, double v)
+{
+    emitJsonNumber(os, v);
+}
+
+void
+emitString(std::ostream &os, const std::string &s)
+{
+    emitJsonString(os, s);
 }
 
 void

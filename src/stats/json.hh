@@ -8,6 +8,7 @@
 #define GDS_STATS_JSON_HH
 
 #include <ostream>
+#include <string>
 
 #include "stats/stats.hh"
 
@@ -20,6 +21,12 @@ namespace gds::stats
  * {bucketLabel: count} objects.
  */
 void dumpJson(const Group &group, std::ostream &os);
+
+/** Emit @p s as a quoted, escaped JSON string. */
+void emitJsonString(std::ostream &os, const std::string &s);
+
+/** Emit @p v as a JSON number (non-finite values become null). */
+void emitJsonNumber(std::ostream &os, double v);
 
 } // namespace gds::stats
 

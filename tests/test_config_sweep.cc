@@ -57,13 +57,13 @@ TEST(ConfigSweep, TinyPeQueues)
     expectSsspCorrect(cfg);
 }
 
-TEST(ConfigSweepDeath, QueueSmallerThanDispatchUnitIsRejected)
+TEST(ConfigSweep, QueueSmallerThanDispatchUnitIsRejected)
 {
     GdsConfig cfg;
     cfg.peQueueEdges = 16; // < eThreshold (128): a latent deadlock
     const graph::Csr g = sweepGraph();
     auto sssp = algo::makeAlgorithm(algo::AlgorithmId::Sssp);
-    EXPECT_DEATH(GdsAccel(cfg, g, *sssp), "deadlock");
+    EXPECT_THROW(GdsAccel(cfg, g, *sssp), ConfigError);
 }
 
 TEST(ConfigSweep, TinyVpb)

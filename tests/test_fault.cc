@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests of the deterministic fault-injection subsystem and the watchdog
+ * behaviour it exists to prove: injected HBM hangs must surface as typed
+ * deadlock/livelock verdicts with diagnostics (never an abort or an
+ * endless loop), injected slowdowns must only delay runs without
+ * corrupting results, and the harness must degrade a failing cell into
+ * data while the remaining cells keep flowing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "algo/reference_engine.hh"
+#include "baseline/graphicionado.hh"
+#include "core/gds_accel.hh"
+#include "graph/generators.hh"
+#include "harness/experiment.hh"
+#include "sim/fault.hh"
+
+namespace gds
+{
+namespace
+{
+
+using algo::AlgorithmId;
+
+// ---------------------------------------------------------------------
+// FaultPlan / FaultInjector.
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultIsFaultFreeAndValid)
+{
+    const sim::FaultPlan plan;
+    EXPECT_FALSE(plan.any());
+    EXPECT_TRUE(plan.validate().ok());
+}
+
+TEST(FaultPlan, AnyDetectsEachKnob)
+{
+    sim::FaultPlan p;
+    p.delayResponseProb = 0.1;
+    EXPECT_TRUE(p.any());
+    p = {};
+    p.dropAfterResponses = 100;
+    EXPECT_TRUE(p.any());
+    p = {};
+    p.rejectRequestProb = 0.1;
+    EXPECT_TRUE(p.any());
+    p = {};
+    p.stallOutputProb = 0.1;
+    EXPECT_TRUE(p.any());
+}
+
+TEST(FaultPlan, RejectsOutOfRangeProbabilities)
+{
+    sim::FaultPlan p;
+    p.dropResponseProb = 1.5;
+    EXPECT_FALSE(p.validate().ok());
+    EXPECT_THROW(sim::FaultInjector{p}, ConfigError);
+
+    p = {};
+    p.delayResponseProb = -0.1;
+    EXPECT_THROW(sim::FaultInjector{p}, ConfigError);
+
+    p = {};
+    p.delayResponseProb = 0.5;
+    p.delayCycles = 0;
+    EXPECT_THROW(sim::FaultInjector{p}, ConfigError);
+}
+
+TEST(FaultInjector, SameSeedSameDecisions)
+{
+    sim::FaultPlan plan;
+    plan.seed = 7;
+    plan.dropResponseProb = 0.3;
+    plan.delayResponseProb = 0.2;
+    sim::FaultInjector a(plan);
+    sim::FaultInjector b(plan);
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(a.dropResponse(), b.dropResponse());
+        EXPECT_EQ(a.responseDelay(), b.responseDelay());
+    }
+    EXPECT_EQ(a.dropped(), b.dropped());
+    EXPECT_EQ(a.delayed(), b.delayed());
+    EXPECT_GT(a.dropped(), 0u);
+    EXPECT_GT(a.delayed(), 0u);
+}
+
+TEST(FaultInjector, DropAfterThresholdIsExact)
+{
+    sim::FaultPlan plan;
+    plan.dropAfterResponses = 5;
+    sim::FaultInjector inj(plan);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_FALSE(inj.dropResponse()) << "response " << i;
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(inj.dropResponse());
+    EXPECT_EQ(inj.responsesSeen(), 15u);
+    EXPECT_EQ(inj.dropped(), 10u);
+}
+
+// ---------------------------------------------------------------------
+// Injected hangs: the watchdog must convert them into typed verdicts.
+// ---------------------------------------------------------------------
+
+graph::Csr
+testGraph(std::uint64_t seed)
+{
+    return graph::powerLaw(1000, 8000, 0.6, seed, /*weighted=*/true);
+}
+
+TEST(FaultedRun, DroppedHbmResponsesHangIsCaughtWithinBudget)
+{
+    const auto g = testGraph(11);
+    auto bfs = algo::makeAlgorithm(AlgorithmId::Bfs);
+    core::GdsAccel accel(core::GdsConfig{}, g, *bfs);
+
+    core::RunOptions run;
+    run.source = algo::defaultSource(g);
+    run.cycleBudget = 5'000'000;
+    run.stallCycles = 8192;
+    run.faults.dropAfterResponses = 16; // wedge the run early
+    const core::RunResult result = accel.run(run);
+
+    EXPECT_FALSE(result.completed());
+    // Dropped responses leave requests in flight forever: components stay
+    // busy with no progress, so either verdict is acceptable depending on
+    // where the run wedges -- but it must be a stall verdict, not the
+    // budget, and it must come with a component snapshot.
+    EXPECT_TRUE(result.report.outcome == sim::RunOutcome::Deadlock ||
+                result.report.outcome == sim::RunOutcome::Livelock)
+        << "got " << sim::runOutcomeName(result.report.outcome);
+    EXPECT_FALSE(result.report.components.empty());
+    EXPECT_FALSE(result.report.snapshotText().empty());
+    EXPECT_LE(result.report.cycles, run.cycleBudget);
+    EXPECT_THROW(result.report.throwIfFailed(), SimError);
+}
+
+TEST(FaultedRun, GraphicionadoHangIsCaughtToo)
+{
+    const auto g = testGraph(12);
+    auto bfs = algo::makeAlgorithm(AlgorithmId::Bfs);
+    baseline::GraphicionadoAccel accel(baseline::GraphicionadoConfig{}, g,
+                                       *bfs);
+
+    core::RunOptions run;
+    run.source = algo::defaultSource(g);
+    run.cycleBudget = 5'000'000;
+    run.stallCycles = 8192;
+    run.faults.dropAfterResponses = 16;
+    const core::RunResult result = accel.run(run);
+
+    EXPECT_FALSE(result.completed());
+    EXPECT_TRUE(result.report.outcome == sim::RunOutcome::Deadlock ||
+                result.report.outcome == sim::RunOutcome::Livelock);
+    EXPECT_FALSE(result.report.components.empty());
+    EXPECT_LE(result.report.cycles, run.cycleBudget);
+}
+
+TEST(FaultedRun, TinyCycleBudgetReportsCycleLimit)
+{
+    const auto g = testGraph(13);
+    auto bfs = algo::makeAlgorithm(AlgorithmId::Bfs);
+    core::GdsAccel accel(core::GdsConfig{}, g, *bfs);
+
+    core::RunOptions run;
+    run.source = algo::defaultSource(g);
+    run.cycleBudget = 100; // far too small to finish
+    const core::RunResult result = accel.run(run);
+    EXPECT_EQ(result.report.outcome, sim::RunOutcome::CycleLimit);
+    EXPECT_THROW(result.report.throwIfFailed(), CycleLimitError);
+}
+
+// ---------------------------------------------------------------------
+// Injected slowdowns: runs complete with unchanged results.
+// ---------------------------------------------------------------------
+
+/** Run BFS under @p faults and require the reference result. */
+void
+expectFaultedRunMatchesReference(const sim::FaultPlan &faults,
+                                 std::uint64_t seed)
+{
+    const auto g = testGraph(seed);
+    const VertexId source = algo::defaultSource(g);
+
+    auto ref_algo = algo::makeAlgorithm(AlgorithmId::Bfs);
+    const auto golden =
+        algo::runReference(g, *ref_algo, source, algo::ReferenceOptions{});
+
+    auto sim_algo = algo::makeAlgorithm(AlgorithmId::Bfs);
+    core::GdsAccel accel(core::GdsConfig{}, g, *sim_algo);
+    core::RunOptions run;
+    run.source = source;
+    run.faults = faults;
+
+    auto clean_algo = algo::makeAlgorithm(AlgorithmId::Bfs);
+    core::GdsAccel clean(core::GdsConfig{}, g, *clean_algo);
+    core::RunOptions clean_run;
+    clean_run.source = source;
+
+    const core::RunResult faulted = accel.run(run);
+    const core::RunResult baseline_run = clean.run(clean_run);
+
+    ASSERT_TRUE(faulted.completed())
+        << faulted.report.summary();
+    ASSERT_EQ(faulted.properties.size(), golden.properties.size());
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(faulted.properties[v], golden.properties[v])
+            << "vertex " << v;
+    }
+    // Injected backpressure can only slow the run down.
+    EXPECT_GE(faulted.cycles, baseline_run.cycles);
+}
+
+TEST(FaultedRun, DelayedResponsesOnlySlowTheRunDown)
+{
+    sim::FaultPlan faults;
+    faults.seed = 21;
+    faults.delayResponseProb = 0.25;
+    faults.delayCycles = 200;
+    expectFaultedRunMatchesReference(faults, 21);
+}
+
+TEST(FaultedRun, RejectedRequestsAndStalledPortsOnlySlowTheRunDown)
+{
+    sim::FaultPlan faults;
+    faults.seed = 22;
+    faults.rejectRequestProb = 0.15;
+    faults.stallOutputProb = 0.10;
+    expectFaultedRunMatchesReference(faults, 22);
+}
+
+// ---------------------------------------------------------------------
+// Harness degradation: one failing cell never kills the matrix.
+// ---------------------------------------------------------------------
+
+TEST(RunCell, ConvertsSimErrorsIntoStatusRecords)
+{
+    const harness::RunRecord failed = harness::runCell(
+        "GraphDynS", AlgorithmId::Bfs, "wedged",
+        []() -> harness::RunRecord {
+            throw DeadlockError("nothing busy after 4096 cycles");
+        });
+    EXPECT_EQ(failed.status, "deadlock");
+    EXPECT_FALSE(failed.ok());
+    EXPECT_EQ(failed.system, "GraphDynS");
+    EXPECT_EQ(failed.algorithm, "BFS");
+    EXPECT_EQ(failed.dataset, "wedged");
+}
+
+TEST(RunCell, RemainingCellsStillEmitAfterAFailure)
+{
+    std::vector<harness::RunRecord> records;
+    records.push_back(harness::runCell(
+        "GraphDynS", AlgorithmId::Bfs, "bad",
+        []() -> harness::RunRecord {
+            throw LivelockError("busy but stuck");
+        }));
+    records.push_back(harness::runCell(
+        "GraphDynS", AlgorithmId::Bfs, "good", [] {
+            harness::RunRecord r;
+            r.system = "GraphDynS";
+            r.algorithm = "BFS";
+            r.dataset = "good";
+            r.gteps = 3.0;
+            return r;
+        }));
+
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].status, "livelock");
+    EXPECT_EQ(records[1].status, "ok");
+
+    // tryFindRecord steers benches around the failed cell.
+    EXPECT_EQ(harness::tryFindRecord(records, "GraphDynS", "BFS", "bad"),
+              nullptr);
+    const harness::RunRecord *good =
+        harness::tryFindRecord(records, "GraphDynS", "BFS", "good");
+    ASSERT_NE(good, nullptr);
+    EXPECT_DOUBLE_EQ(good->gteps, 3.0);
+}
+
+TEST(RunCell, PassesNonSimErrorsThrough)
+{
+    // Only typed simulator failures are degraded; anything else is a bug
+    // and must keep propagating.
+    EXPECT_THROW(harness::runCell("GraphDynS", AlgorithmId::Bfs, "x",
+                                  []() -> harness::RunRecord {
+                                      throw std::logic_error("bug");
+                                  }),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace gds

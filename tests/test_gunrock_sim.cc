@@ -134,11 +134,11 @@ TEST(GunrockSim, MoreEdgesTakeLonger)
     EXPECT_GT(r_large.seconds, r_small.seconds);
 }
 
-TEST(GunrockSimDeath, WeightedAlgorithmNeedsWeights)
+TEST(GunrockSim, WeightedAlgorithmNeedsWeights)
 {
     const auto g = graph::uniform(100, 500, 1, false);
     auto sssp = algo::makeAlgorithm(AlgorithmId::Sssp);
-    EXPECT_DEATH(GunrockSim(GunrockConfig{}, g, *sssp), "weighted");
+    EXPECT_THROW(GunrockSim(GunrockConfig{}, g, *sssp), ConfigError);
 }
 
 /** All five algorithms produce reference-equal results and sane timing. */

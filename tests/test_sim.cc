@@ -68,17 +68,92 @@ TEST(Simulator, RunUntilPredicate)
     CountingComponent c("c", nullptr, nullptr);
     Simulator sim;
     sim.add(&c);
-    const Cycle elapsed = sim.run([&] { return c.ticks >= 10; });
-    EXPECT_EQ(elapsed, 10u);
+    const RunReport report = sim.run([&] { return c.ticks >= 10; });
+    EXPECT_EQ(report.outcome, RunOutcome::Completed);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.cycles, 10u);
     EXPECT_EQ(c.ticks, 10);
+    EXPECT_NO_THROW(report.throwIfFailed());
 }
 
-TEST(SimulatorDeath, RunawayGuardFires)
+TEST(Simulator, RunawayGuardReportsCycleLimit)
 {
     CountingComponent c("c", nullptr, nullptr);
     Simulator sim;
     sim.add(&c);
-    EXPECT_DEATH(sim.run([] { return false; }, 100), "exceeded");
+    RunLimits limits;
+    limits.maxCycles = 100;
+    // Keep "progressing" so the stall detector stays quiet; only the
+    // budget can end this run.
+    const RunReport report = sim.run(
+        [&] {
+            c.progressed();
+            return false;
+        },
+        limits);
+    EXPECT_EQ(report.outcome, RunOutcome::CycleLimit);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.cycles, 100u);
+    EXPECT_FALSE(report.components.empty());
+    EXPECT_THROW(report.throwIfFailed(), CycleLimitError);
+}
+
+TEST(Simulator, StallWithIdleComponentsIsDeadlock)
+{
+    CountingComponent c("c", nullptr, nullptr);
+    Simulator sim;
+    sim.add(&c);
+    RunLimits limits;
+    limits.maxCycles = 1'000'000;
+    limits.stallCycles = 256;
+    limits.checkInterval = 64;
+    const RunReport report = sim.run([] { return false; }, limits);
+    EXPECT_EQ(report.outcome, RunOutcome::Deadlock);
+    EXPECT_LT(report.cycles, limits.maxCycles);
+    ASSERT_FALSE(report.components.empty());
+    EXPECT_EQ(report.components[0].path, "c");
+    EXPECT_FALSE(report.components[0].busy);
+    EXPECT_THROW(report.throwIfFailed(), DeadlockError);
+}
+
+TEST(Simulator, StallWithBusyComponentsIsLivelock)
+{
+    CountingComponent c("c", nullptr, nullptr);
+    c.pendingWork = 1; // forever busy, never progressing
+    Simulator sim;
+    sim.add(&c);
+    RunLimits limits;
+    limits.maxCycles = 1'000'000;
+    limits.stallCycles = 256;
+    limits.checkInterval = 64;
+    const RunReport report = sim.run([] { return false; }, limits);
+    EXPECT_EQ(report.outcome, RunOutcome::Livelock);
+    ASSERT_FALSE(report.components.empty());
+    EXPECT_TRUE(report.components[0].busy);
+    EXPECT_THROW(report.throwIfFailed(), LivelockError);
+}
+
+TEST(Simulator, ProgressDefersStallDetection)
+{
+    CountingComponent c("c", nullptr, nullptr);
+    Simulator sim;
+    sim.add(&c);
+    RunLimits limits;
+    limits.maxCycles = 100'000;
+    limits.stallCycles = 256;
+    limits.checkInterval = 64;
+    // Progress happens until cycle 5000; the run must last well past the
+    // first stall window before the watchdog finally fires.
+    const RunReport report = sim.run(
+        [&] {
+            if (c.ticks < 5000)
+                c.progressed();
+            return false;
+        },
+        limits);
+    EXPECT_EQ(report.outcome, RunOutcome::Deadlock);
+    EXPECT_GT(report.cycles, 5000u);
+    EXPECT_GE(report.lastProgressCycle, 4990u);
 }
 
 TEST(Simulator, AnyBusyReflectsComponents)
