@@ -25,7 +25,7 @@ main()
                 "900GB/s HBM2\n\n");
 
     harness::ResultCache cache;
-    const auto records = harness::evaluationMatrix(cache);
+    const auto records = bench::sharedMatrix(cache);
 
     Table table({"algo", "dataset", "Graphicionado", "GraphDynS",
                  "GDS/GI"});

@@ -19,7 +19,7 @@ main()
     bench::banner("Fig. 7", "throughput in GTEPS (ideal peak: 128)");
 
     harness::ResultCache cache;
-    const auto records = harness::evaluationMatrix(cache);
+    const auto records = bench::sharedMatrix(cache);
 
     Table table({"algo", "dataset", "Gunrock", "Graphicionado",
                  "GraphDynS"});

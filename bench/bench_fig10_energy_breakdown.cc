@@ -19,7 +19,7 @@ main()
     bench::banner("Fig. 10", "GraphDynS energy breakdown (percent)");
 
     harness::ResultCache cache;
-    const auto records = harness::evaluationMatrix(cache);
+    const auto records = bench::sharedMatrix(cache);
     energy::EnergyModel model;
     core::GdsConfig cfg;
 

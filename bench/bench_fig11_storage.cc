@@ -20,7 +20,7 @@ main()
                   "off-chip storage normalized to Gunrock (percent)");
 
     harness::ResultCache cache;
-    const auto records = harness::evaluationMatrix(cache);
+    const auto records = bench::sharedMatrix(cache);
 
     Table table({"algo", "dataset", "Graphicionado(%)", "GraphDynS(%)"});
     std::vector<double> gi_norm;

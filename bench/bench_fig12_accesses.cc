@@ -21,7 +21,7 @@ main()
                   "(percent)");
 
     harness::ResultCache cache;
-    const auto records = harness::evaluationMatrix(cache);
+    const auto records = bench::sharedMatrix(cache);
 
     Table table({"algo", "dataset", "Graphicionado(%)", "GraphDynS(%)"});
     std::vector<double> gi_norm;

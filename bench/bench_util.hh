@@ -13,6 +13,7 @@
 
 #include "graph/datasets.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 
 namespace gds::bench
 {
@@ -34,6 +35,21 @@ expectation(const std::string &metric, const std::string &paper,
 {
     std::printf("  %-44s paper: %-12s measured: %s\n", metric.c_str(),
                 paper.c_str(), measured.c_str());
+}
+
+/**
+ * Run (or reload) the shared 5x6x3 evaluation matrix every matrix bench
+ * reads from, announcing the worker count so cold timings are
+ * interpretable. Cached cells are reused; cold cells fan out over
+ * GDS_JOBS workers (default: all hardware threads).
+ */
+inline std::vector<harness::RunRecord>
+sharedMatrix(harness::ResultCache &cache)
+{
+    std::printf("evaluation matrix: cold cells run on GDS_JOBS=%u "
+                "workers; cached cells are reused\n\n",
+                harness::jobCount());
+    return harness::evaluationMatrix(cache);
 }
 
 /**

@@ -1,8 +1,10 @@
 #include "common/debug.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace gds::debug
 {
@@ -10,8 +12,11 @@ namespace gds::debug
 namespace
 {
 
-unsigned activeMask = 0;
-bool parsed = false;
+// Atomics (not plain globals): enabled() is queried from concurrent
+// harness workers, and the first queries race to parse GDS_DEBUG.
+std::atomic<unsigned> activeMask{0};
+std::atomic<bool> parsed{false};
+std::mutex parseMutex;
 
 const char *names[] = {"Dispatch", "Prefetch", "Reduce",    "Apply",
                        "Memory",   "Phase",    "Watchdog",  "Fault"};
@@ -19,7 +24,7 @@ const char *names[] = {"Dispatch", "Prefetch", "Reduce",    "Apply",
 void
 parse(const std::string &list)
 {
-    activeMask = 0;
+    unsigned mask = 0;
     std::size_t begin = 0;
     while (begin <= list.size()) {
         std::size_t end = list.find(',', begin);
@@ -27,23 +32,27 @@ parse(const std::string &list)
             end = list.size();
         const std::string token = list.substr(begin, end - begin);
         if (token == "All" || token == "all") {
-            activeMask = ~0u;
+            mask = ~0u;
         } else {
             for (unsigned f = 0;
                  f < static_cast<unsigned>(Flag::NumFlags); ++f) {
                 if (token == names[f])
-                    activeMask |= 1u << f;
+                    mask |= 1u << f;
             }
         }
         begin = end + 1;
     }
-    parsed = true;
+    activeMask.store(mask, std::memory_order_relaxed);
+    parsed.store(true, std::memory_order_release);
 }
 
 void
 parseEnvOnce()
 {
-    if (parsed)
+    if (parsed.load(std::memory_order_acquire))
+        return;
+    const std::lock_guard<std::mutex> lock(parseMutex);
+    if (parsed.load(std::memory_order_relaxed))
         return;
     const char *env = std::getenv("GDS_DEBUG");
     parse(env ? env : "");
@@ -55,7 +64,8 @@ bool
 enabled(Flag flag)
 {
     parseEnvOnce();
-    return (activeMask >> static_cast<unsigned>(flag)) & 1u;
+    return (activeMask.load(std::memory_order_relaxed) >>
+            static_cast<unsigned>(flag)) & 1u;
 }
 
 const char *

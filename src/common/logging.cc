@@ -1,12 +1,27 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <mutex>
 #include <vector>
 
 namespace gds
 {
 namespace detail
 {
+
+namespace
+{
+
+/** Serializes stderr emission so concurrent workers never interleave
+ *  messages (function-local static: safe before/after main). */
+std::mutex &
+emitMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 std::string
 vformat(const char *fmt, ...)
@@ -30,6 +45,7 @@ vformat(const char *fmt, ...)
 void
 emit(const char *prefix, const std::string &msg)
 {
+    const std::lock_guard<std::mutex> lock(emitMutex());
     std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
 }
 

@@ -1,5 +1,7 @@
 #include "graph/loader.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -181,6 +183,21 @@ saveBinary(const Csr &graph, const std::string &path)
     writeVec(out, graph.weightArray());
     if (!out)
         fatal("write failure on '%s'", path.c_str());
+}
+
+void
+saveBinaryAtomic(const Csr &graph, const std::string &path)
+{
+    const std::string tmp_file =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    saveBinary(graph, tmp_file);
+    std::error_code ec;
+    std::filesystem::rename(tmp_file, path, ec);
+    if (ec) {
+        warn("cannot move '%s' into place as '%s': %s", tmp_file.c_str(),
+             path.c_str(), ec.message().c_str());
+        std::filesystem::remove(tmp_file, ec);
+    }
 }
 
 Csr

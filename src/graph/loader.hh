@@ -29,6 +29,15 @@ Csr loadEdgeList(const std::string &path, VertexId num_vertices = 0,
 void saveBinary(const Csr &graph, const std::string &path);
 
 /**
+ * Save a CSR graph atomically: write to a process-unique temp file in the
+ * same directory, then rename over @p path. A crash mid-write or a
+ * concurrent writer of the same path can never leave a truncated or
+ * interleaved file behind; the loser of a rename race simply replaces the
+ * winner's identical bytes.
+ */
+void saveBinaryAtomic(const Csr &graph, const std::string &path);
+
+/**
  * Load a CSR graph from the binary format. Magic, version, and every
  * length field are checked against the file size, and the arrays are
  * validated (Csr::validateArrays) before construction.

@@ -1,19 +1,32 @@
 #include "harness/experiment.hh"
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "energy/energy_model.hh"
 #include "graph/loader.hh"
+#include "harness/parallel.hh"
 #include "stats/json.hh"
 
 namespace gds::harness
 {
+
+namespace
+{
+
+/** One mutex-serialized "[harness] ..." stderr line (workers interleave). */
+#define harnessLine(...)                                                    \
+    ::gds::detail::emit("[harness] ", ::gds::detail::vformat(__VA_ARGS__))
+
+} // namespace
 
 std::string
 systemName(SystemId id)
@@ -86,7 +99,9 @@ loadDataset(const std::string &name, bool weighted)
     }
     const graph::Csr g =
         graph::makeDataset(graph::datasetByName(name), scale, weighted);
-    graph::saveBinary(g, cache_file);
+    // Atomic write: a crash or a concurrent process never leaves a
+    // truncated cache file for the next run to trip over.
+    graph::saveBinaryAtomic(g, cache_file);
     return g;
 }
 
@@ -265,52 +280,180 @@ runGunrock(algo::AlgorithmId algorithm, const std::string &dataset,
     return r;
 }
 
+namespace
+{
+
+/**
+ * Once-only dataset loading shared by concurrent matrix workers. The
+ * first worker needing a (name, weighted) combination loads it while the
+ * others block on a shared future — no duplicate generation, and no race
+ * on the on-disk binary dataset cache. Slots are refcounted by the cells
+ * that may still need them, so a graph is freed as soon as its last cell
+ * completes instead of accumulating the whole Table 4 in memory.
+ */
+class DatasetPool
+{
+  public:
+    using GraphPtr = std::shared_ptr<const graph::Csr>;
+
+    /** Register one cell that may need (name, weighted). */
+    void
+    expect(const std::string &name, bool weighted)
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        ++slots[key(name, weighted)].remaining;
+    }
+
+    /** Fetch the shared graph, loading it on the first call. */
+    GraphPtr
+    get(const std::string &name, bool weighted)
+    {
+        Slot *slot = nullptr;
+        bool loader = false;
+        {
+            const std::lock_guard<std::mutex> lock(mu);
+            slot = &slots[key(name, weighted)];
+            gds_assert(slot->remaining > 0,
+                       "dataset %s fetched with no registered cells",
+                       name.c_str());
+            if (!slot->future.valid()) {
+                slot->future = slot->promise.get_future().share();
+                loader = true;
+            }
+        }
+        // The load runs outside the pool lock so distinct datasets load
+        // concurrently; waiters for *this* dataset block on the future.
+        if (loader) {
+            try {
+                harnessLine("loading %s%s", name.c_str(),
+                            weighted ? " (weighted)" : "");
+                slot->promise.set_value(std::make_shared<graph::Csr>(
+                    loadDataset(name, weighted)));
+            } catch (...) {
+                slot->promise.set_exception(std::current_exception());
+            }
+        }
+        return slot->future.get();
+    }
+
+    /** One cell for (name, weighted) is done; free the graph after the
+     *  last one (whether or not it ever called get()). */
+    void
+    release(const std::string &name, bool weighted)
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        const auto it = slots.find(key(name, weighted));
+        gds_assert(it != slots.end() && it->second.remaining > 0,
+                   "dataset %s released more often than expected",
+                   name.c_str());
+        if (--it->second.remaining == 0)
+            slots.erase(it);
+    }
+
+  private:
+    struct Slot
+    {
+        std::promise<GraphPtr> promise;
+        std::shared_future<GraphPtr> future;
+        unsigned remaining = 0;
+    };
+
+    static std::string
+    key(const std::string &name, bool weighted)
+    {
+        return name + (weighted ? "|w" : "|u");
+    }
+
+    std::mutex mu;
+    std::map<std::string, Slot> slots; // node-stable under insert/erase
+};
+
+/** Cache-key system tag for a SystemId. */
+const char *
+systemTag(SystemId sys)
+{
+    switch (sys) {
+      case SystemId::GraphDynS:
+        return "gds";
+      case SystemId::Graphicionado:
+        return "graphicionado";
+      case SystemId::Gunrock:
+        return "gunrock";
+    }
+    panic("bad system id");
+}
+
+} // namespace
+
 std::vector<RunRecord>
 evaluationMatrix(ResultCache &cache)
 {
-    std::vector<RunRecord> records;
+    struct Cell
+    {
+        SystemId sys;
+        algo::AlgorithmId id;
+        const graph::DatasetSpec *spec;
+        bool weighted;
+    };
+
+    // Enumerate cells in the canonical serial traversal order; each cell
+    // writes into its own slot, so the returned records are identical
+    // whatever the worker count or completion interleaving.
+    std::vector<Cell> cells;
     for (const algo::AlgorithmId id : algo::allAlgorithms) {
         const bool weighted = algo::makeAlgorithm(id)->usesWeights();
         for (const auto &spec : graph::realWorldDatasets()) {
-            // Load lazily: only cells missing from the cache pay for it.
-            std::optional<graph::Csr> g;
-            auto graph_ref = [&]() -> const graph::Csr & {
-                if (!g) {
-                    std::cerr << "[harness] loading " << spec.name
-                              << (weighted ? " (weighted)" : "") << "\n";
-                    g = loadDataset(spec.name, weighted);
-                }
-                return *g;
-            };
-            // runCell degrades a failed cell (bad config, corrupt
-            // dataset, watchdog verdict) into a status!="ok" record, so
-            // one broken cell never kills a whole figure regeneration.
-            records.push_back(cache.getOrRun(
-                cellKey("gds", id, spec.name), [&] {
-                    std::cerr << "[harness] GraphDynS " <<
-                        algo::algorithmName(id) << " " << spec.name << "\n";
-                    return runCell("GraphDynS", id, spec.name, [&] {
-                        return runGds(id, spec.name, graph_ref());
-                    });
-                }));
-            records.push_back(cache.getOrRun(
-                cellKey("graphicionado", id, spec.name), [&] {
-                    std::cerr << "[harness] Graphicionado " <<
-                        algo::algorithmName(id) << " " << spec.name << "\n";
-                    return runCell("Graphicionado", id, spec.name, [&] {
-                        return runGraphicionado(id, spec.name, graph_ref());
-                    });
-                }));
-            records.push_back(cache.getOrRun(
-                cellKey("gunrock", id, spec.name), [&] {
-                    std::cerr << "[harness] Gunrock " <<
-                        algo::algorithmName(id) << " " << spec.name << "\n";
-                    return runCell("Gunrock", id, spec.name, [&] {
-                        return runGunrock(id, spec.name, graph_ref());
-                    });
-                }));
+            for (const SystemId sys :
+                 {SystemId::GraphDynS, SystemId::Graphicionado,
+                  SystemId::Gunrock})
+                cells.push_back({sys, id, &spec, weighted});
         }
     }
+
+    DatasetPool pool;
+    for (const Cell &c : cells)
+        pool.expect(c.spec->name, c.weighted);
+
+    std::vector<RunRecord> records(cells.size());
+    std::atomic<std::size_t> done{0};
+    std::atomic<unsigned> running{0};
+
+    auto run_one = [&](std::size_t i) {
+        const Cell &c = cells[i];
+        const std::string system = systemName(c.sys);
+        const std::string &dataset = c.spec->name;
+        running.fetch_add(1, std::memory_order_relaxed);
+        // runCell degrades a failed cell (bad config, corrupt dataset,
+        // watchdog verdict) into a status!="ok" record, so one broken
+        // cell never kills a whole figure regeneration.
+        records[i] = cache.getOrRun(cellKey(systemTag(c.sys), c.id,
+                                            dataset), [&] {
+            harnessLine("%s %s %s", system.c_str(),
+                        algo::algorithmName(c.id).c_str(), dataset.c_str());
+            return runCell(system, c.id, dataset, [&] {
+                const DatasetPool::GraphPtr g =
+                    pool.get(dataset, c.weighted);
+                switch (c.sys) {
+                  case SystemId::GraphDynS:
+                    return runGds(c.id, dataset, *g);
+                  case SystemId::Graphicionado:
+                    return runGraphicionado(c.id, dataset, *g);
+                  case SystemId::Gunrock:
+                    return runGunrock(c.id, dataset, *g);
+                }
+                panic("bad system id");
+            });
+        });
+        pool.release(dataset, c.weighted);
+        const std::size_t completed =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        const unsigned active =
+            running.fetch_sub(1, std::memory_order_relaxed) - 1;
+        harnessLine("%zu/%zu cells, %u running", completed, cells.size(),
+                    active);
+    };
+
+    parallelFor(cells.size(), jobCount(), run_one);
     return records;
 }
 
@@ -349,7 +492,40 @@ namespace
 constexpr const char *cacheFile = "gds_bench_cache_v1.csv";
 /** First line of the file; bumped whenever the column layout changes. */
 constexpr const char *cacheFormatLine = "# gds-bench-cache format 2";
+constexpr const char *cacheColumnsLine =
+    "# key,system,algorithm,dataset,status,iterations,seconds,"
+    "gteps,memoryBytes,footprintBytes,bandwidthUtilization,"
+    "energyJoules,schedulingOps,atomicStalls,updatesSkipped,"
+    "vertexUpdates,edgesProcessed";
+
+/** The cache line format has no quoting, so a field containing the
+ *  delimiter (or a line break / control character) would re-parse with
+ *  silently shifted columns; such fields are refused at store() time. */
+bool
+cacheFieldOk(const std::string &field)
+{
+    for (const unsigned char c : field) {
+        if (c == ',' || c < 0x20)
+            return false;
+    }
+    return true;
 }
+
+void
+writeRecordLine(std::ostream &out, const std::string &key,
+                const RunRecord &r)
+{
+    out.precision(17);
+    out << key << ',' << r.system << ',' << r.algorithm << ','
+        << r.dataset << ',' << r.status << ',' << r.iterations << ','
+        << r.seconds << ',' << r.gteps << ',' << r.memoryBytes << ','
+        << r.footprintBytes << ',' << r.bandwidthUtilization << ','
+        << r.energyJoules << ',' << r.schedulingOps << ','
+        << r.atomicStalls << ',' << r.updatesSkipped << ','
+        << r.vertexUpdates << ',' << r.edgesProcessed << '\n';
+}
+
+} // namespace
 
 std::string
 cellKey(const std::string &system_tag, algo::AlgorithmId id,
@@ -366,13 +542,18 @@ ResultCache::ResultCache()
 
 ResultCache::~ResultCache()
 {
-    if (dirty)
-        save();
+    const std::lock_guard<std::mutex> lock(mu);
+    if (appended == 0)
+        return; // nothing new: the on-disk file is already canonical
+    if (journal.is_open())
+        journal.close();
+    compactLocked();
 }
 
 std::optional<RunRecord>
 ResultCache::lookup(const std::string &key) const
 {
+    const std::lock_guard<std::mutex> lock(mu);
     const auto it = entries.find(key);
     if (it == entries.end())
         return std::nullopt;
@@ -382,23 +563,60 @@ ResultCache::lookup(const std::string &key) const
 void
 ResultCache::store(const std::string &key, const RunRecord &record)
 {
+    if (!cacheFieldOk(key) || !cacheFieldOk(record.system) ||
+        !cacheFieldOk(record.algorithm) || !cacheFieldOk(record.dataset) ||
+        !cacheFieldOk(record.status)) {
+        throw ConfigError(
+            "result-cache fields must not contain commas or control "
+            "characters: key '" + key + "', cell " + record.system + "/" +
+            record.algorithm + "/" + record.dataset);
+    }
+    const std::lock_guard<std::mutex> lock(mu);
     entries[key] = record;
-    dirty = true;
-    save(); // persist eagerly so interrupted bench runs keep progress
-    dirty = false;
+    appendLocked(key, record);
+}
+
+void
+ResultCache::appendLocked(const std::string &key, const RunRecord &record)
+{
+    if (journal_failed)
+        return;
+    if (!journal.is_open()) {
+        journal.open(cacheFile,
+                     needs_header ? std::ios::trunc : std::ios::app);
+        if (journal && needs_header) {
+            journal << cacheFormatLine << '\n'
+                    << cacheColumnsLine << '\n';
+            needs_header = false;
+        }
+    }
+    if (journal.is_open())
+        writeRecordLine(journal, key, record);
+    // Flush eagerly so interrupted bench runs keep their progress.
+    if (!journal.is_open() || !journal.flush()) {
+        warn("cannot append to result cache '%s'; results from this run "
+             "will not be persisted",
+             cacheFile);
+        journal_failed = true;
+        return;
+    }
+    ++appended;
 }
 
 void
 ResultCache::load()
 {
     std::ifstream in(cacheFile);
-    if (!in)
+    if (!in) {
+        needs_header = true;
         return;
+    }
     std::string line;
     if (!std::getline(in, line) || line != cacheFormatLine) {
         warn("ignoring result cache '%s': unrecognized format (expected "
              "\"%s\"); it will be rebuilt",
              cacheFile, cacheFormatLine);
+        needs_header = true;
         return;
     }
     std::uint64_t line_number = 1;
@@ -439,30 +657,18 @@ ResultCache::load()
 }
 
 void
-ResultCache::save() const
+ResultCache::compactLocked()
 {
-    // Write to a temp file and rename so a crash mid-write can never
-    // truncate or corrupt the existing cache (rename is atomic within a
-    // filesystem).
+    // Rewrite the journal once, deduplicated, via a temp file + rename so
+    // a crash mid-write can never truncate or corrupt the existing cache
+    // (rename is atomic within a filesystem).
     const std::string tmp_file = std::string(cacheFile) + ".tmp";
     {
         std::ofstream out(tmp_file);
         out << cacheFormatLine << '\n';
-        out << "# key,system,algorithm,dataset,status,iterations,seconds,"
-               "gteps,memoryBytes,footprintBytes,bandwidthUtilization,"
-               "energyJoules,schedulingOps,atomicStalls,updatesSkipped,"
-               "vertexUpdates,edgesProcessed\n";
-        out.precision(17);
-        for (const auto &[key, r] : entries) {
-            out << key << ',' << r.system << ',' << r.algorithm << ','
-                << r.dataset << ',' << r.status << ',' << r.iterations
-                << ',' << r.seconds << ',' << r.gteps << ','
-                << r.memoryBytes << ',' << r.footprintBytes << ','
-                << r.bandwidthUtilization << ',' << r.energyJoules << ','
-                << r.schedulingOps << ',' << r.atomicStalls << ','
-                << r.updatesSkipped << ',' << r.vertexUpdates << ','
-                << r.edgesProcessed << '\n';
-        }
+        out << cacheColumnsLine << '\n';
+        for (const auto &[key, r] : entries)
+            writeRecordLine(out, key, r);
         if (!out) {
             warn("cannot write result cache temp file '%s'",
                  tmp_file.c_str());

@@ -11,8 +11,11 @@
 #ifndef GDS_HARNESS_EXPERIMENT_HH
 #define GDS_HARNESS_EXPERIMENT_HH
 
+#include <cstdint>
+#include <fstream>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -88,6 +91,8 @@ VertexId sourceFor(algo::AlgorithmId id, const graph::Csr &g);
  * binary-file cache beside the working directory so repeated bench
  * invocations skip generation. A corrupt or truncated cache file is
  * removed and the dataset regenerated (with a warning), never fatal.
+ * The cache file is written atomically (temp file + rename), so a crash
+ * or a concurrent process can never leave a truncated cache behind.
  */
 graph::Csr loadDataset(const std::string &name, bool weighted);
 
@@ -131,8 +136,14 @@ RunRecord runGunrock(algo::AlgorithmId algorithm,
  *
  * The file carries a format-version header; a cache written by an
  * incompatible build is ignored wholesale, and individually corrupt lines
- * are skipped with a warning. Saves are atomic (temp file + rename), so a
- * crash mid-write never loses the previous cache.
+ * are skipped with a warning. The file doubles as an append journal:
+ * store() appends (and flushes) one line, so an interrupted run keeps its
+ * progress without rewriting the whole file per cell, and the destructor
+ * compacts the journal once via an atomic temp-file + rename (duplicate
+ * keys collapse, last write wins).
+ *
+ * All public members are safe to call from concurrent workers; compute
+ * functions passed to getOrRun() run outside the cache lock.
  */
 class ResultCache
 {
@@ -140,9 +151,15 @@ class ResultCache
     ResultCache();
     ~ResultCache();
 
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
     /**
      * Fetch a cached record, or run @p compute. Only successful records
      * are cached; a failed cell is returned but retried on the next run.
+     * Concurrent callers racing on the same missing key may each run
+     * @p compute; the last store wins (cell computations are
+     * deterministic, so every caller still sees the same values).
      */
     template <typename Fn>
     RunRecord
@@ -157,14 +174,26 @@ class ResultCache
     }
 
     std::optional<RunRecord> lookup(const std::string &key) const;
+
+    /**
+     * Record a cell result and append it to the on-disk journal. Throws
+     * ConfigError (storing nothing) if the key or any string field
+     * contains a comma, newline or other control character: such a line
+     * would re-parse with silently shifted columns.
+     */
     void store(const std::string &key, const RunRecord &record);
 
   private:
     void load();
-    void save() const;
+    void appendLocked(const std::string &key, const RunRecord &record);
+    void compactLocked();
 
+    mutable std::mutex mu;
     std::map<std::string, RunRecord> entries;
-    bool dirty = false;
+    std::ofstream journal;
+    bool needs_header = false;  ///< file absent/rejected: rewrite on open
+    bool journal_failed = false;
+    std::uint64_t appended = 0; ///< journal lines since load
 };
 
 /** Cache key for a cell. */
@@ -174,7 +203,15 @@ std::string cellKey(const std::string &system_tag, algo::AlgorithmId id,
 /**
  * The paper's main evaluation matrix: 5 algorithms x the 6 real-world
  * datasets x 3 systems (Figs. 6, 7, 9, 11, 12, 13 all read from it).
- * Cells are simulated once and cached; expect several minutes cold.
+ * Cells are simulated once and cached.
+ *
+ * Cold cells run concurrently on jobCount() workers (GDS_JOBS env;
+ * GDS_JOBS=1 forces the serial path). Each dataset is loaded exactly once
+ * per (name, weighted) combination regardless of worker interleaving and
+ * is released as soon as its last cell completes. The returned records
+ * are always in the serial traversal order — byte-identical whatever the
+ * worker count — and progress is reported live on stderr
+ * ("[harness] 42/90 cells, 3 running").
  */
 std::vector<RunRecord> evaluationMatrix(ResultCache &cache);
 

@@ -1,6 +1,7 @@
 #include "stats/json.hh"
 
 #include <cmath>
+#include <cstdio>
 
 namespace gds::stats
 {
@@ -19,10 +20,39 @@ void
 emitJsonString(std::ostream &os, const std::string &s)
 {
     os << '"';
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            os << '\\';
-        os << c;
+    for (const unsigned char c : s) {
+        switch (c) {
+          case '"':
+            os << "\\\"";
+            break;
+          case '\\':
+            os << "\\\\";
+            break;
+          case '\b':
+            os << "\\b";
+            break;
+          case '\f':
+            os << "\\f";
+            break;
+          case '\n':
+            os << "\\n";
+            break;
+          case '\r':
+            os << "\\r";
+            break;
+          case '\t':
+            os << "\\t";
+            break;
+          default:
+            // RFC 8259: all other control characters must be \u-escaped.
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << static_cast<char>(c);
+            }
+        }
     }
     os << '"';
 }

@@ -10,6 +10,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "graph/generators.hh"
 #include "harness/experiment.hh"
@@ -233,6 +236,110 @@ TEST_F(HarnessTest, DatasetLoaderCachesBinary)
     const auto g2 = loadDataset("FR", false);
     EXPECT_EQ(g1.neighborArray(), g2.neighborArray());
     ::unsetenv("GDS_SCALE");
+}
+
+TEST_F(HarnessTest, DatasetCacheWriteIsAtomicAndLeavesNoTempFiles)
+{
+    ::setenv("GDS_SCALE", "16384", 1);
+    loadDataset("FR", false);
+    EXPECT_TRUE(std::filesystem::exists("gds_dataset_FR_s16384_u.bin"));
+    for (const auto &entry : std::filesystem::directory_iterator(".")) {
+        EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
+            << "leftover temp file " << entry.path();
+    }
+    ::unsetenv("GDS_SCALE");
+}
+
+namespace
+{
+
+std::vector<std::string>
+fileLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+RunRecord
+simpleRecord(double gteps)
+{
+    RunRecord r;
+    r.system = "S";
+    r.algorithm = "A";
+    r.dataset = "D";
+    r.gteps = gteps;
+    return r;
+}
+
+} // namespace
+
+TEST_F(HarnessTest, CacheJournalAppendsThenCompactsOnExit)
+{
+    constexpr const char *file = "gds_bench_cache_v1.csv";
+    {
+        ResultCache cache;
+        cache.store("kb", simpleRecord(1.0));
+        cache.store("ka", simpleRecord(2.0));
+        cache.store("kb", simpleRecord(3.0)); // overwrite appends too
+        // Mid-run (pre-destructor) the journal already holds every store
+        // in append order — interrupted runs keep their progress, and
+        // stores never rewrite the file (a rewrite would be key-sorted).
+        const auto lines = fileLines(file);
+        ASSERT_EQ(lines.size(), 5u); // format + columns + 3 appends
+        EXPECT_EQ(lines[2].rfind("kb,", 0), 0u);
+        EXPECT_EQ(lines[3].rfind("ka,", 0), 0u);
+        EXPECT_EQ(lines[4].rfind("kb,", 0), 0u);
+    }
+    // On exit the journal is compacted once: each key exactly once,
+    // last write wins.
+    const auto lines = fileLines(file);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[2].rfind("ka,", 0), 0u);
+    EXPECT_EQ(lines[3].rfind("kb,", 0), 0u);
+    ResultCache reloaded;
+    ASSERT_TRUE(reloaded.lookup("kb").has_value());
+    EXPECT_DOUBLE_EQ(reloaded.lookup("kb")->gteps, 3.0);
+    EXPECT_DOUBLE_EQ(reloaded.lookup("ka")->gteps, 2.0);
+}
+
+TEST_F(HarnessTest, CacheJournalSurvivesAcrossInstances)
+{
+    {
+        ResultCache first;
+        first.store("k1", simpleRecord(1.5));
+    }
+    {
+        ResultCache second; // append to the compacted file
+        EXPECT_TRUE(second.lookup("k1").has_value());
+        second.store("k2", simpleRecord(2.5));
+    }
+    ResultCache third;
+    ASSERT_TRUE(third.lookup("k1").has_value());
+    ASSERT_TRUE(third.lookup("k2").has_value());
+    EXPECT_DOUBLE_EQ(third.lookup("k1")->gteps, 1.5);
+    EXPECT_DOUBLE_EQ(third.lookup("k2")->gteps, 2.5);
+}
+
+TEST_F(HarnessTest, CacheRefusesDelimiterAndControlCharacterFields)
+{
+    ResultCache cache;
+    RunRecord r = simpleRecord(1.0);
+    r.system = "Graph,DynS"; // would re-parse with shifted columns
+    EXPECT_THROW(cache.store("k", r), ConfigError);
+    r = simpleRecord(1.0);
+    r.dataset = "F\nR";
+    EXPECT_THROW(cache.store("k", r), ConfigError);
+    r = simpleRecord(1.0);
+    r.status = "bad\tstatus";
+    EXPECT_THROW(cache.store("k", r), ConfigError);
+    EXPECT_THROW(cache.store("a,b", simpleRecord(1.0)), ConfigError);
+    // The refused stores left no trace, in memory or on disk.
+    EXPECT_FALSE(cache.lookup("k").has_value());
+    EXPECT_FALSE(std::filesystem::exists("gds_bench_cache_v1.csv"));
 }
 
 } // namespace

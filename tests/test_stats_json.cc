@@ -79,5 +79,22 @@ TEST(StatsJson, QuotesAreEscaped)
     EXPECT_NE(toJson(root).find("\"a\\\"b\""), std::string::npos);
 }
 
+TEST(StatsJson, ControlCharactersAreEscapedPerRfc8259)
+{
+    std::ostringstream os;
+    emitJsonString(os, "a\nb\tc\rd\be\ff");
+    EXPECT_EQ(os.str(), "\"a\\nb\\tc\\rd\\be\\ff\"");
+
+    // Control characters without a short form use \u00xx.
+    std::ostringstream os2;
+    emitJsonString(os2, std::string("x\x01y\x1fz"));
+    EXPECT_EQ(os2.str(), "\"x\\u0001y\\u001fz\"");
+
+    // Backslash and quote still escape; printable text is untouched.
+    std::ostringstream os3;
+    emitJsonString(os3, "p\\q\"r");
+    EXPECT_EQ(os3.str(), "\"p\\\\q\\\"r\"");
+}
+
 } // namespace
 } // namespace gds::stats
