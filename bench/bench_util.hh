@@ -4,8 +4,7 @@
  * the paper-expected vs measured footer every bench emits.
  */
 
-#ifndef GDS_BENCH_BENCH_UTIL_HH
-#define GDS_BENCH_BENCH_UTIL_HH
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -72,5 +71,3 @@ cellOrSkip(const std::vector<harness::RunRecord> &records,
 }
 
 } // namespace gds::bench
-
-#endif // GDS_BENCH_BENCH_UTIL_HH

@@ -4,6 +4,7 @@
  */
 
 #include "algo/vcpm.hh"
+#include "common/error.hh"
 
 #include <algorithm>
 #include <cmath>
@@ -200,7 +201,8 @@ class Pr : public VcpmAlgorithm
     void
     bind(const graph::Csr &g) override
     {
-        gds_assert(g.numVertices() > 0, "PR needs a non-empty graph");
+        gds_require(g.numVertices() > 0, ConfigError,
+                    "PR needs a non-empty graph");
         alphaOverV = (1.0f - damping) / static_cast<PropValue>(
             g.numVertices());
     }
@@ -292,7 +294,7 @@ algorithmName(AlgorithmId id)
 VertexId
 defaultSource(const graph::Csr &g)
 {
-    gds_assert(g.numVertices() > 0, "empty graph has no source");
+    gds_require(g.numVertices() > 0, ConfigError, "empty graph has no source");
     VertexId best = 0;
     std::uint64_t best_degree = g.outDegree(0);
     for (VertexId v = 1; v < g.numVertices(); ++v) {

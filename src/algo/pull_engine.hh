@@ -13,8 +13,7 @@
  * fixed point validatePr certifies against.
  */
 
-#ifndef GDS_ALGO_PULL_ENGINE_HH
-#define GDS_ALGO_PULL_ENGINE_HH
+#pragma once
 
 #include "algo/vcpm.hh"
 
@@ -38,5 +37,3 @@ PullResult runPullReference(const graph::Csr &g,
                             unsigned max_iterations = 1000);
 
 } // namespace gds::algo
-
-#endif // GDS_ALGO_PULL_ENGINE_HH

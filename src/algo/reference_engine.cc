@@ -1,5 +1,7 @@
 #include "algo/reference_engine.hh"
 
+#include "common/error.hh"
+
 namespace gds::algo
 {
 
@@ -33,9 +35,10 @@ runReference(const graph::Csr &g, VcpmAlgorithm &algorithm, VertexId source,
              const ReferenceOptions &options)
 {
     const VertexId v_count = g.numVertices();
-    gds_assert(v_count > 0, "cannot run on an empty graph");
-    gds_assert(source < v_count, "source %u out of range", source);
-    gds_assert(!algorithm.usesWeights() || g.hasWeights(),
+    gds_require(v_count > 0, ConfigError, "cannot run on an empty graph");
+    gds_require(source < v_count, ConfigError, "source %u out of range",
+                source);
+    gds_require(!algorithm.usesWeights() || g.hasWeights(), ConfigError,
                "%s needs a weighted graph", algorithm.name().c_str());
 
     algorithm.bind(g);

@@ -10,8 +10,7 @@
  *  - workload characterization feeding the GunrockSim GPU timing model.
  */
 
-#ifndef GDS_ALGO_REFERENCE_ENGINE_HH
-#define GDS_ALGO_REFERENCE_ENGINE_HH
+#pragma once
 
 #include <array>
 #include <vector>
@@ -77,5 +76,3 @@ ReferenceResult runReference(const graph::Csr &g, VcpmAlgorithm &algorithm,
                              const ReferenceOptions &options = {});
 
 } // namespace gds::algo
-
-#endif // GDS_ALGO_REFERENCE_ENGINE_HH

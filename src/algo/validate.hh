@@ -8,8 +8,7 @@
  * certified without trusting another executor.
  */
 
-#ifndef GDS_ALGO_VALIDATE_HH
-#define GDS_ALGO_VALIDATE_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -90,5 +89,3 @@ ValidationResult validate(AlgorithmId id, const graph::Csr &g,
                           const std::vector<PropValue> &properties);
 
 } // namespace gds::algo
-
-#endif // GDS_ALGO_VALIDATE_HH

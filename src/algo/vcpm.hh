@@ -17,8 +17,7 @@
  * is checked against the reference for free.
  */
 
-#ifndef GDS_ALGO_VCPM_HH
-#define GDS_ALGO_VCPM_HH
+#pragma once
 
 #include <memory>
 #include <string>
@@ -125,5 +124,3 @@ std::string algorithmName(AlgorithmId id);
 VertexId defaultSource(const graph::Csr &g);
 
 } // namespace gds::algo
-
-#endif // GDS_ALGO_VCPM_HH

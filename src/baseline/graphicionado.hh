@@ -22,8 +22,7 @@
  * the reference engine in the tests.
  */
 
-#ifndef GDS_BASELINE_GRAPHICIONADO_HH
-#define GDS_BASELINE_GRAPHICIONADO_HH
+#pragma once
 
 #include <deque>
 #include <memory>
@@ -226,5 +225,3 @@ class GraphicionadoAccel : public sim::Component
 };
 
 } // namespace gds::baseline
-
-#endif // GDS_BASELINE_GRAPHICIONADO_HH

@@ -29,8 +29,7 @@
  * DESIGN.md (Substitutions).
  */
 
-#ifndef GDS_BASELINE_GUNROCK_SIM_HH
-#define GDS_BASELINE_GUNROCK_SIM_HH
+#pragma once
 
 #include "algo/reference_engine.hh"
 #include "algo/vcpm.hh"
@@ -112,5 +111,3 @@ class GunrockSim
 };
 
 } // namespace gds::baseline
-
-#endif // GDS_BASELINE_GUNROCK_SIM_HH

@@ -4,8 +4,7 @@
  * accelerator models.
  */
 
-#ifndef GDS_COMMON_BITUTIL_HH
-#define GDS_COMMON_BITUTIL_HH
+#pragma once
 
 #include <bit>
 #include <cstdint>
@@ -50,5 +49,3 @@ alignDown(std::uint64_t x, std::uint64_t align)
 }
 
 } // namespace gds
-
-#endif // GDS_COMMON_BITUTIL_HH

@@ -9,8 +9,7 @@
  * cost one predictable branch, so tracing can stay in hot code.
  */
 
-#ifndef GDS_COMMON_DEBUG_HH
-#define GDS_COMMON_DEBUG_HH
+#pragma once
 
 #include <cstdio>
 #include <string>
@@ -57,5 +56,3 @@ void vprint(Flag flag, const char *fmt, ...)
     } while (0)
 
 } // namespace gds::debug
-
-#endif // GDS_COMMON_DEBUG_HH

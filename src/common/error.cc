@@ -58,6 +58,8 @@ throwStatus(const Status &status)
         throw CorruptInputError("", 0, status.message());
       case ErrorCode::Config:
         throw ConfigError(status.message());
+      case ErrorCode::Internal:
+        throw InternalError(status.message());
       default:
         throw SimError(status.code(), status.message());
     }

@@ -13,8 +13,7 @@
  *    instead of aborting a whole figure regeneration.
  */
 
-#ifndef GDS_COMMON_ERROR_HH
-#define GDS_COMMON_ERROR_HH
+#pragma once
 
 #include <optional>
 #include <stdexcept>
@@ -193,6 +192,11 @@ class CorruptInputError : public SimError
           _line(line_number)
     {}
 
+    /** Corruption in in-memory data with no file to point at. */
+    explicit CorruptInputError(const std::string &msg)
+        : CorruptInputError("", 0, msg)
+    {}
+
     const std::string &path() const { return _path; }
 
     /** 1-based line number; 0 when not applicable (binary files). */
@@ -216,9 +220,32 @@ class ConfigError : public SimError
     {}
 };
 
+/**
+ * An unexpected internal condition surfaced as a typed error instead of a
+ * panic, so a long experiment run can record the failure and continue.
+ */
+class InternalError : public SimError
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : SimError(ErrorCode::Internal, msg)
+    {}
+};
+
 /** Throw the SimError subclass matching @p status (which must be !ok). */
 [[noreturn]] void throwStatus(const Status &status);
 
-} // namespace gds
+/**
+ * Throw @p error_type (a SimError subclass taking a single message) unless
+ * a user-facing precondition holds. This is the typed-error sibling of
+ * gds_assert(): gds_assert flags simulator bugs and aborts, gds_require
+ * flags bad user input/configuration and throws, so the experiment
+ * harness can record the failed cell and keep going.
+ */
+#define gds_require(cond, error_type, ...)                                  \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            throw error_type(::gds::detail::vformat(__VA_ARGS__));          \
+    } while (0)
 
-#endif // GDS_COMMON_ERROR_HH
+} // namespace gds

@@ -5,8 +5,7 @@
  * warn()/inform() report without stopping.
  */
 
-#ifndef GDS_COMMON_LOGGING_HH
-#define GDS_COMMON_LOGGING_HH
+#pragma once
 
 #include <cstdio>
 #include <cstdlib>
@@ -55,5 +54,3 @@ std::string vformat(const char *fmt, ...)
     } while (0)
 
 } // namespace gds
-
-#endif // GDS_COMMON_LOGGING_HH

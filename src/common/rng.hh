@@ -5,8 +5,7 @@
  * seeded explicitly, so every experiment is exactly reproducible.
  */
 
-#ifndef GDS_COMMON_RNG_HH
-#define GDS_COMMON_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -89,5 +88,3 @@ class Rng
 };
 
 } // namespace gds
-
-#endif // GDS_COMMON_RNG_HH

@@ -5,8 +5,7 @@
  * vertex property values.
  */
 
-#ifndef GDS_COMMON_TYPES_HH
-#define GDS_COMMON_TYPES_HH
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -51,5 +50,3 @@ inline constexpr PropValue propInf = std::numeric_limits<PropValue>::infinity();
 inline constexpr unsigned bytesPerWord = 4;
 
 } // namespace gds
-
-#endif // GDS_COMMON_TYPES_HH

@@ -4,9 +4,10 @@
  * and the ablation knobs of the Fig. 14 scheduling study.
  */
 
-#ifndef GDS_CORE_CONFIG_HH
-#define GDS_CORE_CONFIG_HH
+#pragma once
 
+#include "common/bitutil.hh"
+#include "common/error.hh"
 #include "common/types.hh"
 #include "mem/hbm.hh"
 
@@ -67,6 +68,112 @@ struct GdsConfig
     }
 };
 
-} // namespace gds::core
+/**
+ * First violated configuration contract, or nullptr when the config is
+ * well formed. constexpr so the same predicate backs the compile-time
+ * checks below (static_assert / checkedConfig) and the runtime
+ * validateConfig() used for configs read from files or sweep axes.
+ *
+ * The contracts encode structural assumptions baked into the models:
+ * power-of-two fabric widths (the crossbar routes by low destination
+ * bits and the slicer masks rather than divides), HBM rows made of
+ * whole transactions, and nonzero queue depths (a zero-depth queue
+ * deadlocks the pipeline on the first push).
+ */
+constexpr const char *
+configContractViolation(const GdsConfig &c)
+{
+    if (c.numDispatchers == 0)
+        return "numDispatchers must be nonzero";
+    if (c.numPes == 0 || !isPow2(c.numPes))
+        return "numPes must be a nonzero power of two";
+    if (c.nSimt == 0 || !isPow2(c.nSimt))
+        return "nSimt must be a nonzero power of two";
+    if (c.numUes == 0 || !isPow2(c.numUes))
+        return "numUes must be a nonzero power of two";
+    if (c.eThreshold == 0)
+        return "eThreshold must be nonzero";
+    if (c.eListSize == 0)
+        return "eListSize must be nonzero";
+    if (c.vListSize == 0)
+        return "vListSize must be nonzero";
+    if (c.vbBytesPerUe < bytesPerWord)
+        return "vbBytesPerUe must hold at least one property word";
+    if (c.rbGroupSize == 0)
+        return "rbGroupSize must be nonzero";
+    if (c.ueQueueDepth == 0)
+        return "ueQueueDepth must be nonzero";
+    if (c.peQueueEdges == 0)
+        return "peQueueEdges must be nonzero";
+    if (c.vpbRecords == 0)
+        return "vpbRecords must be nonzero";
+    if (c.applyListQueue == 0)
+        return "applyListQueue must be nonzero";
+    if (c.auBatchRecords == 0)
+        return "auBatchRecords must be nonzero";
+    if (c.vprefBatch == 0)
+        return "vprefBatch must be nonzero";
+    if (c.vprefMaxInflight == 0)
+        return "vprefMaxInflight must be nonzero";
+    if (c.eprefMaxInflight == 0)
+        return "eprefMaxInflight must be nonzero";
+    if (c.eprefBufferEdges < c.eListSize)
+        return "eprefBufferEdges must hold at least one edge list";
+    if (c.applyMaxInflightGroups == 0)
+        return "applyMaxInflightGroups must be nonzero";
+    if (c.maxIterations == 0)
+        return "maxIterations must be nonzero";
+    if (c.hbm.numChannels == 0)
+        return "hbm.numChannels must be nonzero";
+    if (c.hbm.banksPerChannel == 0)
+        return "hbm.banksPerChannel must be nonzero";
+    if (c.hbm.txBytes == 0 || !isPow2(c.hbm.txBytes))
+        return "hbm.txBytes must be a nonzero power of two";
+    if (c.hbm.rowBytes == 0 || c.hbm.rowBytes % c.hbm.txBytes != 0)
+        return "hbm.rowBytes must be a nonzero multiple of hbm.txBytes";
+    if (c.hbm.tBurst == 0)
+        return "hbm.tBurst must be nonzero";
+    if (c.hbm.queueDepth == 0)
+        return "hbm.queueDepth must be nonzero";
+    if (c.hbm.frfcfsWindow == 0)
+        return "hbm.frfcfsWindow must be nonzero";
+    return nullptr;
+}
 
-#endif // GDS_CORE_CONFIG_HH
+/** True iff every configuration contract holds. Usable in static_assert. */
+constexpr bool
+configContractsHold(const GdsConfig &c)
+{
+    return configContractViolation(c) == nullptr;
+}
+
+/**
+ * Compile-time configuration gate: pass a config through checkedConfig()
+ * in a constant-evaluated context and any contract violation becomes a
+ * compile error naming the violated contract:
+ *
+ *   constexpr GdsConfig cfg = checkedConfig([]{
+ *       GdsConfig c; c.nSimt = 8; return c; }());
+ */
+consteval GdsConfig
+checkedConfig(GdsConfig c)
+{
+    if (const char *violation = configContractViolation(c))
+        throw violation; // unreachable at runtime: consteval
+    return c;
+}
+
+/** Runtime contract check for configs built from files or sweep axes. */
+inline Status
+validateConfig(const GdsConfig &c)
+{
+    if (const char *violation = configContractViolation(c))
+        return Status::failure(ErrorCode::Config, violation);
+    return Status();
+}
+
+// The paper's default configuration (Table 3) must itself be well formed.
+static_assert(configContractsHold(GdsConfig{}),
+              "default GdsConfig violates its own contracts");
+
+} // namespace gds::core

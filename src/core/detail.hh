@@ -5,8 +5,7 @@
  * public API.
  */
 
-#ifndef GDS_CORE_DETAIL_HH
-#define GDS_CORE_DETAIL_HH
+#pragma once
 
 #include <cstdint>
 
@@ -47,5 +46,3 @@ tagPayload(std::uint64_t tag)
 constexpr unsigned maxRequestBytes = 512;
 
 } // namespace gds::core::detail
-
-#endif // GDS_CORE_DETAIL_HH

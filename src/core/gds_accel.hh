@@ -22,8 +22,7 @@
  * updateScheduling), which is how the Fig. 14 ablation benches are built.
  */
 
-#ifndef GDS_CORE_GDS_ACCEL_HH
-#define GDS_CORE_GDS_ACCEL_HH
+#pragma once
 
 #include <array>
 #include <deque>
@@ -377,5 +376,3 @@ class GdsAccel : public sim::Component
 };
 
 } // namespace gds::core
-
-#endif // GDS_CORE_GDS_ACCEL_HH

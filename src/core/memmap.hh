@@ -10,8 +10,7 @@
  * GraphDynS needs neither src_vid-tagged edges nor preprocessing metadata.
  */
 
-#ifndef GDS_CORE_MEMMAP_HH
-#define GDS_CORE_MEMMAP_HH
+#pragma once
 
 #include "common/bitutil.hh"
 #include "common/types.hh"
@@ -116,5 +115,3 @@ class MemoryLayout
 };
 
 } // namespace gds::core
-
-#endif // GDS_CORE_MEMMAP_HH

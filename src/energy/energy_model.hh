@@ -17,8 +17,7 @@
  * ~57% of its area.
  */
 
-#ifndef GDS_ENERGY_ENERGY_MODEL_HH
-#define GDS_ENERGY_ENERGY_MODEL_HH
+#pragma once
 
 #include "baseline/graphicionado.hh"
 #include "core/config.hh"
@@ -108,7 +107,7 @@ struct EnergyBreakdown
     hbmShare() const
     {
         const double total = totalJ();
-        return total == 0.0 ? 0.0 : hbmJ / total;
+        return total > 0.0 ? hbmJ / total : 0.0;
     }
 };
 
@@ -153,5 +152,3 @@ class EnergyModel
 };
 
 } // namespace gds::energy
-
-#endif // GDS_ENERGY_ENERGY_MODEL_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
+
 namespace gds::graph
 {
 
@@ -18,7 +20,8 @@ buildCsr(VertexId num_vertices, std::vector<CooEdge> edges,
     std::vector<EdgeId> offsets(static_cast<std::size_t>(num_vertices) + 1,
                                 0);
     for (const CooEdge &e : edges) {
-        gds_assert(e.src < num_vertices && e.dst < num_vertices,
+        gds_require(e.src < num_vertices && e.dst < num_vertices,
+                    CorruptInputError,
                    "edge (%u,%u) out of range (V=%u)", e.src, e.dst,
                    num_vertices);
         ++offsets[e.src + 1];

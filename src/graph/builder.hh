@@ -3,8 +3,7 @@
  * COO (edge list) to CSR conversion.
  */
 
-#ifndef GDS_GRAPH_BUILDER_HH
-#define GDS_GRAPH_BUILDER_HH
+#pragma once
 
 #include <vector>
 
@@ -44,5 +43,3 @@ Csr buildCsr(VertexId num_vertices, std::vector<CooEdge> edges,
              const BuildOptions &opts = {});
 
 } // namespace gds::graph
-
-#endif // GDS_GRAPH_BUILDER_HH

@@ -51,11 +51,12 @@ Csr::Csr(std::vector<EdgeId> offset_array,
       neighbors(std::move(neighbor_array)),
       weights(std::move(weight_array))
 {
-    // Constructing from malformed arrays is an internal invariant
-    // violation: untrusted sources (file loaders) must pre-validate and
-    // raise a typed error before getting here.
+    // Constructing from malformed arrays raises the typed error directly,
+    // so both untrusted sources (file loaders) and buggy builders surface
+    // as a recordable CorruptInputError instead of aborting the harness.
     const Status valid = validateArrays(offsets, neighbors, weights);
-    gds_assert(valid.ok(), "%s", valid.message().c_str());
+    if (!valid.ok())
+        throwStatus(valid);
 }
 
 DegreeStats

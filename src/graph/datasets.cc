@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/bitutil.hh"
+#include "common/error.hh"
 #include "graph/generators.hh"
 
 namespace gds::graph
@@ -11,7 +12,7 @@ namespace gds::graph
 std::uint64_t
 DatasetSpec::scaledVertices(unsigned scale_divisor) const
 {
-    gds_assert(scale_divisor >= 1, "scale divisor must be >= 1");
+    gds_require(scale_divisor >= 1, ConfigError, "scale divisor must be >= 1");
     if (kind == DatasetKind::Rmat) {
         // Scale an RMAT graph by reducing its scale parameter; divisor is
         // rounded to the nearest power of two.
@@ -111,7 +112,7 @@ makeDataset(const DatasetSpec &spec, unsigned scale_divisor, bool weighted)
 {
     const std::uint64_t v_count = spec.scaledVertices(scale_divisor);
     const std::uint64_t e_count = spec.scaledEdges(scale_divisor);
-    gds_assert(v_count <= invalidVertex,
+    gds_require(v_count <= invalidVertex, ConfigError,
                "dataset %s too large for 32-bit vertex ids",
                spec.name.c_str());
 

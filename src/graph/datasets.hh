@@ -13,8 +13,7 @@
  * set GDS_SCALE=1 to evaluate at paper-native sizes.
  */
 
-#ifndef GDS_GRAPH_DATASETS_HH
-#define GDS_GRAPH_DATASETS_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -78,5 +77,3 @@ Csr makeDataset(const DatasetSpec &spec, unsigned scale_divisor,
                 bool weighted);
 
 } // namespace gds::graph
-
-#endif // GDS_GRAPH_DATASETS_HH

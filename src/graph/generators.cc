@@ -5,6 +5,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/rng.hh"
 #include "graph/builder.hh"
 
@@ -39,22 +40,14 @@ scramble(VertexId v, VertexId num_vertices, std::uint64_t salt)
     return static_cast<VertexId>(x);
 }
 
-std::vector<Weight>
-randomWeights(EdgeId count, Rng &rng)
-{
-    std::vector<Weight> w(count);
-    for (auto &value : w)
-        value = static_cast<Weight>(1 + rng.below(255));
-    return w;
-}
-
 } // namespace
 
 Csr
 rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
      const RmatParams &params, bool weighted)
 {
-    gds_assert(scale >= 1 && scale <= 32, "rmat scale %u unsupported", scale);
+    gds_require(scale >= 1 && scale <= 32, ConfigError,
+                "rmat scale %u unsupported", scale);
     const VertexId num_vertices = static_cast<VertexId>(1ULL << scale);
     const EdgeId num_edges =
         static_cast<EdgeId>(edge_factor) * num_vertices;
@@ -106,8 +99,9 @@ Csr
 powerLaw(VertexId num_vertices, EdgeId num_edges, double alpha,
          std::uint64_t seed, bool weighted)
 {
-    gds_assert(num_vertices > 0, "need at least one vertex");
-    gds_assert(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+    gds_require(num_vertices > 0, ConfigError, "need at least one vertex");
+    gds_require(alpha > 0.0 && alpha < 1.0, ConfigError,
+                "alpha must be in (0,1)");
 
     // Zipf sampling by inversion: endpoint rank r is drawn with density
     // proportional to r^-alpha, giving a heavy-tailed expected-degree
@@ -151,7 +145,7 @@ Csr
 uniform(VertexId num_vertices, EdgeId num_edges, std::uint64_t seed,
         bool weighted)
 {
-    gds_assert(num_vertices > 0, "need at least one vertex");
+    gds_require(num_vertices > 0, ConfigError, "need at least one vertex");
     Rng rng(seed);
     std::vector<CooEdge> edges;
     edges.reserve(num_edges);
@@ -173,8 +167,9 @@ Csr
 barabasiAlbert(VertexId num_vertices, unsigned edges_per_vertex,
                std::uint64_t seed, bool weighted)
 {
-    gds_assert(edges_per_vertex >= 1, "need at least one edge per vertex");
-    gds_assert(num_vertices > edges_per_vertex,
+    gds_require(edges_per_vertex >= 1, ConfigError,
+                "need at least one edge per vertex");
+    gds_require(num_vertices > edges_per_vertex, ConfigError,
                "need more vertices than edges per vertex");
     Rng rng(seed);
 
@@ -222,11 +217,12 @@ Csr
 wattsStrogatz(VertexId num_vertices, unsigned ring_degree,
               double rewire_probability, std::uint64_t seed, bool weighted)
 {
-    gds_assert(ring_degree >= 2 && ring_degree % 2 == 0,
+    gds_require(ring_degree >= 2 && ring_degree % 2 == 0, ConfigError,
                "ring degree must be even and >= 2");
-    gds_assert(num_vertices > ring_degree,
+    gds_require(num_vertices > ring_degree, ConfigError,
                "need more vertices than the ring degree");
-    gds_assert(rewire_probability >= 0.0 && rewire_probability <= 1.0,
+    gds_require(rewire_probability >= 0.0 && rewire_probability <= 1.0,
+                ConfigError,
                "rewire probability must be in [0,1]");
     Rng rng(seed);
 
@@ -260,7 +256,8 @@ wattsStrogatz(VertexId num_vertices, unsigned ring_degree,
 Csr
 grid2d(VertexId width, VertexId height, std::uint64_t seed, bool weighted)
 {
-    gds_assert(width > 0 && height > 0, "grid dimensions must be positive");
+    gds_require(width > 0 && height > 0, ConfigError,
+                "grid dimensions must be positive");
     const VertexId num_vertices = width * height;
     Rng rng(seed);
     std::vector<CooEdge> edges;

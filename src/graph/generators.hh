@@ -10,8 +10,7 @@
  * - uniform(): Erdos-Renyi G(n, m), used as a low-skew control in tests.
  */
 
-#ifndef GDS_GRAPH_GENERATORS_HH
-#define GDS_GRAPH_GENERATORS_HH
+#pragma once
 
 #include <cstdint>
 
@@ -80,5 +79,3 @@ Csr wattsStrogatz(VertexId num_vertices, unsigned ring_degree,
                   bool weighted = false);
 
 } // namespace gds::graph
-
-#endif // GDS_GRAPH_GENERATORS_HH

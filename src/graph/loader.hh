@@ -5,8 +5,7 @@
  * for fast reload of generated surrogates.
  */
 
-#ifndef GDS_GRAPH_LOADER_HH
-#define GDS_GRAPH_LOADER_HH
+#pragma once
 
 #include <string>
 
@@ -48,5 +47,3 @@ void saveBinaryAtomic(const Csr &graph, const std::string &path);
 Csr loadBinary(const std::string &path);
 
 } // namespace gds::graph
-
-#endif // GDS_GRAPH_LOADER_HH

@@ -1,6 +1,7 @@
 #include "graph/slicer.hh"
 
 #include "common/bitutil.hh"
+#include "common/error.hh"
 
 namespace gds::graph
 {
@@ -8,7 +9,8 @@ namespace gds::graph
 VertexId
 numSlices(VertexId num_vertices, VertexId max_dst_vertices)
 {
-    gds_assert(max_dst_vertices > 0, "slice capacity must be positive");
+    gds_require(max_dst_vertices > 0, ConfigError,
+                "slice capacity must be positive");
     if (num_vertices == 0)
         return 1;
     return static_cast<VertexId>(

@@ -8,8 +8,7 @@
  * whose destination falls inside the slice's range.
  */
 
-#ifndef GDS_GRAPH_SLICER_HH
-#define GDS_GRAPH_SLICER_HH
+#pragma once
 
 #include <vector>
 
@@ -41,5 +40,3 @@ std::vector<Slice> sliceByDestination(const Csr &graph,
 VertexId numSlices(VertexId num_vertices, VertexId max_dst_vertices);
 
 } // namespace gds::graph
-
-#endif // GDS_GRAPH_SLICER_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/error.hh"
 #include "graph/builder.hh"
 
 namespace gds::graph
@@ -74,7 +75,7 @@ degreeSortReorder(const Csr &g, std::vector<VertexId> *permutation)
 Csr
 applyPermutation(const Csr &g, const std::vector<VertexId> &permutation)
 {
-    gds_assert(permutation.size() == g.numVertices(),
+    gds_require(permutation.size() == g.numVertices(), ConfigError,
                "permutation size %zu != |V| %u", permutation.size(),
                g.numVertices());
     std::vector<CooEdge> edges;

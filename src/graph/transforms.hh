@@ -7,8 +7,7 @@
  * bench_ablation_preprocessing study), and simple structural queries.
  */
 
-#ifndef GDS_GRAPH_TRANSFORMS_HH
-#define GDS_GRAPH_TRANSFORMS_HH
+#pragma once
 
 #include <vector>
 
@@ -50,5 +49,3 @@ std::vector<std::uint64_t> inDegrees(const Csr &g);
 std::uint64_t countWeakComponents(const Csr &g);
 
 } // namespace gds::graph
-
-#endif // GDS_GRAPH_TRANSFORMS_HH

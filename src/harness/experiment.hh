@@ -8,8 +8,7 @@
  * 3-systems matrix only simulate each cell once.
  */
 
-#ifndef GDS_HARNESS_EXPERIMENT_HH
-#define GDS_HARNESS_EXPERIMENT_HH
+#pragma once
 
 #include <cstdint>
 #include <fstream>
@@ -265,5 +264,3 @@ class Table
 };
 
 } // namespace gds::harness
-
-#endif // GDS_HARNESS_EXPERIMENT_HH

@@ -7,8 +7,7 @@
  * execution itself.
  */
 
-#ifndef GDS_HARNESS_PARALLEL_HH
-#define GDS_HARNESS_PARALLEL_HH
+#pragma once
 
 #include <condition_variable>
 #include <cstddef>
@@ -86,5 +85,3 @@ void parallelFor(std::size_t n, unsigned jobs,
                  const std::function<void(std::size_t)> &fn);
 
 } // namespace gds::harness
-
-#endif // GDS_HARNESS_PARALLEL_HH

@@ -10,8 +10,7 @@
  * cycle to reset the per-output grant state.
  */
 
-#ifndef GDS_MEM_CROSSBAR_HH
-#define GDS_MEM_CROSSBAR_HH
+#pragma once
 
 #include <vector>
 
@@ -75,6 +74,23 @@ class Crossbar : public sim::Component
     /** Flits routed so far (energy model input). */
     double flitsRouted() const { return statFlits.value(); }
 
+    /** The crossbar holds no state across cycles: grants are per-cycle
+     *  and payload delivery is the owner's business. */
+    bool busy() const override { return false; }
+
+    std::string
+    debugState() const override
+    {
+        unsigned granted_now = 0;
+        for (const bool g : granted)
+            granted_now += g ? 1 : 0;
+        return "granted " + std::to_string(granted_now) + "/" +
+               std::to_string(granted.size()) + " outputs this cycle, " +
+               std::to_string(static_cast<std::uint64_t>(
+                   statConflicts.value())) +
+               " conflicts total";
+    }
+
   private:
     std::vector<bool> granted;
     sim::FaultInjector *fault = nullptr;
@@ -84,5 +100,3 @@ class Crossbar : public sim::Component
 };
 
 } // namespace gds::mem
-
-#endif // GDS_MEM_CROSSBAR_HH

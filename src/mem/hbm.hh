@@ -17,8 +17,7 @@
  * response queue once every transaction of the request has completed.
  */
 
-#ifndef GDS_MEM_HBM_HH
-#define GDS_MEM_HBM_HH
+#pragma once
 
 #include <deque>
 #include <queue>
@@ -223,5 +222,3 @@ class Hbm : public sim::Component
 };
 
 } // namespace gds::mem
-
-#endif // GDS_MEM_HBM_HH

@@ -18,8 +18,7 @@
  * component-level diagnostic snapshot on failure.
  */
 
-#ifndef GDS_SIM_COMPONENT_HH
-#define GDS_SIM_COMPONENT_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -102,5 +101,3 @@ class Component
 };
 
 } // namespace gds::sim
-
-#endif // GDS_SIM_COMPONENT_HH

@@ -17,8 +17,7 @@
  * it.
  */
 
-#ifndef GDS_SIM_FAULT_HH
-#define GDS_SIM_FAULT_HH
+#pragma once
 
 #include <cstdint>
 
@@ -111,5 +110,3 @@ class FaultInjector
 };
 
 } // namespace gds::sim
-
-#endif // GDS_SIM_FAULT_HH

@@ -8,8 +8,7 @@
  * the consumer at cycle T + latency, modelling SRAM/eDRAM access pipelines.
  */
 
-#ifndef GDS_SIM_QUEUES_HH
-#define GDS_SIM_QUEUES_HH
+#pragma once
 
 #include <deque>
 
@@ -136,5 +135,3 @@ class DelayQueue
 };
 
 } // namespace gds::sim
-
-#endif // GDS_SIM_QUEUES_HH

@@ -13,8 +13,7 @@
  * component-level diagnostic snapshot.
  */
 
-#ifndef GDS_SIM_SIMULATOR_HH
-#define GDS_SIM_SIMULATOR_HH
+#pragma once
 
 #include <functional>
 #include <string>
@@ -140,5 +139,3 @@ class Simulator
 };
 
 } // namespace gds::sim
-
-#endif // GDS_SIM_SIMULATOR_HH

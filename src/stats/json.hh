@@ -4,8 +4,7 @@
  * results (plotting scripts, CI dashboards).
  */
 
-#ifndef GDS_STATS_JSON_HH
-#define GDS_STATS_JSON_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -29,5 +28,3 @@ void emitJsonString(std::ostream &os, const std::string &s);
 void emitJsonNumber(std::ostream &os, double v);
 
 } // namespace gds::stats
-
-#endif // GDS_STATS_JSON_HH

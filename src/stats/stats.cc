@@ -4,13 +4,16 @@
 #include <iomanip>
 #include <numeric>
 
+#include "common/error.hh"
+
 namespace gds::stats
 {
 
 Stat::Stat(Group *parent, std::string stat_name, std::string stat_desc)
     : _name(std::move(stat_name)), _desc(std::move(stat_desc))
 {
-    gds_assert(parent != nullptr, "stat '%s' needs a parent group",
+    gds_require(parent != nullptr, ConfigError,
+                "stat '%s' needs a parent group",
                _name.c_str());
     parent->addStat(this);
 }
@@ -99,7 +102,7 @@ Distribution::bucketLabel(std::size_t b)
 {
     static const char *labels[] = {"[0,0]",   "[1,2]",   "[3,4]",  "[5,8]",
                                    "[9,16]",  "[17,32]", "[33,64]", ">64"};
-    gds_assert(b < numBuckets(), "bucket %zu out of range", b);
+    gds_require(b < numBuckets(), InternalError, "bucket %zu out of range", b);
     return labels[b];
 }
 
@@ -149,7 +152,7 @@ void
 Group::addStat(Stat *s)
 {
     auto [it, inserted] = statMap.emplace(s->name(), s);
-    gds_assert(inserted, "duplicate stat '%s' in group '%s'",
+    gds_require(inserted, ConfigError, "duplicate stat '%s' in group '%s'",
                s->name().c_str(), _name.c_str());
     statList.push_back(s);
 }
@@ -206,7 +209,7 @@ const Scalar &
 Group::scalar(const std::string &dotted_path) const
 {
     const auto *s = dynamic_cast<const Scalar *>(find(dotted_path));
-    gds_assert(s, "no scalar stat '%s' under group '%s'",
+    gds_require(s, ConfigError, "no scalar stat '%s' under group '%s'",
                dotted_path.c_str(), _name.c_str());
     return *s;
 }
@@ -215,7 +218,7 @@ const Vector &
 Group::vector(const std::string &dotted_path) const
 {
     const auto *v = dynamic_cast<const Vector *>(find(dotted_path));
-    gds_assert(v, "no vector stat '%s' under group '%s'",
+    gds_require(v, ConfigError, "no vector stat '%s' under group '%s'",
                dotted_path.c_str(), _name.c_str());
     return *v;
 }

@@ -8,8 +8,7 @@
  * experiment harness (which is how every figure of the paper is produced).
  */
 
-#ifndef GDS_STATS_STATS_HH
-#define GDS_STATS_STATS_HH
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -80,6 +79,8 @@ class Vector : public Stat
 
     double &operator[](std::size_t i)
     {
+        // gds-lint: allow(no-naked-assert) per-event hot path; stat
+        // vectors are sized at construction and indexed by model code
         gds_assert(i < values.size(), "vector stat index %zu out of %zu",
                    i, values.size());
         return values[i];
@@ -177,5 +178,3 @@ class Group
 };
 
 } // namespace gds::stats
-
-#endif // GDS_STATS_STATS_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared helper for asserting typed-error failure paths: the PR 1
+ * EXPECT_DEATH tests became EXPECT_TYPED_ERROR when the user-facing
+ * layers moved from aborting gds_assert to throwing SimError subclasses.
+ */
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+/**
+ * Expect @p statement to throw @p error_type whose what() contains
+ * @p needle (a plain substring, not a regex).
+ */
+#define EXPECT_TYPED_ERROR(statement, error_type, needle)                   \
+    do {                                                                    \
+        try {                                                               \
+            statement;                                                      \
+            ADD_FAILURE() << "expected " #error_type " from " #statement;   \
+        } catch (const error_type &caught_typed_error) {                    \
+            EXPECT_NE(std::string(caught_typed_error.what())                \
+                          .find(needle),                                    \
+                      std::string::npos)                                    \
+                << "message was: " << caught_typed_error.what();            \
+        }                                                                   \
+    } while (0)

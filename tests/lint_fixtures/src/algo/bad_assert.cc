@@ -1,0 +1,9 @@
+// Fixture for R1 (no-naked-assert): both the C assert and a
+// user-facing-layer gds_assert must be flagged.
+
+void
+checkSize(unsigned n)
+{
+    assert(n > 0);
+    gds_assert(n < 100, "n out of range %u", n);
+}

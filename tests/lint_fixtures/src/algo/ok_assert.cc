@@ -1,0 +1,11 @@
+// Fixture: the same asserts, suppressed with justifications in both
+// the own-line and trailing directive forms.
+
+void
+checkSize(unsigned n)
+{
+    // gds-lint: allow(no-naked-assert) fixture exercising the
+    // own-line suppression form
+    assert(n > 0);
+    gds_assert(n < 100, "%u", n); // gds-lint: allow(no-naked-assert) fixture trailing form
+}

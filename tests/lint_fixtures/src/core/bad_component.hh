@@ -1,0 +1,12 @@
+// Fixture for R6 (component-hooks): a Component subclass missing
+// a watchdog hook.
+
+#pragma once
+
+#include "sim/component.hh"
+
+class SilentWidget : public sim::Component
+{
+  public:
+    bool busy() const override { return false; }
+};

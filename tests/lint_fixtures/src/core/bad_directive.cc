@@ -1,0 +1,10 @@
+// Fixture for the bad-suppression meta rule.
+
+// gds-lint: allow(no-naked-assert)
+int fixtureA = 1;
+
+// gds-lint: allow(not-a-rule) this rule name does not exist
+int fixtureB = 2;
+
+// gds-lint: disallow(no-float-eq) unknown verb
+int fixtureC = 3;

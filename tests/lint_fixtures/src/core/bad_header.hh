@@ -1,0 +1,6 @@
+// Fixture for R5 (header-hygiene): no #pragma once and a
+// using-namespace at file scope.
+
+using namespace std;
+
+inline int fixtureValue() { return 42; }

@@ -1,0 +1,11 @@
+// Fixture: hook-less Component subclass with a justified suppression.
+
+#pragma once
+
+#include "sim/component.hh"
+
+// gds-lint: allow(component-hooks) fixture stub never ticks, so the
+// watchdog can have nothing to report about it
+class StubWidget : public sim::Component
+{
+};

@@ -1,0 +1,4 @@
+// gds-lint: allow(header-hygiene) generated fixture header; include
+// guards are the responsibility of the generator emitting it
+
+inline int fixtureValue() { return 42; }

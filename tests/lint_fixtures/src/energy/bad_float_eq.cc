@@ -1,0 +1,8 @@
+// Fixture for R4 (no-float-eq): equality on declared doubles and on a
+// floating literal.
+
+bool
+sameEnergy(double pj_a, double pj_b)
+{
+    return pj_a == pj_b || pj_b != 0.0;
+}

@@ -1,0 +1,12 @@
+// Fixture for R3 (no-unseeded-rng).
+
+#include <cstdlib>
+#include <random>
+
+unsigned
+drawUnseeded()
+{
+    std::mt19937 gen;
+    std::random_device dev;
+    return static_cast<unsigned>(rand()) + gen() + dev();
+}

@@ -1,0 +1,11 @@
+// Fixture for R2 (no-raw-stderr).
+
+#include <cstdio>
+#include <iostream>
+
+void
+reportFailure()
+{
+    std::cerr << "failed\n";
+    std::fprintf(stderr, "failed\n");
+}

@@ -1,0 +1,11 @@
+// Fixture: unseeded randomness suppressed with a justification.
+
+#include <random>
+
+unsigned
+drawEntropy()
+{
+    // gds-lint: allow(no-unseeded-rng) fixture models an entropy tap
+    std::random_device dev;
+    return dev();
+}

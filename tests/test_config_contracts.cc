@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the compile-time and runtime configuration contracts
+ * (core/config.hh): the constexpr predicate, the consteval gate on the
+ * default config, and validateConfig() for configs built at runtime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hh"
+#include "core/config.hh"
+
+namespace gds::core
+{
+namespace
+{
+
+/** Build a default config with one field overridden by @p mutate. */
+template <typename F>
+constexpr GdsConfig
+with(F mutate)
+{
+    GdsConfig c;
+    mutate(c);
+    return c;
+}
+
+// --- Compile-time checks: these fail the build, not the test run. ---
+
+// The paper's default configuration satisfies every contract.
+static_assert(configContractsHold(GdsConfig{}));
+
+// The consteval gate accepts it (and would reject a bad one at compile
+// time: checkedConfig with nSimt = 3 is a compile error, demonstrated by
+// the commented line below and by the GdsLint fixture documentation).
+constexpr GdsConfig checkedDefault = checkedConfig(GdsConfig{});
+static_assert(checkedDefault.nSimt == 8);
+// constexpr GdsConfig bad = checkedConfig(with([](GdsConfig &c) {
+//     c.nSimt = 3; })); // does not compile: nSimt must be a power of two
+
+// Non-power-of-two fabric widths are contract violations.
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.nSimt = 3; })));
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.numPes = 12; })));
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.numUes = 100; })));
+
+// Zero-depth queues deadlock the pipeline and are rejected.
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.ueQueueDepth = 0; })));
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.hbm.queueDepth = 0; })));
+
+// HBM rows must be made of whole transactions.
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.hbm.rowBytes = 1000; })));
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.hbm.txBytes = 24; })));
+
+// Scheduling parameters must be nonzero.
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.eThreshold = 0; })));
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.eListSize = 0; })));
+static_assert(!configContractsHold(with([](GdsConfig &c) {
+    c.maxIterations = 0; })));
+
+// --- Runtime checks for configs built from files or sweep axes. ---
+
+TEST(ConfigContracts, DefaultConfigValidates)
+{
+    EXPECT_TRUE(validateConfig(GdsConfig{}).ok());
+    EXPECT_EQ(configContractViolation(GdsConfig{}), nullptr);
+}
+
+TEST(ConfigContracts, ViolationNamesTheField)
+{
+    GdsConfig c;
+    c.nSimt = 3;
+    const Status status = validateConfig(c);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), ErrorCode::Config);
+    EXPECT_NE(status.message().find("nSimt"), std::string::npos);
+    EXPECT_NE(status.message().find("power of two"), std::string::npos);
+}
+
+TEST(ConfigContracts, FirstViolationWins)
+{
+    GdsConfig c;
+    c.numPes = 0;
+    c.nSimt = 0;
+    const char *violation = configContractViolation(c);
+    ASSERT_NE(violation, nullptr);
+    EXPECT_NE(std::string(violation).find("numPes"), std::string::npos);
+}
+
+TEST(ConfigContracts, HbmGeometryChecked)
+{
+    GdsConfig c;
+    c.hbm.rowBytes = 48; // not a multiple of txBytes = 32
+    const Status status = validateConfig(c);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("rowBytes"), std::string::npos);
+}
+
+TEST(ConfigContracts, SliceCapacityStillSaneUnderContracts)
+{
+    // The smallest contract-satisfying VB still holds one word per UE.
+    GdsConfig c;
+    c.vbBytesPerUe = bytesPerWord;
+    EXPECT_TRUE(validateConfig(c).ok());
+    EXPECT_GE(c.sliceCapacity(), c.numUes);
+}
+
+} // namespace
+} // namespace gds::core

@@ -8,6 +8,8 @@
 
 #include <tuple>
 
+#include "common/error.hh"
+#include "expect_error.hh"
 #include "graph/generators.hh"
 
 namespace gds::graph
@@ -126,10 +128,12 @@ TEST(BarabasiAlbert, Deterministic)
     EXPECT_EQ(a.neighborArray(), b.neighborArray());
 }
 
-TEST(BarabasiAlbertDeath, BadParameters)
+TEST(BarabasiAlbertErrors, BadParameters)
 {
-    EXPECT_DEATH((void)barabasiAlbert(3, 4, 1), "more vertices");
-    EXPECT_DEATH((void)barabasiAlbert(10, 0, 1), "at least one");
+    EXPECT_TYPED_ERROR((void)barabasiAlbert(3, 4, 1), ConfigError,
+                       "more vertices");
+    EXPECT_TYPED_ERROR((void)barabasiAlbert(10, 0, 1), ConfigError,
+                       "at least one");
 }
 
 TEST(WattsStrogatz, RingWithoutRewiring)
@@ -162,10 +166,12 @@ TEST(WattsStrogatz, SymmetricEdges)
     }
 }
 
-TEST(WattsStrogatzDeath, BadParameters)
+TEST(WattsStrogatzErrors, BadParameters)
 {
-    EXPECT_DEATH((void)wattsStrogatz(100, 3, 0.1, 1), "even");
-    EXPECT_DEATH((void)wattsStrogatz(100, 4, 1.5, 1), "probability");
+    EXPECT_TYPED_ERROR((void)wattsStrogatz(100, 3, 0.1, 1), ConfigError,
+                       "even");
+    EXPECT_TYPED_ERROR((void)wattsStrogatz(100, 4, 1.5, 1), ConfigError,
+                       "probability");
 }
 
 /** Degree-preservation sweep across generator families. */

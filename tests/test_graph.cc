@@ -10,6 +10,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/error.hh"
+#include "expect_error.hh"
 #include "graph/builder.hh"
 #include "graph/csr.hh"
 #include "graph/loader.hh"
@@ -92,16 +94,18 @@ TEST(Csr, RandomWeightsDeterministicAndInRange)
     }
 }
 
-TEST(CsrDeath, MalformedOffsetsPanic)
+TEST(CsrErrors, MalformedOffsetsThrow)
 {
-    EXPECT_DEATH(Csr({0, 2}, {0}), "must equal edge count");
-    EXPECT_DEATH(Csr({1, 1}, {}), "start at 0");
-    EXPECT_DEATH(Csr({0, 2, 1}, {0}), "non-decreasing");
+    EXPECT_TYPED_ERROR(Csr({0, 2}, {0}), CorruptInputError,
+                       "must equal edge count");
+    EXPECT_TYPED_ERROR(Csr({1, 1}, {}), CorruptInputError, "start at 0");
+    EXPECT_TYPED_ERROR(Csr({0, 2, 1}, {0}), CorruptInputError,
+                       "non-decreasing");
 }
 
-TEST(CsrDeath, OutOfRangeDestinationPanics)
+TEST(CsrErrors, OutOfRangeDestinationThrows)
 {
-    EXPECT_DEATH(Csr({0, 1}, {5}), "out of range");
+    EXPECT_TYPED_ERROR(Csr({0, 1}, {5}), CorruptInputError, "out of range");
 }
 
 TEST(Builder, CountingSortGroupsBySource)
@@ -137,10 +141,11 @@ TEST(Builder, RemoveDuplicatesKeepsFirstWeight)
     EXPECT_EQ(g.weightsOf(0)[0], 5u);
 }
 
-TEST(BuilderDeath, EndpointOutOfRangePanics)
+TEST(BuilderErrors, EndpointOutOfRangeThrows)
 {
     std::vector<CooEdge> edges = {{0, 7}};
-    EXPECT_DEATH(buildCsr(3, std::move(edges)), "out of range");
+    EXPECT_TYPED_ERROR(buildCsr(3, std::move(edges)), CorruptInputError,
+                       "out of range");
 }
 
 TEST(Loader, EdgeListRoundTrip)

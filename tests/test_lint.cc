@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for gds-lint: every rule demonstrated against a planted fixture
+ * (one violating file and one suppressed file per rule under
+ * tests/lint_fixtures), the suppression-directive semantics, the
+ * text/JSON renderers, the exit-code contract, and the self-check that
+ * the real tree is lint-clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace gds::lint
+{
+namespace
+{
+
+const std::string repoRoot = GDS_SOURCE_ROOT;
+const std::string fixtureRoot = repoRoot + "/tests/lint_fixtures";
+
+/** Lint one fixture file, scoping rules against the fixture tree. */
+LintResult
+lintFixture(const std::string &rel)
+{
+    return lintPaths({fixtureRoot + "/" + rel}, fixtureRoot);
+}
+
+/** "rule@line" signatures, in reported order. */
+std::vector<std::string>
+signatures(const LintResult &result)
+{
+    std::vector<std::string> sigs;
+    for (const Diagnostic &d : result.diagnostics)
+        sigs.push_back(d.rule + "@" + std::to_string(d.line));
+    return sigs;
+}
+
+TEST(LintRules, KnownRuleSetIsStable)
+{
+    const std::vector<std::string> expected = {
+        "no-naked-assert", "no-raw-stderr",  "no-unseeded-rng",
+        "no-float-eq",     "header-hygiene", "component-hooks",
+    };
+    EXPECT_EQ(knownRules(), expected);
+}
+
+// --- R1: no-naked-assert -------------------------------------------------
+
+TEST(LintRules, NakedAssertFlagged)
+{
+    const LintResult r = lintFixture("src/algo/bad_assert.cc");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"no-naked-assert@7",
+                                        "no-naked-assert@8"}));
+    EXPECT_NE(r.diagnostics[0].message.find("compiled out under NDEBUG"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[1].message.find("typed SimError"),
+              std::string::npos);
+}
+
+TEST(LintRules, NakedAssertSuppressed)
+{
+    EXPECT_TRUE(lintFixture("src/algo/ok_assert.cc").clean());
+}
+
+// --- R2: no-raw-stderr ---------------------------------------------------
+
+TEST(LintRules, RawStderrFlagged)
+{
+    const LintResult r = lintFixture("src/graph/bad_stderr.cc");
+    EXPECT_EQ(signatures(r),
+              (std::vector<std::string>{"no-raw-stderr@9",
+                                        "no-raw-stderr@10"}));
+}
+
+TEST(LintRules, RawStderrSuppressedByWrappedOwnLineDirective)
+{
+    EXPECT_TRUE(lintFixture("src/graph/ok_stderr.cc").clean());
+}
+
+// --- R3: no-unseeded-rng -------------------------------------------------
+
+TEST(LintRules, UnseededRngFlagged)
+{
+    const LintResult r = lintFixture("src/graph/bad_rng.cc");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"no-unseeded-rng@9",
+                                        "no-unseeded-rng@10",
+                                        "no-unseeded-rng@11"}));
+    EXPECT_NE(r.diagnostics[0].message.find(
+                  "default-constructed std::mt19937"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[1].message.find("std::random_device"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[2].message.find("rand()"), std::string::npos);
+}
+
+TEST(LintRules, UnseededRngSuppressed)
+{
+    EXPECT_TRUE(lintFixture("src/graph/ok_rng.cc").clean());
+}
+
+// --- R4: no-float-eq -----------------------------------------------------
+
+TEST(LintRules, FloatEqualityFlagged)
+{
+    const LintResult r = lintFixture("src/energy/bad_float_eq.cc");
+    EXPECT_EQ(signatures(r),
+              (std::vector<std::string>{"no-float-eq@7", "no-float-eq@7"}));
+}
+
+TEST(LintRules, FloatEqualitySuppressed)
+{
+    EXPECT_TRUE(lintFixture("src/energy/ok_float_eq.cc").clean());
+}
+
+TEST(LintRules, FloatEqualityScopedToEnergyAndStats)
+{
+    // The identical content outside src/energy and src/stats is legal.
+    const std::string body = "bool f(double a, double b)\n"
+                             "{ return a == b; }\n";
+    EXPECT_TRUE(lintBuffer("x.cc", "src/algo/x.cc", body).empty());
+    EXPECT_FALSE(lintBuffer("x.cc", "src/stats/x.cc", body).empty());
+}
+
+// --- R5: header-hygiene --------------------------------------------------
+
+TEST(LintRules, HeaderHygieneFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_header.hh");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"header-hygiene@1",
+                                        "header-hygiene@4"}));
+    EXPECT_EQ(r.diagnostics[0].message, "header lacks #pragma once");
+    EXPECT_TRUE(r.diagnostics[0].fileLevel);
+    EXPECT_NE(r.diagnostics[1].message.find("using namespace"),
+              std::string::npos);
+}
+
+TEST(LintRules, HeaderHygieneSuppressedFileLevel)
+{
+    EXPECT_TRUE(lintFixture("src/core/ok_header.hh").clean());
+}
+
+// --- R6: component-hooks -------------------------------------------------
+
+TEST(LintRules, ComponentHooksFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_component.hh");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"component-hooks@8"}));
+    EXPECT_NE(r.diagnostics[0].message.find("'SilentWidget'"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[0].message.find("debugState()"),
+              std::string::npos);
+    // busy() is overridden in the fixture, so only debugState is missing.
+    EXPECT_EQ(r.diagnostics[0].message.find("busy()"), std::string::npos);
+}
+
+TEST(LintRules, ComponentHooksSuppressed)
+{
+    EXPECT_TRUE(lintFixture("src/core/ok_component.hh").clean());
+}
+
+// --- bad-suppression meta rule -------------------------------------------
+
+TEST(LintRules, BadDirectivesFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_directive.cc");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"bad-suppression@3",
+                                        "bad-suppression@6",
+                                        "bad-suppression@9"}));
+    EXPECT_NE(r.diagnostics[0].message.find("needs a justification"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[1].message.find("unknown rule 'not-a-rule'"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[2].message.find(
+                  "'gds-lint: allow(<rule>) <justification>'"),
+              std::string::npos);
+}
+
+// --- Suppression semantics on in-memory buffers --------------------------
+
+TEST(LintSuppressions, ProseMentionOfDirectiveSyntaxIsNotADirective)
+{
+    const std::string body =
+        "// Suppress with gds-lint: allow(no-raw-stderr) and a reason.\n"
+        "int x = 1;\n";
+    EXPECT_TRUE(lintBuffer("x.cc", "src/core/x.cc", body).empty());
+}
+
+TEST(LintSuppressions, OwnLineDirectiveDoesNotLeakPastNextCodeLine)
+{
+    const std::string body =
+        "// gds-lint: allow(no-unseeded-rng) covers only the next line\n"
+        "int unrelated = 0;\n"
+        "int bad = rand();\n";
+    const auto diags = lintBuffer("x.cc", "src/core/x.cc", body);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "no-unseeded-rng");
+    EXPECT_EQ(diags[0].line, 3u);
+}
+
+TEST(LintSuppressions, UnterminatedAllowIsReported)
+{
+    const auto diags = lintBuffer(
+        "x.cc", "src/core/x.cc",
+        "// gds-lint: allow(no-float-eq broken directive\nint x = 1;\n");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "bad-suppression");
+    EXPECT_NE(diags[0].message.find("unterminated"), std::string::npos);
+}
+
+TEST(LintSuppressions, BlockCommentDirectiveWorks)
+{
+    const std::string body =
+        "/* gds-lint: allow(no-unseeded-rng) fixture reason */\n"
+        "int x = rand();\n";
+    EXPECT_TRUE(lintBuffer("x.cc", "src/core/x.cc", body).empty());
+}
+
+// --- Renderers and exit codes --------------------------------------------
+
+TEST(LintDriver, PrintsFileLineRuleMessage)
+{
+    const LintResult r = lintFixture("src/core/bad_header.hh");
+    std::ostringstream os;
+    printDiagnostics(r, os);
+    const std::string expected_first = fixtureRoot +
+        "/src/core/bad_header.hh:1: header-hygiene: "
+        "header lacks #pragma once\n";
+    EXPECT_EQ(os.str().substr(0, expected_first.size()), expected_first);
+}
+
+TEST(LintDriver, JsonSummaryCountsRules)
+{
+    const LintResult r = lintPaths({fixtureRoot}, fixtureRoot);
+    std::ostringstream os;
+    writeJsonSummary(r, os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"files_scanned\": 13"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 15"), std::string::npos);
+    EXPECT_NE(json.find("\"tool_errors\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"no-naked-assert\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"bad-suppression\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"component-hooks\": 1"), std::string::npos);
+}
+
+TEST(LintDriver, FixtureTreeExitsOne)
+{
+    const LintResult r = lintPaths({fixtureRoot}, fixtureRoot);
+    EXPECT_EQ(r.filesScanned, 13u);
+    EXPECT_EQ(r.diagnostics.size(), 15u);
+    EXPECT_EQ(exitCode(r), 1);
+}
+
+TEST(LintDriver, MissingPathExitsTwo)
+{
+    const LintResult r =
+        lintPaths({repoRoot + "/no/such/path.cc"}, repoRoot);
+    ASSERT_EQ(r.errors.size(), 1u);
+    EXPECT_EQ(exitCode(r), 2);
+}
+
+TEST(LintDriver, CleanResultExitsZero)
+{
+    EXPECT_EQ(exitCode(LintResult{}), 0);
+}
+
+// --- Self-check: the real tree is lint-clean -----------------------------
+
+TEST(LintSelfCheck, RepositoryTreeIsClean)
+{
+    const LintResult r = lintPaths({repoRoot + "/src", repoRoot + "/tools",
+                                    repoRoot + "/tests",
+                                    repoRoot + "/bench"},
+                                   repoRoot);
+    std::ostringstream os;
+    printDiagnostics(r, os);
+    EXPECT_TRUE(r.clean()) << os.str();
+    EXPECT_EQ(exitCode(r), 0);
+    // Walking tests/ must have skipped the planted fixtures.
+    EXPECT_GT(r.filesScanned, 100u);
+}
+
+} // namespace
+} // namespace gds::lint

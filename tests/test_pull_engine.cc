@@ -14,6 +14,8 @@
 #include "algo/pull_engine.hh"
 #include "algo/reference_engine.hh"
 #include "algo/validate.hh"
+#include "common/error.hh"
+#include "expect_error.hh"
 #include "graph/generators.hh"
 
 namespace gds::algo
@@ -129,9 +131,11 @@ TEST(PullEngineDeath, InvalidInputs)
 {
     const auto g = graph::uniform(10, 50, 1, false);
     auto sssp = makeAlgorithm(AlgorithmId::Sssp);
-    EXPECT_DEATH((void)runPullReference(g, *sssp, 0), "weighted");
+    EXPECT_TYPED_ERROR((void)runPullReference(g, *sssp, 0), ConfigError,
+                       "weighted");
     auto bfs = makeAlgorithm(AlgorithmId::Bfs);
-    EXPECT_DEATH((void)runPullReference(g, *bfs, 10), "out of range");
+    EXPECT_TYPED_ERROR((void)runPullReference(g, *bfs, 10), ConfigError,
+                       "out of range");
 }
 
 } // namespace

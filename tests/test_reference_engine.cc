@@ -14,7 +14,9 @@
 #include <queue>
 
 #include "algo/reference_engine.hh"
+#include "common/error.hh"
 #include "common/rng.hh"
+#include "expect_error.hh"
 #include "graph/builder.hh"
 #include "graph/generators.hh"
 
@@ -344,14 +346,16 @@ TEST(ReferenceEngineDeath, WeightedAlgorithmNeedsWeights)
 {
     const Csr g = randomGraph(10, 10, 3).withoutWeights();
     auto sssp = makeAlgorithm(AlgorithmId::Sssp);
-    EXPECT_DEATH((void)runReference(g, *sssp, 0), "weighted");
+    EXPECT_TYPED_ERROR((void)runReference(g, *sssp, 0), ConfigError,
+                       "weighted");
 }
 
 TEST(ReferenceEngineDeath, SourceOutOfRange)
 {
     const Csr g = randomGraph(10, 10, 3);
     auto bfs = makeAlgorithm(AlgorithmId::Bfs);
-    EXPECT_DEATH((void)runReference(g, *bfs, 10), "out of range");
+    EXPECT_TYPED_ERROR((void)runReference(g, *bfs, 10), ConfigError,
+                       "out of range");
 }
 
 /** Property sweep: oracles hold across sizes, densities and seeds. */

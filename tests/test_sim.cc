@@ -33,6 +33,13 @@ class CountingComponent : public Component
 
     bool busy() const override { return pendingWork > 0; }
 
+    std::string
+    debugState() const override
+    {
+        return "ticks " + std::to_string(ticks) + ", pending " +
+               std::to_string(pendingWork);
+    }
+
     int ticks = 0;
     int pendingWork = 0;
 

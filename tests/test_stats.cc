@@ -8,6 +8,8 @@
 
 #include <sstream>
 
+#include "common/error.hh"
+#include "expect_error.hh"
 #include "stats/stats.hh"
 
 namespace gds::stats
@@ -105,17 +107,18 @@ TEST(Group, LookupByDottedPath)
     EXPECT_EQ(child.scalar("bytes").value(), 42.0);
 }
 
-TEST(GroupDeath, LookupMissingStatPanics)
+TEST(GroupErrors, LookupMissingStatThrows)
 {
     Group root(nullptr, "root");
-    EXPECT_DEATH((void)root.scalar("nope"), "no scalar");
+    EXPECT_TYPED_ERROR((void)root.scalar("nope"), ConfigError, "no scalar");
 }
 
-TEST(GroupDeath, DuplicateStatNamePanics)
+TEST(GroupErrors, DuplicateStatNameThrows)
 {
     Group root(nullptr, "root");
     Scalar a(&root, "x", "first");
-    EXPECT_DEATH(Scalar(&root, "x", "second"), "duplicate");
+    EXPECT_TYPED_ERROR(Scalar(&root, "x", "second"), ConfigError,
+                       "duplicate");
 }
 
 TEST(Group, DumpContainsAllStats)

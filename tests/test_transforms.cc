@@ -11,6 +11,8 @@
 #include <numeric>
 
 #include "algo/reference_engine.hh"
+#include "common/error.hh"
+#include "expect_error.hh"
 #include "graph/builder.hh"
 #include "graph/generators.hh"
 #include "graph/transforms.hh"
@@ -159,10 +161,11 @@ TEST(ApplyPermutation, IdentityIsNoop)
     EXPECT_EQ(h.weightArray(), g.weightArray());
 }
 
-TEST(ApplyPermutationDeath, WrongSizePanics)
+TEST(ApplyPermutationErrors, WrongSizeThrows)
 {
     const Csr g = smallGraph();
-    EXPECT_DEATH((void)applyPermutation(g, {0, 1}), "permutation size");
+    EXPECT_TYPED_ERROR((void)applyPermutation(g, {0, 1}), ConfigError,
+                       "permutation size");
 }
 
 TEST(InDegrees, CountsIncomingEdges)

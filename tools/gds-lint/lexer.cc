@@ -1,0 +1,275 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace gds::lint
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+/** Two-character operators the rules care about (and their lookalikes,
+ *  so `<=` is never mis-lexed as `<` `=`). */
+constexpr const char *twoCharOps[] = {
+    "::", "==", "!=", "<=", ">=", "->", "&&", "||", "<<", ">>",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+};
+
+/** Parse a comment body as a gds-lint directive. Only comments that BEGIN
+ *  with "gds-lint" (after whitespace / doc-comment asterisks) are
+ *  directives, so prose that merely mentions the syntax is ignored.
+ *  Returns true when the comment was a directive attempt. */
+bool
+parseDirective(std::string_view body, std::size_t line, bool own_line,
+               LexedFile &out)
+{
+    std::size_t tag = 0;
+    while (tag < body.size() &&
+           (body[tag] == '*' ||
+            std::isspace(static_cast<unsigned char>(body[tag]))))
+        ++tag;
+    if (body.compare(tag, 8, "gds-lint") != 0)
+        return false;
+    std::string_view rest = body.substr(tag + 8); // past "gds-lint"
+    // Accept "gds-lint: allow(rule) why" with flexible spacing.
+    std::size_t i = 0;
+    while (i < rest.size() &&
+           (rest[i] == ':' ||
+            std::isspace(static_cast<unsigned char>(rest[i]))))
+        ++i;
+    if (rest.compare(i, 6, "allow(") != 0) {
+        out.badDirectives.push_back(
+            {line, "gds-lint directive must be "
+                   "'gds-lint: allow(<rule>) <justification>'"});
+        return true;
+    }
+    i += 6;
+    const std::size_t close = rest.find(')', i);
+    if (close == std::string_view::npos) {
+        out.badDirectives.push_back(
+            {line, "unterminated allow(...) in gds-lint directive"});
+        return true;
+    }
+    const std::string rule = trim(rest.substr(i, close - i));
+    const std::string justification = trim(rest.substr(close + 1));
+    if (rule.empty()) {
+        out.badDirectives.push_back(
+            {line, "allow() needs a rule name"});
+        return true;
+    }
+    if (justification.empty()) {
+        out.badDirectives.push_back(
+            {line, "suppression of '" + rule +
+                   "' needs a justification after allow(" + rule + ")"});
+        return true;
+    }
+    out.suppressions.push_back({line, rule, justification, own_line});
+    return true;
+}
+
+} // namespace
+
+LexedFile
+lexFile(std::string path, std::string_view content)
+{
+    LexedFile out;
+    out.path = std::move(path);
+
+    const std::size_t n = content.size();
+    std::size_t i = 0;
+    std::size_t line = 1;
+    bool code_on_line = false; // any token started on the current line?
+
+    auto push = [&](TokKind kind, std::string text, std::size_t at,
+                    bool is_float = false) {
+        out.tokens.push_back({kind, std::move(text), at, is_float});
+        code_on_line = true;
+    };
+
+    // Scan a quoted region ('"' or '\''), honouring backslash escapes.
+    auto skipQuoted = [&](char quote) {
+        ++i; // opening quote
+        while (i < n) {
+            if (content[i] == '\\' && i + 1 < n) {
+                i += 2;
+            } else if (content[i] == quote) {
+                ++i;
+                return;
+            } else {
+                if (content[i] == '\n')
+                    ++line;
+                ++i;
+            }
+        }
+    };
+
+    while (i < n) {
+        const char c = content[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            code_on_line = false;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Comments (and suppression directives).
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            const std::size_t start = i;
+            while (i < n && content[i] != '\n')
+                ++i;
+            parseDirective(content.substr(start + 2, i - start - 2), line,
+                           !code_on_line, out);
+            continue;
+        }
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            const std::size_t start_line = line;
+            const bool own = !code_on_line;
+            const std::size_t start = i;
+            i += 2;
+            while (i + 1 < n &&
+                   !(content[i] == '*' && content[i + 1] == '/')) {
+                if (content[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            const std::size_t end = i;
+            i = (i + 1 < n) ? i + 2 : n;
+            parseDirective(content.substr(start + 2, end - start - 2),
+                           start_line, own, out);
+            continue;
+        }
+
+        // String and character literals.
+        if (c == '"') {
+            const std::size_t at = line;
+            skipQuoted('"');
+            push(TokKind::String, "\"\"", at);
+            continue;
+        }
+        if (c == '\'') {
+            const std::size_t at = line;
+            skipQuoted('\'');
+            push(TokKind::CharLit, "''", at);
+            continue;
+        }
+
+        // Numbers (including hex floats and digit separators).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+            const std::size_t start = i;
+            const bool hex = c == '0' && i + 1 < n &&
+                             (content[i + 1] == 'x' || content[i + 1] == 'X');
+            bool is_float = false;
+            while (i < n) {
+                const char d = content[i];
+                if (std::isalnum(static_cast<unsigned char>(d)) ||
+                    d == '\'' || d == '.') {
+                    if (d == '.')
+                        is_float = true;
+                    if (!hex && (d == 'e' || d == 'E'))
+                        is_float = true;
+                    if (hex && (d == 'p' || d == 'P'))
+                        is_float = true;
+                    ++i;
+                } else if ((d == '+' || d == '-') && i > start &&
+                           (content[i - 1] == 'e' || content[i - 1] == 'E' ||
+                            content[i - 1] == 'p' ||
+                            content[i - 1] == 'P') &&
+                           !(hex && (content[i - 1] == 'e' ||
+                                     content[i - 1] == 'E'))) {
+                    ++i; // exponent sign
+                } else {
+                    break;
+                }
+            }
+            push(TokKind::Number,
+                 std::string(content.substr(start, i - start)), line,
+                 is_float);
+            continue;
+        }
+
+        // Identifiers (and raw-string prefixes).
+        if (isIdentStart(c)) {
+            const std::size_t start = i;
+            while (i < n && isIdentChar(content[i]))
+                ++i;
+            std::string text(content.substr(start, i - start));
+            // R"delim(...)delim" — the prefix is part of the literal.
+            if (i < n && content[i] == '"' &&
+                (text == "R" || text == "u8R" || text == "uR" ||
+                 text == "UR" || text == "LR")) {
+                const std::size_t at = line;
+                ++i; // opening quote
+                std::string delim;
+                while (i < n && content[i] != '(')
+                    delim += content[i++];
+                const std::string closer = ")" + delim + "\"";
+                const std::size_t endpos = content.find(closer, i);
+                if (endpos == std::string_view::npos) {
+                    i = n;
+                } else {
+                    for (std::size_t k = i; k < endpos; ++k)
+                        if (content[k] == '\n')
+                            ++line;
+                    i = endpos + closer.size();
+                }
+                push(TokKind::String, "\"\"", at);
+                continue;
+            }
+            push(TokKind::Identifier, std::move(text), line);
+            continue;
+        }
+
+        // Punctuation: longest match over the two-char table.
+        if (i + 1 < n) {
+            const std::string two{content[i], content[i + 1]};
+            bool matched = false;
+            for (const char *op : twoCharOps) {
+                if (two == op) {
+                    push(TokKind::Punct, two, line);
+                    i += 2;
+                    matched = true;
+                    break;
+                }
+            }
+            if (matched)
+                continue;
+        }
+        push(TokKind::Punct, std::string(1, c), line);
+        ++i;
+    }
+
+    out.lineCount = line;
+    return out;
+}
+
+} // namespace gds::lint

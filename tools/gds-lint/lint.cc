@@ -1,0 +1,191 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <system_error>
+
+#include "stats/json.hh"
+
+namespace fs = std::filesystem;
+
+namespace gds::lint
+{
+
+namespace
+{
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hh" || ext == ".h" ||
+           ext == ".hpp";
+}
+
+/** Directories never entered while recursing (explicit args still are). */
+bool
+skippedDir(const std::string &name)
+{
+    return name == ".git" || name == "lint_fixtures" ||
+           name.compare(0, 5, "build") == 0;
+}
+
+void
+collect(const fs::path &path, bool explicit_arg,
+        std::vector<fs::path> &files, std::vector<ToolError> &errors)
+{
+    std::error_code ec;
+    const fs::file_status st = fs::status(path, ec);
+    if (ec) {
+        errors.push_back({path.string(), ec.message()});
+        return;
+    }
+    if (fs::is_directory(st)) {
+        if (!explicit_arg && skippedDir(path.filename().string()))
+            return;
+        std::vector<fs::path> entries;
+        for (const auto &entry : fs::directory_iterator(path, ec))
+            entries.push_back(entry.path());
+        if (ec) {
+            errors.push_back({path.string(), ec.message()});
+            return;
+        }
+        std::sort(entries.begin(), entries.end());
+        for (const fs::path &entry : entries)
+            collect(entry, false, files, errors);
+        return;
+    }
+    if (!fs::is_regular_file(st)) {
+        if (explicit_arg)
+            errors.push_back({path.string(), "no such file or directory"});
+        return;
+    }
+    if (explicit_arg || lintableExtension(path))
+        files.push_back(path);
+}
+
+std::string
+relativeTo(const fs::path &file, const fs::path &root)
+{
+    std::error_code ec;
+    const fs::path rel = fs::proximate(fs::absolute(file), root, ec);
+    if (ec || rel.empty())
+        return file.generic_string();
+    return rel.generic_string();
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+lintBuffer(const std::string &display_path, const std::string &rel_path,
+           std::string_view content)
+{
+    return runRules(lexFile(display_path, content), rel_path);
+}
+
+LintResult
+lintPaths(const std::vector<std::string> &paths, const std::string &root)
+{
+    LintResult result;
+    std::vector<fs::path> files;
+    for (const std::string &p : paths)
+        collect(fs::path(p), true, files, result.errors);
+
+    std::error_code ec;
+    const fs::path abs_root =
+        fs::absolute(root.empty() ? fs::path(".") : fs::path(root), ec);
+
+    for (const fs::path &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        if (!in) {
+            result.errors.push_back({file.string(), "cannot open file"});
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (in.bad()) {
+            result.errors.push_back({file.string(), "read failure"});
+            continue;
+        }
+        ++result.filesScanned;
+        auto diags = lintBuffer(file.string(), relativeTo(file, abs_root),
+                                buf.str());
+        result.diagnostics.insert(result.diagnostics.end(),
+                                  std::make_move_iterator(diags.begin()),
+                                  std::make_move_iterator(diags.end()));
+    }
+    return result;
+}
+
+void
+printDiagnostics(const LintResult &result, std::ostream &os)
+{
+    for (const Diagnostic &d : result.diagnostics) {
+        os << d.path << ":" << d.line << ": " << d.rule << ": " << d.message
+           << "\n";
+    }
+}
+
+void
+writeJsonSummary(const LintResult &result, std::ostream &os)
+{
+    std::map<std::string, std::size_t> per_rule;
+    for (const Diagnostic &d : result.diagnostics)
+        ++per_rule[d.rule];
+
+    os << "{";
+    stats::emitJsonString(os, "files_scanned");
+    os << ": " << result.filesScanned << ", ";
+    stats::emitJsonString(os, "violations");
+    os << ": " << result.diagnostics.size() << ", ";
+    stats::emitJsonString(os, "tool_errors");
+    os << ": " << result.errors.size() << ", ";
+    stats::emitJsonString(os, "rules");
+    os << ": {";
+    bool first = true;
+    for (const auto &[rule, count] : per_rule) {
+        if (!first)
+            os << ", ";
+        first = false;
+        stats::emitJsonString(os, rule);
+        os << ": " << count;
+    }
+    os << "}, ";
+    stats::emitJsonString(os, "diagnostics");
+    os << ": [";
+    first = true;
+    for (const Diagnostic &d : result.diagnostics) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "{";
+        stats::emitJsonString(os, "file");
+        os << ": ";
+        stats::emitJsonString(os, d.path);
+        os << ", ";
+        stats::emitJsonString(os, "line");
+        os << ": " << d.line << ", ";
+        stats::emitJsonString(os, "rule");
+        os << ": ";
+        stats::emitJsonString(os, d.rule);
+        os << ", ";
+        stats::emitJsonString(os, "message");
+        os << ": ";
+        stats::emitJsonString(os, d.message);
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+int
+exitCode(const LintResult &result)
+{
+    if (!result.errors.empty())
+        return 2;
+    return result.diagnostics.empty() ? 0 : 1;
+}
+
+} // namespace gds::lint

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * gds-lint driver: collects files (walking directories deterministically,
+ * skipping build trees and lint fixtures), lexes them, runs the project
+ * rules, and renders results as text diagnostics or a machine-readable
+ * JSON summary.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace gds::lint
+{
+
+/** A file the tool could not process (distinct from a rule violation). */
+struct ToolError
+{
+    std::string path;
+    std::string message;
+};
+
+struct LintResult
+{
+    std::vector<Diagnostic> diagnostics;
+    std::vector<ToolError> errors;
+    std::size_t filesScanned = 0;
+
+    bool clean() const { return diagnostics.empty() && errors.empty(); }
+};
+
+/**
+ * Lint @p paths (files or directories). Directories are walked recursively
+ * in sorted order for .cc/.cpp/.hh/.h/.hpp files; directories named
+ * "build*", ".git", or "lint_fixtures" are skipped while recursing
+ * (explicitly passed paths are always entered). @p root anchors the
+ * relative paths used for rule scoping; empty means the current directory.
+ */
+LintResult lintPaths(const std::vector<std::string> &paths,
+                     const std::string &root);
+
+/** Lint one in-memory buffer (for tests). */
+std::vector<Diagnostic> lintBuffer(const std::string &display_path,
+                                   const std::string &rel_path,
+                                   std::string_view content);
+
+/** Render `file:line: rule: message` lines. */
+void printDiagnostics(const LintResult &result, std::ostream &os);
+
+/** Render the JSON summary (rule counts plus every diagnostic). */
+void writeJsonSummary(const LintResult &result, std::ostream &os);
+
+/** Process exit code: 0 clean, 1 violations, 2 tool errors. */
+int exitCode(const LintResult &result);
+
+} // namespace gds::lint

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The project rule set enforced by gds-lint. Each rule has a stable
+ * kebab-case name used in diagnostics and in
+ * `// gds-lint: allow(<rule>) <justification>` suppressions:
+ *
+ *  - no-naked-assert   R1: C `assert()` is banned everywhere (compiled out
+ *                      under NDEBUG); `gds_assert()` is banned in the
+ *                      user-facing layers (src/algo, src/graph, src/stats,
+ *                      src/energy) — those paths must throw typed SimErrors.
+ *  - no-raw-stderr     R2: `std::cerr`/`std::clog`/`stderr` only inside
+ *                      src/common/logging and src/common/debug; everything
+ *                      else reports through warn()/inform()/GDS_DPRINTF so
+ *                      emission stays mutex-serialized.
+ *  - no-unseeded-rng   R3: `rand()`, `srand()`, `std::random_device`, and
+ *                      arglessly-constructed standard engines are banned
+ *                      outside src/common/rng.hh; all randomness must be
+ *                      explicitly seeded (cached matrix cells are
+ *                      byte-compared across runs).
+ *  - no-float-eq       R4: `==`/`!=` touching a floating-point literal or a
+ *                      float/double-declared identifier is banned in
+ *                      src/energy and src/stats.
+ *  - header-hygiene    R5: headers carry `#pragma once` and never contain
+ *                      `using namespace`.
+ *  - component-hooks   R6: every direct sim::Component subclass overrides
+ *                      the watchdog hooks busy() and debugState().
+ *  - bad-suppression   meta: a gds-lint directive that does not parse, names
+ *                      an unknown rule, or lacks a justification.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace gds::lint
+{
+
+/** One reported violation. */
+struct Diagnostic
+{
+    std::string path; ///< path as traversed (what the user passed/walked)
+    std::size_t line; ///< 1-based
+    std::string rule;
+    std::string message;
+    /** File-scope findings (e.g. a missing #pragma once) are suppressible
+     *  by an allow() directive anywhere in the file. */
+    bool fileLevel = false;
+};
+
+/** All rule names accepted by allow(...). */
+const std::vector<std::string> &knownRules();
+
+/**
+ * Run every rule over @p file and filter the results through the file's
+ * suppressions. @p rel_path is the path relative to the repository root
+ * (forward slashes) and drives per-directory rule scoping.
+ */
+std::vector<Diagnostic> runRules(const LexedFile &file,
+                                 const std::string &rel_path);
+
+} // namespace gds::lint
