@@ -19,8 +19,16 @@
  *   --ues N / --pes N              GraphDynS structural knobs
  *   --no-wb --no-ep --no-ao --no-us   disable a scheduling technique
  *   --stats                        dump the full statistics tree
+ *   --trace FILE                   write a Perfetto-loadable event trace
+ *   --sample-interval N            sample stats every N cycles
+ *   --samples FILE                 sample CSV path (default
+ *                                  gds_samples.csv; per-system prefix
+ *                                  with --system all)
+ *
+ * Every value flag also accepts the --flag=value spelling.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -34,6 +42,8 @@
 #include "graph/generators.hh"
 #include "graph/loader.hh"
 #include "harness/experiment.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 
 using namespace gds;
 
@@ -51,6 +61,9 @@ struct Options
     std::optional<unsigned> iterations;
     core::GdsConfig gdsConfig;
     bool dumpStats = false;
+    std::string traceFile;
+    Cycle sampleInterval = 0;
+    std::string sampleFile = "gds_samples.csv";
 };
 
 [[noreturn]] void
@@ -62,7 +75,9 @@ usage(const char *argv0)
                  "       (--dataset NAME | --graph FILE | --rmat SCALE)\n"
                  "       [--source VID] [--iters N] [--ues N] [--pes N]\n"
                  "       [--no-wb] [--no-ep] [--no-ao] [--no-us] "
-                 "[--stats]\n",
+                 "[--stats]\n"
+                 "       [--trace FILE] [--sample-interval N] "
+                 "[--samples FILE]\n",
                  argv0);
     std::exit(1);
 }
@@ -87,42 +102,68 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options opts;
-    auto need_value = [&](int &i) -> std::string {
-        if (i + 1 >= argc)
-            usage(argv[0]);
-        return argv[++i];
-    };
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Both "--flag value" and "--flag=value" are accepted.
+        std::optional<std::string> inline_value;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+            }
+        }
+        auto need_value = [&]() -> std::string {
+            if (inline_value)
+                return *inline_value;
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        auto no_value = [&]() {
+            if (inline_value)
+                usage(argv[0]);
+        };
         if (arg == "--algo")
-            opts.algorithm = parseAlgo(need_value(i));
+            opts.algorithm = parseAlgo(need_value());
         else if (arg == "--system")
-            opts.system = need_value(i);
+            opts.system = need_value();
         else if (arg == "--dataset")
-            opts.dataset = need_value(i);
+            opts.dataset = need_value();
         else if (arg == "--graph")
-            opts.graphFile = need_value(i);
+            opts.graphFile = need_value();
         else if (arg == "--rmat")
-            opts.rmatScale = std::stoul(need_value(i));
+            opts.rmatScale = std::stoul(need_value());
         else if (arg == "--source")
-            opts.source = std::stoul(need_value(i));
+            opts.source = std::stoul(need_value());
         else if (arg == "--iters")
-            opts.iterations = std::stoul(need_value(i));
+            opts.iterations = std::stoul(need_value());
         else if (arg == "--ues")
-            opts.gdsConfig.numUes = std::stoul(need_value(i));
+            opts.gdsConfig.numUes = std::stoul(need_value());
         else if (arg == "--pes") {
-            opts.gdsConfig.numPes = std::stoul(need_value(i));
+            opts.gdsConfig.numPes = std::stoul(need_value());
             opts.gdsConfig.numDispatchers = opts.gdsConfig.numPes;
-        } else if (arg == "--no-wb")
+        } else if (arg == "--no-wb") {
+            no_value();
             opts.gdsConfig.workloadBalance = false;
-        else if (arg == "--no-ep")
+        } else if (arg == "--no-ep") {
+            no_value();
             opts.gdsConfig.exactPrefetch = false;
-        else if (arg == "--no-ao")
+        } else if (arg == "--no-ao") {
+            no_value();
             opts.gdsConfig.zeroStallAtomics = false;
-        else if (arg == "--no-us")
+        } else if (arg == "--no-us") {
+            no_value();
             opts.gdsConfig.updateScheduling = false;
-        else if (arg == "--stats")
+        } else if (arg == "--stats") {
+            no_value();
             opts.dumpStats = true;
+        } else if (arg == "--trace")
+            opts.traceFile = need_value();
+        else if (arg == "--sample-interval")
+            opts.sampleInterval = std::stoull(need_value());
+        else if (arg == "--samples")
+            opts.sampleFile = need_value();
         else
             usage(argv[0]);
     }
@@ -182,6 +223,35 @@ main(int argc, char **argv)
     const bool all = opts.system == "all";
     energy::EnergyModel energy_model;
 
+    // Telemetry: one tracer serves every simulated system (tracks are
+    // per-component, so systems land on distinct tracks); samplers are
+    // per run because their probes reference the accelerator instance.
+    const bool tracing = !opts.traceFile.empty();
+    obs::Tracer tracer;
+    std::optional<obs::ScopedActiveTracer> trace_scope;
+    if (tracing)
+        trace_scope.emplace(&tracer);
+    // Counter tracks ride the sample interval; default to 10k cycles
+    // when tracing without sampling.
+    const Cycle counter_interval =
+        tracing ? (opts.sampleInterval != 0 ? opts.sampleInterval : 10'000)
+                : 0;
+    Cycle last_traced_cycle = 0;
+    auto sample_path = [&](const char *system_tag) {
+        return all ? std::string(system_tag) + "." + opts.sampleFile
+                   : opts.sampleFile;
+    };
+    auto dump_samples = [&](const obs::Sampler &sampler,
+                            const char *system_tag) {
+        const std::string path = sample_path(system_tag);
+        if (sampler.writeCsvFile(path)) {
+            std::printf("  samples: %s (%zu rows, every %llu cycles)\n",
+                        path.c_str(), sampler.sampleCount(),
+                        static_cast<unsigned long long>(
+                            opts.sampleInterval));
+        }
+    };
+
     if (all || opts.system == "gds") {
         core::GdsConfig cfg = opts.gdsConfig;
         cfg.maxIterations = iters;
@@ -189,7 +259,14 @@ main(int argc, char **argv)
         core::GdsAccel accel(cfg, g, *a);
         core::RunOptions run;
         run.source = source;
+        obs::Sampler sampler;
+        if (opts.sampleInterval != 0) {
+            sampler.setInterval(opts.sampleInterval);
+            run.sampler = &sampler;
+        }
+        run.traceCounterInterval = counter_interval;
         const auto r = accel.run(run);
+        last_traced_cycle = std::max(last_traced_cycle, r.cycles);
         const auto e =
             energy_model.gdsEnergy(cfg, r.cycles, r.memoryBytes);
         printCommon("GraphDynS", static_cast<double>(r.cycles) * 1e-9,
@@ -200,6 +277,8 @@ main(int argc, char **argv)
                     r.iterations, accel.numSlices(),
                     static_cast<unsigned long long>(r.updatesSkipped),
                     static_cast<unsigned long long>(r.atomicStalls));
+        if (opts.sampleInterval != 0)
+            dump_samples(sampler, "gds");
         if (opts.dumpStats)
             accel.statsGroup().dump(std::cout);
     }
@@ -210,12 +289,21 @@ main(int argc, char **argv)
         baseline::GraphicionadoAccel accel(cfg, g, *a);
         core::RunOptions run;
         run.source = source;
+        obs::Sampler sampler;
+        if (opts.sampleInterval != 0) {
+            sampler.setInterval(opts.sampleInterval);
+            run.sampler = &sampler;
+        }
+        run.traceCounterInterval = counter_interval;
         const auto r = accel.run(run);
+        last_traced_cycle = std::max(last_traced_cycle, r.cycles);
         const auto e = energy_model.graphicionadoEnergy(cfg, r.cycles,
                                                         r.memoryBytes);
         printCommon("Graphicionado", static_cast<double>(r.cycles) * 1e-9,
                     r.gteps(), static_cast<double>(r.memoryBytes),
                     r.bandwidthUtilization, e.totalJ());
+        if (opts.sampleInterval != 0)
+            dump_samples(sampler, "graphicionado");
         if (opts.dumpStats)
             accel.statsGroup().dump(std::cout);
     }
@@ -232,5 +320,16 @@ main(int argc, char **argv)
     if (!all && opts.system != "gds" && opts.system != "graphicionado" &&
         opts.system != "gunrock")
         fatal("unknown system '%s'", opts.system.c_str());
+
+    if (tracing) {
+        // An aborted run (watchdog, cycle budget) can leave phase spans
+        // open; close them so the trace stays well-nested.
+        tracer.endAllOpen(last_traced_cycle);
+        if (tracer.writeFile(opts.traceFile)) {
+            std::printf("trace: %s (%zu events) — load in "
+                        "https://ui.perfetto.dev\n",
+                        opts.traceFile.c_str(), tracer.eventCount());
+        }
+    }
     return 0;
 }

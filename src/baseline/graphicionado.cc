@@ -174,6 +174,12 @@ GraphicionadoAccel::run(const core::RunOptions &options)
     // Simulator watchdog instead of an assert.
     sim::Simulator driver;
     driver.add(this);
+    if (options.sampler) {
+        if (options.sampler->probeCount() == 0)
+            registerProbes(*options.sampler);
+        driver.setSampler(options.sampler);
+    }
+    driver.setTracer(obs::activeTracer(), options.traceCounterInterval);
     sim::RunLimits limits;
     limits.maxCycles =
         options.cycleBudget != 0 ? options.cycleBudget : 50'000'000'000ULL;
@@ -211,6 +217,39 @@ GraphicionadoAccel::run(const core::RunOptions &options)
 }
 
 void
+GraphicionadoAccel::registerProbes(obs::Sampler &sampler) const
+{
+    sampler.add("hbm.readBytes", [this] { return hbm->readBytes(); });
+    sampler.add("hbm.writeBytes", [this] { return hbm->writeBytes(); });
+    sampler.add("stream.backlog", [this] {
+        std::size_t total = 0;
+        for (const Stream &s : streams)
+            total += s.records.size();
+        return static_cast<double>(total);
+    });
+    sampler.add("frontier.records", [this] {
+        return activeCur.empty()
+                   ? 0.0
+                   : static_cast<double>(activeCur[0].size());
+    });
+    sampler.addScalar("edgesProcessed", statEdgesProcessed);
+}
+
+void
+GraphicionadoAccel::traceBegin(std::string event)
+{
+    if (obs::Tracer *t = obs::activeTracer())
+        t->begin(t->track(tracePath()), std::move(event), now);
+}
+
+void
+GraphicionadoAccel::traceEnd()
+{
+    if (obs::Tracer *t = obs::activeTracer())
+        t->end(t->track(tracePath()), now);
+}
+
+void
 GraphicionadoAccel::startIteration()
 {
     activatedThisIteration = 0;
@@ -228,11 +267,13 @@ GraphicionadoAccel::startIteration()
 void
 GraphicionadoAccel::finishSlice()
 {
+    traceEnd(); // "apply"
     ++curSlice;
     if (curSlice < sliceCount) {
         startScatter();
         return;
     }
+    traceEnd(); // "iteration:N"
     ++iteration;
     ++statIterations;
     if (collectPeLoads) {
@@ -253,6 +294,9 @@ GraphicionadoAccel::finishSlice()
 void
 GraphicionadoAccel::startScatter()
 {
+    if (curSlice == 0)
+        traceBegin("iteration:" + std::to_string(iteration));
+    traceBegin("scatter");
     phase = Phase::ScatterPhase;
     const auto &records = activeCur[curSlice];
 
@@ -416,6 +460,8 @@ GraphicionadoAccel::tickScatter()
 void
 GraphicionadoAccel::startApply()
 {
+    traceEnd(); // "scatter"
+    traceBegin("apply");
     phase = Phase::ApplyPhase;
     ap = ApplyState{};
     ap.sweepBegin = sliceBegin(curSlice);
@@ -649,7 +695,12 @@ GraphicionadoAccel::tick()
         break;
     }
 
-    hbm->tick();
+    {
+        // Re-scope attribution: the HBM is ticked from inside our tick,
+        // but its DPRINTF lines should carry its own path.
+        const debug::ScopedTraceComponent scope(hbm->tracePath());
+        hbm->tick();
+    }
     ++now;
 }
 

@@ -87,6 +87,17 @@ class GraphicionadoAccel : public sim::Component
     bool busy() const override;
     std::string debugState() const override;
 
+    /** Activity = edges processed by the streams (counter-track unit). */
+    std::uint64_t
+    activityCounter() const override
+    {
+        return static_cast<std::uint64_t>(statEdgesProcessed.value());
+    }
+
+    /** Default interval-probe set (HBM bytes, stream backlog, frontier);
+     *  run() registers it when RunOptions::sampler has no probes. */
+    void registerProbes(obs::Sampler &sampler) const;
+
     const mem::Hbm &hbmDevice() const { return *hbm; }
     std::uint64_t footprintBytes() const { return layout->footprintBytes(); }
     unsigned numSlices() const { return sliceCount; }
@@ -137,6 +148,10 @@ class GraphicionadoAccel : public sim::Component
     void tickApply();
     bool applyDone() const;
     void finishSlice();
+
+    // Tracer hooks (one branch each when tracing is off).
+    void traceBegin(std::string event);
+    void traceEnd();
 
     const graph::Csr &sliceGraph(unsigned s) const;
     VertexId sliceBegin(unsigned s) const;

@@ -80,18 +80,79 @@ setActiveFlags(const std::string &comma_list)
     parse(comma_list);
 }
 
+// ---------------------------------------------------------------------
+// Attribution context + line sink (all thread-local: harness workers
+// tracing concurrent cells must not cross-attribute lines).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+thread_local Cycle contextCycle = 0;
+thread_local const char *contextComponent = nullptr;
+thread_local LineSink lineSink = nullptr;
+thread_local void *lineSinkObj = nullptr;
+
+} // namespace
+
+void
+setTraceCycle(Cycle cycle)
+{
+    contextCycle = cycle;
+}
+
+Cycle
+traceCycle()
+{
+    return contextCycle;
+}
+
+const char *
+traceComponent()
+{
+    return contextComponent;
+}
+
+ScopedTraceComponent::ScopedTraceComponent(const char *path)
+    : previous(contextComponent)
+{
+    contextComponent = path;
+}
+
+ScopedTraceComponent::~ScopedTraceComponent()
+{
+    contextComponent = previous;
+}
+
+void
+setLineSink(LineSink sink, void *obj)
+{
+    lineSink = sink;
+    lineSinkObj = obj;
+}
+
 namespace detail
 {
 
 void
 vprint(Flag flag, const char *fmt, ...)
 {
-    std::fprintf(stderr, "%-9s: ", flagName(flag));
+    char body[1024];
     va_list args;
     va_start(args, fmt);
-    std::vfprintf(stderr, fmt, args);
+    std::vsnprintf(body, sizeof(body), fmt, args);
     va_end(args);
-    std::fputc('\n', stderr);
+
+    // gem5-style attribution: "<cycle>: <component>: <Flag>: <text>".
+    // One fprintf call keeps a line contiguous under mild concurrency.
+    const char *component =
+        contextComponent != nullptr ? contextComponent : "global";
+    std::fprintf(stderr, "%10llu: %s: %-9s: %s\n",
+                 static_cast<unsigned long long>(contextCycle), component,
+                 flagName(flag), body);
+
+    if (lineSink != nullptr)
+        lineSink(lineSinkObj, flag, contextCycle, contextComponent, body);
 }
 
 } // namespace detail

@@ -14,6 +14,8 @@
 #include <cstdio>
 #include <string>
 
+#include "common/types.hh"
+
 namespace gds::debug
 {
 
@@ -40,6 +42,50 @@ const char *flagName(Flag flag);
 /** Parse a GDS_DEBUG-style comma list into the active set (testing and
  *  programmatic use; the environment is parsed on first query). */
 void setActiveFlags(const std::string &comma_list);
+
+// ---------------------------------------------------------------------
+// Trace attribution context (thread-local).
+//
+// Every emitted line is prefixed with the current simulated cycle and
+// the emitting component's path, so interleaved multi-component traces
+// stay attributable. The Simulator stamps the cycle each step() and
+// scopes the component around each tick; components that tick children
+// directly (e.g. GdsAccel ticking its Hbm) re-scope themselves so their
+// lines carry their own name.
+// ---------------------------------------------------------------------
+
+/** Stamp the simulated cycle attributed to subsequent lines. */
+void setTraceCycle(Cycle cycle);
+
+/** The cycle attributed to lines emitted now (0 outside a run). */
+Cycle traceCycle();
+
+/** The component path attributed to lines now, or nullptr for none.
+ *  The pointed-to string must outlive the scope (components own theirs). */
+const char *traceComponent();
+
+/** RAII component-attribution scope; restores the previous one. */
+class ScopedTraceComponent
+{
+  public:
+    explicit ScopedTraceComponent(const char *path);
+    ~ScopedTraceComponent();
+
+    ScopedTraceComponent(const ScopedTraceComponent &) = delete;
+    ScopedTraceComponent &operator=(const ScopedTraceComponent &) = delete;
+
+  private:
+    const char *previous;
+};
+
+/**
+ * Secondary consumer of emitted lines (thread-local). The obs tracer
+ * installs one so DPRINTF output also lands in the event trace with
+ * cycle + component attribution; nullptr detaches.
+ */
+using LineSink = void (*)(void *obj, Flag flag, Cycle cycle,
+                          const char *component, const char *text);
+void setLineSink(LineSink sink, void *obj);
 
 namespace detail
 {

@@ -205,6 +205,12 @@ GdsAccel::run(const RunOptions &options)
     // exhaustion instead of asserting on runaway simulations.
     sim::Simulator driver;
     driver.add(this);
+    if (options.sampler) {
+        if (options.sampler->probeCount() == 0)
+            registerProbes(*options.sampler);
+        driver.setSampler(options.sampler);
+    }
+    driver.setTracer(obs::activeTracer(), options.traceCounterInterval);
     sim::RunLimits limits;
     if (options.cycleBudget != 0)
         limits.maxCycles = options.cycleBudget;
@@ -267,6 +273,59 @@ GdsAccel::run(const RunOptions &options)
 }
 
 void
+GdsAccel::registerProbes(obs::Sampler &sampler) const
+{
+    sampler.add("hbm.readBytes", [this] { return hbm->readBytes(); });
+    sampler.add("hbm.writeBytes", [this] { return hbm->writeBytes(); });
+    sampler.add("xbar.conflicts", [this] { return xbar->conflicts(); });
+    sampler.add("de.vpbRecords", [this] {
+        std::size_t total = 0;
+        for (const De &de : des)
+            total += de.vpb.size();
+        return static_cast<double>(total);
+    });
+    sampler.add("pe.edgeQueue", [this] {
+        std::size_t total = 0;
+        for (const Pe &pe : pes)
+            total += pe.edgeQueue.size();
+        return static_cast<double>(total);
+    });
+    sampler.add("pe.applyQueue", [this] {
+        std::size_t total = 0;
+        for (const Pe &pe : pes)
+            total += pe.applyQueue.size() + pe.vbStage.size();
+        return static_cast<double>(total);
+    });
+    sampler.add("ue.inbox", [this] {
+        std::size_t total = 0;
+        for (const Ue &ue : ues)
+            total += ue.inbox.size();
+        return static_cast<double>(total);
+    });
+    sampler.add("frontier.records", [this] {
+        // Every active vertex appears once per slice; report vertices.
+        return activeCur.empty()
+                   ? 0.0
+                   : static_cast<double>(activeCur[0].size());
+    });
+    sampler.addScalar("edgesProcessed", statEdgesProcessed);
+}
+
+void
+GdsAccel::traceBegin(std::string event)
+{
+    if (obs::Tracer *t = obs::activeTracer())
+        t->begin(t->track(tracePath()), std::move(event), now);
+}
+
+void
+GdsAccel::traceEnd()
+{
+    if (obs::Tracer *t = obs::activeTracer())
+        t->end(t->track(tracePath()), now);
+}
+
+void
 GdsAccel::startIteration()
 {
     activatedThisIteration = 0;
@@ -285,6 +344,8 @@ GdsAccel::startIteration()
 void
 GdsAccel::finishSlice()
 {
+    traceEnd(); // "apply"
+
     // Clear the Ready-to-Update bits this slice consumed.
     const std::uint64_t first = groupIndexOf(sliceBegin(curSlice));
     const std::uint64_t last = groupIndexOf(sliceEnd(curSlice) - 1);
@@ -298,6 +359,7 @@ GdsAccel::finishSlice()
     }
 
     // Iteration complete.
+    traceEnd(); // "iteration:N"
     ++iteration;
     ++statIterations;
     if (collectPeLoads) {
@@ -454,7 +516,12 @@ GdsAccel::tick()
         break;
     }
 
-    hbm->tick();
+    {
+        // Re-scope attribution: the HBM is ticked from inside our tick,
+        // but its DPRINTF lines should carry its own path.
+        const debug::ScopedTraceComponent scope(hbm->tracePath());
+        hbm->tick();
+    }
     ++now;
 }
 

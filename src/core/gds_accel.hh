@@ -35,6 +35,8 @@
 #include "graph/slicer.hh"
 #include "mem/crossbar.hh"
 #include "mem/hbm.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "sim/fault.hh"
 #include "sim/queues.hh"
 #include "sim/simulator.hh"
@@ -54,6 +56,17 @@ struct RunOptions
     Cycle stallCycles = 0;
     /** Faults to inject (HBM delays/drops, crossbar stalls). */
     sim::FaultPlan faults;
+    /**
+     * Interval sampler driven by the run's Simulator (not owned). When it
+     * has no probes yet, the default probe set is registered (see
+     * registerProbes()).
+     */
+    obs::Sampler *sampler = nullptr;
+    /**
+     * Emit per-component activity counter tracks into the thread's active
+     * tracer every this many cycles; 0 keeps counter tracks off.
+     */
+    Cycle traceCounterInterval = 0;
 };
 
 /** Outcome of one accelerator run. */
@@ -120,6 +133,21 @@ class GdsAccel : public sim::Component
     void tick() override;
     bool busy() const override;
     std::string debugState() const override;
+
+    /** Activity = edges processed by the PEs (counter-track unit). */
+    std::uint64_t
+    activityCounter() const override
+    {
+        return static_cast<std::uint64_t>(statEdgesProcessed.value());
+    }
+
+    /**
+     * Register the default interval-probe set on @p sampler: HBM
+     * read/write bytes, crossbar conflicts, DE/PE/UE queue occupancies
+     * and the frontier size. run() calls this automatically when
+     * RunOptions::sampler arrives with no probes of its own.
+     */
+    void registerProbes(obs::Sampler &sampler) const;
 
     /** The memory device (bandwidth/traffic stats for the benches). */
     const mem::Hbm &hbmDevice() const { return *hbm; }
@@ -294,6 +322,10 @@ class GdsAccel : public sim::Component
     void flushAu(bool force);
 
     void finishSlice();
+
+    // Tracer hooks (one branch each when tracing is off).
+    void traceBegin(std::string event);
+    void traceEnd();
 
     // Helpers.
     const graph::Csr &sliceGraph(unsigned s) const;

@@ -21,6 +21,8 @@ void
 GdsAccel::startApply()
 {
     DPRINTF(Phase, "iter %u slice %u: Apply starts", iteration, curSlice);
+    traceEnd(); // "scatter"
+    traceBegin("apply");
     phase = Phase::ApplyPhase;
     ap = ApplyState{};
     ap.auWriteCursor = layout->activeArrayBase(activeBuf ^ 1);

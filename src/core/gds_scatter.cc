@@ -25,6 +25,9 @@ GdsAccel::startScatter()
 {
     DPRINTF(Phase, "iter %u slice %u: Scatter starts (%zu active)",
             iteration, curSlice, activeCur[curSlice].size());
+    if (curSlice == 0)
+        traceBegin("iteration:" + std::to_string(iteration));
+    traceBegin("scatter");
     phase = Phase::ScatterPhase;
     const auto &records = activeCur[curSlice];
 

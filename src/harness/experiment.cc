@@ -13,7 +13,9 @@
 
 #include "energy/energy_model.hh"
 #include "graph/loader.hh"
+#include "harness/manifest.hh"
 #include "harness/parallel.hh"
+#include "harness/walltime.hh"
 #include "stats/json.hh"
 
 namespace gds::harness
@@ -196,8 +198,16 @@ runGds(algo::AlgorithmId algorithm, const std::string &dataset,
     core::RunOptions options;
     options.source = sourceFor(algorithm, g);
     options.cycleBudget = cellCycleBudget();
-    const core::RunResult run = accel.run(options);
 
+    double sim_seconds = 0.0;
+    double validate_seconds = 0.0;
+    core::RunResult run;
+    {
+        const ScopedWallTimer timer(sim_seconds);
+        run = accel.run(options);
+    }
+
+    const ScopedWallTimer validate_timer(validate_seconds);
     energy::EnergyModel energy_model;
     const auto energy = energy_model.gdsEnergy(
         cfg, run.cycles, run.memoryBytes);
@@ -206,6 +216,8 @@ runGds(algo::AlgorithmId algorithm, const std::string &dataset,
                                  ? "GraphDynS"
                                  : "GraphDynS-" + variantName(variant),
                              algorithm, dataset);
+    r.configHash = configHash(cfg);
+    r.wallSimSeconds = sim_seconds;
     if (!run.completed())
         r.status = errorCodeName(sim::runOutcomeError(run.report.outcome));
     r.iterations = run.iterations;
@@ -220,6 +232,7 @@ runGds(algo::AlgorithmId algorithm, const std::string &dataset,
     r.updatesSkipped = static_cast<double>(run.updatesSkipped);
     r.vertexUpdates = static_cast<double>(run.vertexUpdates);
     r.edgesProcessed = static_cast<double>(run.edgesProcessed);
+    r.wallValidateSeconds = validate_timer.elapsedSeconds();
     return r;
 }
 
@@ -235,13 +248,23 @@ runGraphicionado(algo::AlgorithmId algorithm, const std::string &dataset,
     core::RunOptions options;
     options.source = sourceFor(algorithm, g);
     options.cycleBudget = cellCycleBudget();
-    const core::RunResult run = accel.run(options);
 
+    double sim_seconds = 0.0;
+    double validate_seconds = 0.0;
+    core::RunResult run;
+    {
+        const ScopedWallTimer timer(sim_seconds);
+        run = accel.run(options);
+    }
+
+    const ScopedWallTimer validate_timer(validate_seconds);
     energy::EnergyModel energy_model;
     const auto energy = energy_model.graphicionadoEnergy(
         cfg, run.cycles, run.memoryBytes);
 
     RunRecord r = baseRecord("Graphicionado", algorithm, dataset);
+    r.configHash = configHash(cfg);
+    r.wallSimSeconds = sim_seconds;
     if (!run.completed())
         r.status = errorCodeName(sim::runOutcomeError(run.report.outcome));
     r.iterations = run.iterations;
@@ -254,6 +277,7 @@ runGraphicionado(algo::AlgorithmId algorithm, const std::string &dataset,
     r.atomicStalls = static_cast<double>(run.atomicStalls);
     r.vertexUpdates = static_cast<double>(run.vertexUpdates);
     r.edgesProcessed = static_cast<double>(run.edgesProcessed);
+    r.wallValidateSeconds = validate_timer.elapsedSeconds();
     return r;
 }
 
@@ -266,9 +290,17 @@ runGunrock(algo::AlgorithmId algorithm, const std::string &dataset,
 
     auto a = algo::makeAlgorithm(algorithm);
     baseline::GunrockSim gpu(cfg, g, *a);
-    const baseline::GunrockResult run = gpu.run(sourceFor(algorithm, g));
+
+    double sim_seconds = 0.0;
+    baseline::GunrockResult run;
+    {
+        const ScopedWallTimer timer(sim_seconds);
+        run = gpu.run(sourceFor(algorithm, g));
+    }
 
     RunRecord r = baseRecord("Gunrock", algorithm, dataset);
+    r.configHash = configHash(cfg);
+    r.wallSimSeconds = sim_seconds;
     r.iterations = run.iterations;
     r.seconds = run.seconds;
     r.gteps = run.gteps();
@@ -415,6 +447,7 @@ evaluationMatrix(ResultCache &cache)
         pool.expect(c.spec->name, c.weighted);
 
     std::vector<RunRecord> records(cells.size());
+    std::vector<std::uint8_t> servedFromCache(cells.size(), 0);
     std::atomic<std::size_t> done{0};
     std::atomic<unsigned> running{0};
 
@@ -422,26 +455,36 @@ evaluationMatrix(ResultCache &cache)
         const Cell &c = cells[i];
         const std::string system = systemName(c.sys);
         const std::string &dataset = c.spec->name;
+        const std::string key = cellKey(systemTag(c.sys), c.id, dataset);
+        servedFromCache[i] = cache.lookup(key).has_value() ? 1 : 0;
         running.fetch_add(1, std::memory_order_relaxed);
         // runCell degrades a failed cell (bad config, corrupt dataset,
         // watchdog verdict) into a status!="ok" record, so one broken
         // cell never kills a whole figure regeneration.
-        records[i] = cache.getOrRun(cellKey(systemTag(c.sys), c.id,
-                                            dataset), [&] {
+        records[i] = cache.getOrRun(key, [&] {
             harnessLine("%s %s %s", system.c_str(),
                         algo::algorithmName(c.id).c_str(), dataset.c_str());
             return runCell(system, c.id, dataset, [&] {
-                const DatasetPool::GraphPtr g =
-                    pool.get(dataset, c.weighted);
+                double load_seconds = 0.0;
+                DatasetPool::GraphPtr g;
+                {
+                    const ScopedWallTimer timer(load_seconds);
+                    g = pool.get(dataset, c.weighted);
+                }
+                RunRecord r;
                 switch (c.sys) {
                   case SystemId::GraphDynS:
-                    return runGds(c.id, dataset, *g);
+                    r = runGds(c.id, dataset, *g);
+                    break;
                   case SystemId::Graphicionado:
-                    return runGraphicionado(c.id, dataset, *g);
+                    r = runGraphicionado(c.id, dataset, *g);
+                    break;
                   case SystemId::Gunrock:
-                    return runGunrock(c.id, dataset, *g);
+                    r = runGunrock(c.id, dataset, *g);
+                    break;
                 }
-                panic("bad system id");
+                r.wallLoadSeconds = load_seconds;
+                return r;
             });
         });
         pool.release(dataset, c.weighted);
@@ -454,6 +497,29 @@ evaluationMatrix(ResultCache &cache)
     };
 
     parallelFor(cells.size(), jobCount(), run_one);
+
+    // Provenance manifest: one entry per cell, in the serial traversal
+    // order (the records vector), so manifests diff cleanly across runs.
+    Manifest manifest;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const RunRecord &r = records[i];
+        ManifestCell entry;
+        entry.key = cellKey(systemTag(cells[i].sys), cells[i].id,
+                            cells[i].spec->name);
+        entry.system = r.system;
+        entry.algorithm = r.algorithm;
+        entry.dataset = r.dataset;
+        entry.seed = cells[i].spec->seed;
+        entry.configHash = r.configHash;
+        entry.outcome = r.status;
+        entry.cached = servedFromCache[i] != 0;
+        entry.simulatedSeconds = r.seconds;
+        entry.wallLoadSeconds = r.wallLoadSeconds;
+        entry.wallSimSeconds = r.wallSimSeconds;
+        entry.wallValidateSeconds = r.wallValidateSeconds;
+        manifest.add(std::move(entry));
+    }
+    manifest.writeFile("manifest.json");
     return records;
 }
 
@@ -491,12 +557,13 @@ namespace
 {
 constexpr const char *cacheFile = "gds_bench_cache_v1.csv";
 /** First line of the file; bumped whenever the column layout changes. */
-constexpr const char *cacheFormatLine = "# gds-bench-cache format 2";
+constexpr const char *cacheFormatLine = "# gds-bench-cache format 3";
 constexpr const char *cacheColumnsLine =
     "# key,system,algorithm,dataset,status,iterations,seconds,"
     "gteps,memoryBytes,footprintBytes,bandwidthUtilization,"
     "energyJoules,schedulingOps,atomicStalls,updatesSkipped,"
-    "vertexUpdates,edgesProcessed";
+    "vertexUpdates,edgesProcessed,configHash,wallLoadSeconds,"
+    "wallSimSeconds,wallValidateSeconds";
 
 /** The cache line format has no quoting, so a field containing the
  *  delimiter (or a line break / control character) would re-parse with
@@ -522,7 +589,9 @@ writeRecordLine(std::ostream &out, const std::string &key,
         << r.footprintBytes << ',' << r.bandwidthUtilization << ','
         << r.energyJoules << ',' << r.schedulingOps << ','
         << r.atomicStalls << ',' << r.updatesSkipped << ','
-        << r.vertexUpdates << ',' << r.edgesProcessed << '\n';
+        << r.vertexUpdates << ',' << r.edgesProcessed << ','
+        << r.configHash << ',' << r.wallLoadSeconds << ','
+        << r.wallSimSeconds << ',' << r.wallValidateSeconds << '\n';
 }
 
 } // namespace
@@ -565,7 +634,7 @@ ResultCache::store(const std::string &key, const RunRecord &record)
 {
     if (!cacheFieldOk(key) || !cacheFieldOk(record.system) ||
         !cacheFieldOk(record.algorithm) || !cacheFieldOk(record.dataset) ||
-        !cacheFieldOk(record.status)) {
+        !cacheFieldOk(record.status) || !cacheFieldOk(record.configHash)) {
         throw ConfigError(
             "result-cache fields must not contain commas or control "
             "characters: key '" + key + "', cell " + record.system + "/" +
@@ -645,7 +714,13 @@ ResultCache::load()
             iss.ignore(1) >> r.updatesSkipped;
             iss.ignore(1) >> r.vertexUpdates;
             iss.ignore(1) >> r.edgesProcessed;
-            parsed = static_cast<bool>(iss);
+            iss.ignore(1);
+            parsed = static_cast<bool>(iss) &&
+                     static_cast<bool>(std::getline(iss, r.configHash, ','));
+            iss >> r.wallLoadSeconds;
+            iss.ignore(1) >> r.wallSimSeconds;
+            iss.ignore(1) >> r.wallValidateSeconds;
+            parsed = parsed && static_cast<bool>(iss);
         }
         if (!parsed) {
             warn("skipping corrupt line %llu in result cache '%s'",
@@ -742,7 +817,11 @@ dumpRecordsJson(const std::vector<RunRecord> &records, std::ostream &os)
         num("atomicStalls", r.atomicStalls);
         num("updatesSkipped", r.updatesSkipped);
         num("vertexUpdates", r.vertexUpdates);
-        num("edgesProcessed", r.edgesProcessed, false);
+        num("edgesProcessed", r.edgesProcessed);
+        // Wall-clock fields are provenance, not simulation results: they
+        // live in the manifest and cache journal, and including them here
+        // would break the byte-identical-across-GDS_JOBS guarantee.
+        str("configHash", r.configHash, false);
         os << '}';
     }
     os << "]\n";

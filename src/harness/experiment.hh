@@ -75,6 +75,12 @@ struct RunRecord
     double updatesSkipped = 0.0;
     double vertexUpdates = 0.0;
     double edgesProcessed = 0.0;
+    /** FNV-1a fingerprint of the effective configuration (provenance). */
+    std::string configHash;
+    /** Wall-clock split of the cell (see harness/walltime.hh). */
+    double wallLoadSeconds = 0.0;
+    double wallSimSeconds = 0.0;
+    double wallValidateSeconds = 0.0;
 
     bool ok() const { return status == "ok"; }
 };
@@ -203,6 +209,12 @@ std::string cellKey(const std::string &system_tag, algo::AlgorithmId id,
  * The paper's main evaluation matrix: 5 algorithms x the 6 real-world
  * datasets x 3 systems (Figs. 6, 7, 9, 11, 12, 13 all read from it).
  * Cells are simulated once and cached.
+ *
+ * Provenance: every completed call writes manifest.json in the working
+ * directory recording, per cell, the config hash, dataset + seed, the
+ * build's git SHA, simulated + wall time (load/sim/validate split) and
+ * the outcome — whether the cell was simulated now or served from the
+ * cache (see harness/manifest.hh).
  *
  * Cold cells run concurrently on jobCount() workers (GDS_JOBS env;
  * GDS_JOBS=1 forces the serial path). Each dataset is loaded exactly once

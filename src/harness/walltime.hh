@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Wall-clock instrumentation for harness cells. A ScopedWallTimer
+ * accumulates the scope's elapsed wall time into a caller-owned double,
+ * so one cell can split its cost into load / simulate / validate spans
+ * that end up in the result cache and the run manifest.
+ */
+
+#pragma once
+
+#include <chrono>
+
+namespace gds::harness
+{
+
+/** Accumulates the scope's elapsed wall-clock seconds into @p target. */
+class ScopedWallTimer
+{
+  public:
+    explicit ScopedWallTimer(double &target)
+        : _target(&target), _start(Clock::now())
+    {}
+
+    ~ScopedWallTimer() { *_target += elapsedSeconds(); }
+
+    ScopedWallTimer(const ScopedWallTimer &) = delete;
+    ScopedWallTimer &operator=(const ScopedWallTimer &) = delete;
+
+    /** Seconds elapsed since construction (the scope is still open). */
+    double
+    elapsedSeconds() const
+    {
+        const std::chrono::duration<double> d = Clock::now() - _start;
+        return d.count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    double *_target;
+    Clock::time_point _start;
+};
+
+} // namespace gds::harness

@@ -14,6 +14,8 @@
 
 #include <vector>
 
+#include "common/debug.hh"
+#include "obs/trace.hh"
 #include "sim/component.hh"
 #include "sim/fault.hh"
 
@@ -64,6 +66,10 @@ class Crossbar : public sim::Component
         }
         if (fault && fault->stallOutput()) {
             ++statFaultStalls;
+            if (obs::Tracer *t = obs::activeTracer()) {
+                t->instant(t->track(tracePath()), "fault:stall",
+                           debug::traceCycle());
+            }
             return false;
         }
         granted[output] = true;
@@ -73,6 +79,16 @@ class Crossbar : public sim::Component
 
     /** Flits routed so far (energy model input). */
     double flitsRouted() const { return statFlits.value(); }
+
+    /** Output-port conflicts so far (sampler probe). */
+    double conflicts() const { return statConflicts.value(); }
+
+    /** Activity = flits routed (counter-track unit). */
+    std::uint64_t
+    activityCounter() const override
+    {
+        return static_cast<std::uint64_t>(statFlits.value());
+    }
 
     /** The crossbar holds no state across cycles: grants are per-cycle
      *  and payload delivery is the owner's business. */

@@ -1,6 +1,7 @@
 #include "mem/hbm.hh"
 
 #include "common/bitutil.hh"
+#include "obs/trace.hh"
 
 namespace gds::mem
 {
@@ -67,6 +68,8 @@ Hbm::access(Addr addr, unsigned bytes, bool is_write, std::uint64_t tag,
     // Injected admission backpressure: refuse like a full queue would.
     if (fault && fault->rejectRequest()) {
         ++statFaultRejected;
+        if (obs::Tracer *t = obs::activeTracer())
+            t->instant(t->track(tracePath()), "fault:reject", now);
         return false;
     }
 
@@ -205,11 +208,15 @@ Hbm::finishCompletions()
                 // waiting (its port still reports the request in flight),
                 // which the run watchdog must catch.
                 ++statFaultDropped;
+                if (obs::Tracer *t = obs::activeTracer())
+                    t->instant(t->track(tracePath()), "fault:drop", now);
                 freeList.push_back(index);
                 continue;
             }
             if (const Cycle delay = fault->responseDelay()) {
                 ++statFaultDelayed;
+                if (obs::Tracer *t = obs::activeTracer())
+                    t->instant(t->track(tracePath()), "fault:delay", now);
                 req.pendingTx = 1;
                 ++inflightTx;
                 completions.push(Completion{now + delay, index});

@@ -104,6 +104,13 @@ class Hbm : public sim::Component
     bool busy() const override { return inflightTx > 0; }
     std::string debugState() const override;
 
+    /** Activity = transactions issued (counter-track unit: 32 B bursts). */
+    std::uint64_t
+    activityCounter() const override
+    {
+        return static_cast<std::uint64_t>(statTransactions.value());
+    }
+
     /**
      * Attach (or detach, with nullptr) a fault injector. When attached,
      * responses may be delayed or dropped and requests refused admission
@@ -118,6 +125,12 @@ class Hbm : public sim::Component
     {
         return statReadBytes.value() + statWriteBytes.value();
     }
+
+    /** Cumulative bytes read (sampler probe; transaction-granular). */
+    double readBytes() const { return statReadBytes.value(); }
+
+    /** Cumulative bytes written (sampler probe; transaction-granular). */
+    double writeBytes() const { return statWriteBytes.value(); }
 
     /** Achieved / peak bandwidth over the elapsed simulated time. */
     double bandwidthUtilization() const;

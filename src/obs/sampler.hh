@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Interval statistics sampler: snapshots a registered set of probes every
+ * N simulated cycles into a columnar stats::TimeSeries, so dynamic
+ * behaviour (bandwidth ramps, frontier drain, queue pressure) is visible
+ * instead of being averaged away by the end-of-run stats dump.
+ *
+ * Probes are free-form `double()` callables; convenience registrars
+ * cover the common cases (a stats::Scalar, or every scalar under a
+ * stats::Group with dotted column names). The Simulator drives tick()
+ * once per cycle; with no interval configured that is one predictable
+ * branch, same discipline as DPRINTF.
+ *
+ * Counter-style probes (bytes moved, conflicts) sample cumulatively —
+ * plot the per-interval derivative for a rate; occupancy-style probes
+ * (queue sizes, frontier) sample instantaneously.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "stats/stats.hh"
+#include "stats/timeseries.hh"
+
+namespace gds::obs
+{
+
+class Sampler
+{
+  public:
+    Sampler() = default;
+
+    Sampler(const Sampler &) = delete;
+    Sampler &operator=(const Sampler &) = delete;
+
+    /** Sample every @p cycles cycles; 0 disables sampling entirely. */
+    void setInterval(Cycle cycles) { _interval = cycles; }
+    Cycle interval() const { return _interval; }
+
+    /**
+     * Register a probe column. @throws ConfigError after the first
+     * snapshot (the column set is sealed) or on duplicate names.
+     */
+    void add(std::string name, std::function<double()> probe);
+
+    /** Register a cumulative stats::Scalar (samples .value()). */
+    void addScalar(std::string name, const stats::Scalar &s);
+
+    /**
+     * Register every Scalar reachable under @p group as
+     * "<prefix><dotted.path>" columns (vectors and distributions are
+     * skipped: one column per sampled quantity keeps the CSV plottable).
+     */
+    void addGroup(const stats::Group &group, const std::string &prefix);
+
+    std::size_t probeCount() const { return probes.size(); }
+
+    /** Per-cycle hook; samples when the interval divides @p cycle. */
+    void
+    tick(Cycle cycle)
+    {
+        if (_interval != 0 && cycle % _interval == 0)
+            sample(cycle);
+    }
+
+    /** Snapshot every probe now (also seals the column set). */
+    void sample(Cycle cycle);
+
+    std::size_t sampleCount() const { return table.rowCount(); }
+    const stats::TimeSeries &series() const { return table; }
+
+    void writeCsv(std::ostream &os) const { table.writeCsv(os); }
+    void writeJson(std::ostream &os) const { table.writeJson(os); }
+
+    /** writeCsv() to @p path; false (and a warning) on I/O failure. */
+    bool writeCsvFile(const std::string &path) const;
+
+  private:
+    struct Probe
+    {
+        std::string name;
+        std::function<double()> fn;
+    };
+
+    Cycle _interval = 0;
+    bool sealed = false;
+    std::vector<Probe> probes;
+    std::vector<double> row; ///< scratch, avoids per-sample allocation
+    stats::TimeSeries table;
+};
+
+} // namespace gds::obs

@@ -23,6 +23,14 @@ Component::~Component()
     }
 }
 
+const char *
+Component::tracePath() const
+{
+    if (_tracePath.empty())
+        _tracePath = _stats.path();
+    return _tracePath.c_str();
+}
+
 std::uint64_t
 Component::subtreeProgress() const
 {

@@ -57,7 +57,22 @@ class Component
      */
     virtual std::string debugState() const { return {}; }
 
+    /**
+     * Monotone count of this component's "work units", sampled by the
+     * tracer's per-component counter tracks. Defaults to the progress
+     * counter; components with a more natural unit (bytes moved, records
+     * routed, lanes occupied) override it.
+     */
+    virtual std::uint64_t activityCounter() const { return _progressCount; }
+
     const std::string &name() const { return _name; }
+
+    /**
+     * Hierarchical path used for trace attribution (same as the stats
+     * path). Cached: returned pointer is stable and cheap enough for the
+     * per-tick DPRINTF attribution scope.
+     */
+    const char *tracePath() const;
 
     Component *parent() const { return _parent; }
     const std::vector<Component *> &children() const { return _children; }
@@ -98,6 +113,7 @@ class Component
     std::uint64_t _progressCount = 0;
     Cycle _lastProgressAt = 0;
     stats::Group _stats;
+    mutable std::string _tracePath;
 };
 
 } // namespace gds::sim

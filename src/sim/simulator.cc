@@ -121,6 +121,30 @@ Simulator::totalProgress() const
     return total;
 }
 
+void
+Simulator::emitActivityCounters()
+{
+    // Lazily enumerate every component subtree into flat counter tracks;
+    // registration order is fixed before the first step, so this runs once
+    // per setTracer().
+    if (counterTracks.empty()) {
+        const std::function<void(Component *)> collect = [&](Component *c) {
+            counterTracks.push_back(CounterTrack{
+                c, _tracer->track(c->tracePath()), c->activityCounter()});
+            for (Component *child : c->children())
+                collect(child);
+        };
+        for (Component *c : components)
+            collect(c);
+    }
+    for (CounterTrack &ct : counterTracks) {
+        const std::uint64_t now = ct.component->activityCounter();
+        _tracer->counter(ct.track, "activity",
+                         static_cast<double>(now - ct.last), _cycle);
+        ct.last = now;
+    }
+}
+
 RunReport
 Simulator::run(const std::function<bool()> &done, const RunLimits &limits)
 {
@@ -139,6 +163,13 @@ Simulator::run(const std::function<bool()> &done, const RunLimits &limits)
         warn("simulation %s", report.summary().c_str());
         DPRINTF(Watchdog, "diagnostic snapshot:\n%s",
                 report.snapshotText().c_str());
+        // Unconditional incident marker (DPRINTF routing into the tracer
+        // only fires when the Watchdog category is also enabled).
+        if (_tracer) {
+            _tracer->instant(_tracer->track("watchdog"),
+                             runOutcomeName(outcome), _cycle,
+                             report.summary());
+        }
         return report;
     };
 

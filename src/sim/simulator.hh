@@ -19,8 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "common/debug.hh"
 #include "common/error.hh"
 #include "common/types.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "sim/component.hh"
 
 namespace gds::sim
@@ -98,12 +101,45 @@ class Simulator
     /** Current simulated cycle. */
     Cycle cycle() const { return _cycle; }
 
+    /**
+     * Attach an interval sampler, driven once per step(). Not owned;
+     * nullptr detaches. With no interval configured the per-step cost is
+     * one predictable branch.
+     */
+    void setSampler(obs::Sampler *sampler) { _sampler = sampler; }
+    obs::Sampler *sampler() const { return _sampler; }
+
+    /**
+     * Attach a tracer. Every @p counter_interval cycles the driver emits
+     * one counter sample per registered component (and descendant) onto
+     * that component's track, plotting per-interval activity deltas;
+     * 0 keeps counter tracks off (the tracer still receives watchdog
+     * instants from run()). Not owned; nullptr detaches.
+     */
+    void
+    setTracer(obs::Tracer *tracer, Cycle counter_interval = 0)
+    {
+        _tracer = tracer;
+        _counterInterval = counter_interval;
+        counterTracks.clear();
+    }
+    obs::Tracer *tracer() const { return _tracer; }
+
     /** Tick every registered component exactly once. */
     void
     step()
     {
-        for (Component *c : components)
+        debug::setTraceCycle(_cycle);
+        for (Component *c : components) {
+            const debug::ScopedTraceComponent scope(c->tracePath());
             c->tick();
+        }
+        if (_sampler)
+            _sampler->tick(_cycle);
+        if (_tracer && _counterInterval != 0 &&
+            _cycle % _counterInterval == 0) {
+            emitActivityCounters();
+        }
         ++_cycle;
     }
 
@@ -132,9 +168,22 @@ class Simulator
     std::vector<ComponentDiag> snapshot() const;
 
   private:
+    /** One counter track per component: delta baseline + cached id. */
+    struct CounterTrack
+    {
+        Component *component;
+        obs::TrackId track;
+        std::uint64_t last;
+    };
+
     std::uint64_t totalProgress() const;
+    void emitActivityCounters();
 
     std::vector<Component *> components;
+    std::vector<CounterTrack> counterTracks;
+    obs::Sampler *_sampler = nullptr;
+    obs::Tracer *_tracer = nullptr;
+    Cycle _counterInterval = 0;
     Cycle _cycle = 0;
 };
 

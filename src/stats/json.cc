@@ -1,5 +1,6 @@
 #include "stats/json.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 
@@ -126,6 +127,231 @@ dumpJson(const Group &group, std::ostream &os)
 {
     dumpGroup(group, os);
     os << '\n';
+}
+
+// ---------------------------------------------------------------------
+// Minimal RFC 8259 validator.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Cursor over the text being validated; fail() records the first error. */
+struct JsonCursor
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (error.empty())
+            error = "byte " + std::to_string(pos) + ": " + what;
+        return false;
+    }
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            const char c = text[pos];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (atEnd() || text[pos] != expected) {
+            return fail(std::string("expected '") + expected + "'");
+        }
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p) {
+            if (atEnd() || text[pos] != *p)
+                return fail(std::string("bad literal, expected ") + word);
+            ++pos;
+        }
+        return true;
+    }
+
+    bool parseValue(unsigned depth);
+    bool parseString();
+    bool parseNumber();
+    bool parseObject(unsigned depth);
+    bool parseArray(unsigned depth);
+};
+
+bool
+JsonCursor::parseString()
+{
+    if (!consume('"'))
+        return false;
+    while (true) {
+        if (atEnd())
+            return fail("unterminated string");
+        const unsigned char c = static_cast<unsigned char>(text[pos]);
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (c < 0x20)
+            return fail("unescaped control character in string");
+        if (c == '\\') {
+            ++pos;
+            if (atEnd())
+                return fail("unterminated escape");
+            const char e = text[pos];
+            if (e == 'u') {
+                for (unsigned i = 0; i < 4; ++i) {
+                    ++pos;
+                    if (atEnd() || !std::isxdigit(
+                            static_cast<unsigned char>(text[pos])))
+                        return fail("bad \\u escape");
+                }
+            } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                       e != 'f' && e != 'n' && e != 'r' && e != 't') {
+                return fail("bad escape character");
+            }
+        }
+        ++pos;
+    }
+}
+
+bool
+JsonCursor::parseNumber()
+{
+    if (!atEnd() && peek() == '-')
+        ++pos;
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad number");
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos;
+    if (!atEnd() && peek() == '.') {
+        ++pos;
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("bad fraction");
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+        ++pos;
+        if (!atEnd() && (peek() == '+' || peek() == '-'))
+            ++pos;
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("bad exponent");
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos;
+    }
+    return true;
+}
+
+bool
+JsonCursor::parseObject(unsigned depth)
+{
+    if (!consume('{'))
+        return false;
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+        ++pos;
+        return true;
+    }
+    while (true) {
+        skipWs();
+        if (!parseString())
+            return false;
+        skipWs();
+        if (!consume(':'))
+            return false;
+        if (!parseValue(depth))
+            return false;
+        skipWs();
+        if (atEnd())
+            return fail("unterminated object");
+        if (peek() == ',') {
+            ++pos;
+            continue;
+        }
+        return consume('}');
+    }
+}
+
+bool
+JsonCursor::parseArray(unsigned depth)
+{
+    if (!consume('['))
+        return false;
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+        ++pos;
+        return true;
+    }
+    while (true) {
+        if (!parseValue(depth))
+            return false;
+        skipWs();
+        if (atEnd())
+            return fail("unterminated array");
+        if (peek() == ',') {
+            ++pos;
+            continue;
+        }
+        return consume(']');
+    }
+}
+
+bool
+JsonCursor::parseValue(unsigned depth)
+{
+    if (depth > 512)
+        return fail("nesting too deep");
+    skipWs();
+    if (atEnd())
+        return fail("expected a value");
+    switch (peek()) {
+      case '{':
+        return parseObject(depth + 1);
+      case '[':
+        return parseArray(depth + 1);
+      case '"':
+        return parseString();
+      case 't':
+        return literal("true");
+      case 'f':
+        return literal("false");
+      case 'n':
+        return literal("null");
+      default:
+        return parseNumber();
+    }
+}
+
+} // namespace
+
+bool
+validateJson(const std::string &text, std::string *error)
+{
+    JsonCursor cur{text, 0, {}};
+    bool ok = cur.parseValue(0);
+    if (ok) {
+        cur.skipWs();
+        if (!cur.atEnd())
+            ok = cur.fail("trailing characters after the JSON value");
+    }
+    if (!ok && error != nullptr)
+        *error = cur.error;
+    return ok;
 }
 
 } // namespace gds::stats

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Columnar cycle-stamped time series: the storage behind the interval
+ * sampler (src/obs). Each column is a named series of doubles; rows are
+ * appended with the simulated cycle they were sampled at and exported as
+ * CSV (one row per sample, for spreadsheet/pandas plotting) or JSON
+ * (columnar, next to stats::dumpJson).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "common/types.hh"
+
+namespace gds::stats
+{
+
+/** A fixed-column, append-only table of (cycle, values...) samples. */
+class TimeSeries
+{
+  public:
+    TimeSeries() = default;
+
+    /**
+     * Fix the column layout. May only be called while the series is
+     * empty; the sampler seals its probe list at the first snapshot.
+     * @throws ConfigError on duplicate or empty column names, or when
+     *         rows have already been recorded
+     */
+    void setColumns(std::vector<std::string> names);
+
+    const std::vector<std::string> &columns() const { return names; }
+    std::size_t columnCount() const { return names.size(); }
+    std::size_t rowCount() const { return cycles.size(); }
+    bool empty() const { return cycles.empty(); }
+
+    /**
+     * Append one sample row.
+     * @throws ConfigError when @p values disagrees with the column count
+     */
+    void addRow(Cycle cycle, const std::vector<double> &values);
+
+    Cycle cycleAt(std::size_t row) const { return cycles.at(row); }
+    double value(std::size_t row, std::size_t col) const
+    {
+        return series.at(col).at(row);
+    }
+
+    /** One whole column (e.g. for a bandwidth derivative). */
+    const std::vector<double> &column(std::size_t col) const
+    {
+        return series.at(col);
+    }
+
+    /** CSV export: "cycle,<col>,..." header then one line per row. */
+    void writeCsv(std::ostream &os) const;
+
+    /** Columnar JSON: {"columns": [...], "cycles": [...],
+     *  "series": {"<col>": [...], ...}}. */
+    void writeJson(std::ostream &os) const;
+
+    void clear();
+
+  private:
+    std::vector<std::string> names;
+    std::vector<Cycle> cycles;
+    std::vector<std::vector<double>> series; ///< one vector per column
+};
+
+} // namespace gds::stats

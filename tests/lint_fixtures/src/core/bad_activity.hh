@@ -1,0 +1,13 @@
+// Fixture for R6 (component-hooks): a Component subclass with both
+// watchdog hooks but no activityCounter() telemetry hook.
+
+#pragma once
+
+#include "sim/component.hh"
+
+class MuteWidget : public sim::Component
+{
+  public:
+    bool busy() const override { return false; }
+    std::string debugState() const override { return "idle"; }
+};

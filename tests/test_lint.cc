@@ -156,10 +156,26 @@ TEST(LintRules, ComponentHooksFlagged)
               (std::vector<std::string>{"component-hooks@8"}));
     EXPECT_NE(r.diagnostics[0].message.find("'SilentWidget'"),
               std::string::npos);
-    EXPECT_NE(r.diagnostics[0].message.find("debugState()"),
+    EXPECT_NE(r.diagnostics[0].message.find(
+                  "debugState() and activityCounter()"),
               std::string::npos);
-    // busy() is overridden in the fixture, so only debugState is missing.
+    // busy() is overridden in the fixture, so it is not reported.
     EXPECT_EQ(r.diagnostics[0].message.find("busy()"), std::string::npos);
+}
+
+TEST(LintRules, ComponentHooksActivityCounterFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_activity.hh");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"component-hooks@8"}));
+    EXPECT_NE(r.diagnostics[0].message.find("'MuteWidget'"),
+              std::string::npos);
+    // Both watchdog hooks exist; only the telemetry hook is missing.
+    EXPECT_NE(r.diagnostics[0].message.find("activityCounter()"),
+              std::string::npos);
+    EXPECT_EQ(r.diagnostics[0].message.find("busy()"), std::string::npos);
+    EXPECT_EQ(r.diagnostics[0].message.find("debugState()"),
+              std::string::npos);
 }
 
 TEST(LintRules, ComponentHooksSuppressed)
@@ -244,19 +260,19 @@ TEST(LintDriver, JsonSummaryCountsRules)
     std::ostringstream os;
     writeJsonSummary(r, os);
     const std::string json = os.str();
-    EXPECT_NE(json.find("\"files_scanned\": 13"), std::string::npos);
-    EXPECT_NE(json.find("\"violations\": 15"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 14"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 16"), std::string::npos);
     EXPECT_NE(json.find("\"tool_errors\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"no-naked-assert\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"bad-suppression\": 3"), std::string::npos);
-    EXPECT_NE(json.find("\"component-hooks\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"component-hooks\": 2"), std::string::npos);
 }
 
 TEST(LintDriver, FixtureTreeExitsOne)
 {
     const LintResult r = lintPaths({fixtureRoot}, fixtureRoot);
-    EXPECT_EQ(r.filesScanned, 13u);
-    EXPECT_EQ(r.diagnostics.size(), 15u);
+    EXPECT_EQ(r.filesScanned, 14u);
+    EXPECT_EQ(r.diagnostics.size(), 16u);
     EXPECT_EQ(exitCode(r), 1);
 }
 

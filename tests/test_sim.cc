@@ -33,6 +33,12 @@ class CountingComponent : public Component
 
     bool busy() const override { return pendingWork > 0; }
 
+    std::uint64_t
+    activityCounter() const override
+    {
+        return static_cast<std::uint64_t>(ticks);
+    }
+
     std::string
     debugState() const override
     {

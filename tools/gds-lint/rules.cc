@@ -261,10 +261,11 @@ ruleComponentHooks(const LexedFile &f, std::vector<Diagnostic> &out)
         if (!derives_component || j >= toks.size() || !isPunct(toks[j], "{"))
             continue;
 
-        // Scan the class body for overrides of the watchdog hooks.
+        // Scan the class body for overrides of the diagnostic hooks.
         std::size_t depth = 1;
         bool has_busy = false;
         bool has_debug_state = false;
+        bool has_activity = false;
         for (++j; j < toks.size() && depth > 0; ++j) {
             if (isPunct(toks[j], "{"))
                 ++depth;
@@ -274,19 +275,28 @@ ruleComponentHooks(const LexedFile &f, std::vector<Diagnostic> &out)
                 has_busy = true;
             else if (isIdent(toks[j], "debugState"))
                 has_debug_state = true;
+            else if (isIdent(toks[j], "activityCounter"))
+                has_activity = true;
         }
-        if (!has_busy || !has_debug_state) {
-            std::string missing;
+        if (!has_busy || !has_debug_state || !has_activity) {
+            std::vector<std::string> hooks;
             if (!has_busy)
-                missing += "busy()";
+                hooks.push_back("busy()");
             if (!has_debug_state)
-                missing += missing.empty() ? "debugState()"
-                                           : " and debugState()";
+                hooks.push_back("debugState()");
+            if (!has_activity)
+                hooks.push_back("activityCounter()");
+            std::string missing;
+            for (std::size_t k = 0; k < hooks.size(); ++k) {
+                if (k != 0)
+                    missing += k + 1 == hooks.size() ? " and " : ", ";
+                missing += hooks[k];
+            }
             out.push_back({f.path, class_line, "component-hooks",
                            "Component subclass '" + class_name +
-                           "' must override the watchdog diagnostic "
-                           "hook(s) " + missing +
-                           " so deadlock snapshots stay actionable",
+                           "' must override the diagnostic hook(s) " +
+                           missing + " so deadlock snapshots and "
+                           "activity traces stay actionable",
                            false});
         }
     }

@@ -23,7 +23,8 @@
  *  - header-hygiene    R5: headers carry `#pragma once` and never contain
  *                      `using namespace`.
  *  - component-hooks   R6: every direct sim::Component subclass overrides
- *                      the watchdog hooks busy() and debugState().
+ *                      the diagnostic hooks busy(), debugState() and
+ *                      activityCounter().
  *  - bad-suppression   meta: a gds-lint directive that does not parse, names
  *                      an unknown rule, or lacks a justification.
  */
