@@ -1,5 +1,6 @@
 #include "baseline/graphicionado.hh"
 
+#include <cstdlib>
 #include <optional>
 #include <sstream>
 
@@ -185,6 +186,8 @@ GraphicionadoAccel::run(const core::RunOptions &options)
         options.cycleBudget != 0 ? options.cycleBudget : 50'000'000'000ULL;
     if (options.stallCycles != 0)
         limits.stallCycles = options.stallCycles;
+    limits.fastForward = options.fastForward &&
+                         std::getenv("GDS_NO_FASTFORWARD") == nullptr;
 
     std::optional<sim::FaultInjector> injector;
     if (options.faults.any()) {
@@ -695,13 +698,131 @@ GraphicionadoAccel::tick()
         break;
     }
 
-    {
+    if (debug::anyEnabled()) {
         // Re-scope attribution: the HBM is ticked from inside our tick,
         // but its DPRINTF lines should carry its own path.
         const debug::ScopedTraceComponent scope(hbm->tracePath());
         hbm->tick();
+    } else {
+        hbm->tick();
     }
     ++now;
+}
+
+bool
+GraphicionadoAccel::scatterQuiescent() const
+{
+    const graph::Csr &sg = sliceGraph(curSlice);
+    const auto &records = activeCur[curSlice];
+
+    // A drained phase transitions at the end of its next tick.
+    if (scatterDone())
+        return false;
+
+    // Streams: a head record with edge data (or none to fetch) acts next
+    // tick -- reducing, RAW-stalling, or retiring. Only "waiting for edge
+    // data" is a pure wait.
+    for (const Stream &stream : streams) {
+        if (stream.records.empty())
+            continue;
+        const std::uint64_t rec = stream.records.front();
+        if (sg.outDegree(records[rec].vid) == 0 || sc.fetch[rec].ready)
+            return false;
+    }
+    // Edge prefetch: with in-flight budget available, any lookahead record
+    // still needing its fetch either issues a request or (degree 0) is
+    // marked ready on the spot.
+    if (eport.inflight() < cfg.edgeMaxInflight) {
+        for (const Stream &stream : streams) {
+            const std::size_t lookahead = std::min<std::size_t>(
+                stream.records.size(), cfg.streamLookahead);
+            for (std::size_t i = 0; i < lookahead; ++i) {
+                const RecordFetch &f = sc.fetch[stream.records[i]];
+                if (!f.ready && !f.allIssued)
+                    return false;
+            }
+        }
+    }
+    // Vpref: an issuable record batch, or a commit neither blocked on
+    // batch data nor on a full stream queue.
+    if (sc.batchesIssued < sc.batchesTotal &&
+        vport.inflight() < cfg.vprefMaxInflight)
+        return false;
+    if (sc.commitCursor < sc.recordsTotal) {
+        const std::uint64_t k = sc.commitCursor;
+        if (sc.batchReady[k / cfg.vprefBatch] &&
+            streams[records[k].vid % cfg.numStreams].records.size() <
+                cfg.streamQueueRecords)
+            return false;
+    }
+    return true;
+}
+
+bool
+GraphicionadoAccel::applyQuiescent() const
+{
+    // A drained phase transitions at the end of its next tick.
+    if (applyDone())
+        return false;
+    // Queued applies execute next tick; queued stores issue requests.
+    if (!ap.pendingApplies.empty() || !ap.writes.empty())
+        return false;
+    if (ap.pendingAuRecords >= auRecordBatch ||
+        (ap.pendingAuRecords > 0 &&
+         ap.appliedCount == ap.sweepEnd - ap.sweepBegin))
+        return false;
+    // Sweep prefetch: an open window always attempts an access.
+    if (ap.batchesIssued < ap.batchesTotal &&
+        vport.inflight() < cfg.applyMaxInflight)
+        return false;
+    // Commit: the next batch being fully fetched commits vertices.
+    if (ap.commitCursor < ap.sweepEnd) {
+        const std::uint64_t b =
+            (ap.commitCursor - ap.sweepBegin) / applyBatchVerts;
+        const std::uint8_t parts_needed = hasConstProp ? 2 : 1;
+        if (ap.batchIssuedParts[b] >= parts_needed &&
+            ap.batchPending[b] == 0)
+            return false;
+    }
+    return true;
+}
+
+Cycle
+GraphicionadoAccel::nextEventCycle() const
+{
+    if (vport.hasResponse() || eport.hasResponse() || wport.hasResponse())
+        return 1;
+    switch (phase) {
+      case Phase::ScatterPhase:
+        if (!scatterQuiescent())
+            return 1;
+        break;
+      case Phase::ApplyPhase:
+        if (!applyQuiescent())
+            return 1;
+        break;
+      case Phase::Finished:
+        break;
+    }
+    const Cycle horizon = hbm->nextEventCycle();
+    return horizon < 1 ? Cycle{1} : horizon;
+}
+
+void
+GraphicionadoAccel::skipCycles(Cycle cycles)
+{
+    switch (phase) {
+      case Phase::ScatterPhase:
+        statScatterCycles += static_cast<double>(cycles);
+        break;
+      case Phase::ApplyPhase:
+        statApplyCycles += static_cast<double>(cycles);
+        break;
+      case Phase::Finished:
+        break;
+    }
+    hbm->skipCycles(cycles);
+    now += cycles;
 }
 
 } // namespace gds::baseline

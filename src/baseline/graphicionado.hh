@@ -87,6 +87,24 @@ class GraphicionadoAccel : public sim::Component
     bool busy() const override;
     std::string debugState() const override;
 
+    /**
+     * 1 unless the current cycle is provably a pure wait (no response
+     * pending, every stream blocked on edge data, no issuable request);
+     * then the HBM's own horizon. A ready stream head counts as active
+     * even when it would RAW-stall: those stalls resolve by time, not
+     * memory, and are stepped naively.
+     */
+    Cycle nextEventCycle() const override;
+
+    /**
+     * Replay @p cycles pure-wait ticks in bulk: phase cycle counters and
+     * the HBM (refresh schedule included) advance exactly as @p cycles
+     * naive tick() calls would have left them.
+     */
+    void skipCycles(Cycle cycles) override;
+
+    bool supportsFastForward() const override { return true; }
+
     /** Activity = edges processed by the streams (counter-track unit). */
     std::uint64_t
     activityCounter() const override
@@ -148,6 +166,10 @@ class GraphicionadoAccel : public sim::Component
     void tickApply();
     bool applyDone() const;
     void finishSlice();
+
+    // Fast-forward quiescence predicates (mirror the phase tick paths).
+    bool scatterQuiescent() const;
+    bool applyQuiescent() const;
 
     // Tracer hooks (one branch each when tracing is off).
     void traceBegin(std::string event);

@@ -68,6 +68,13 @@ enabled(Flag flag)
             static_cast<unsigned>(flag)) & 1u;
 }
 
+bool
+anyEnabled()
+{
+    parseEnvOnce();
+    return activeMask.load(std::memory_order_relaxed) != 0;
+}
+
 const char *
 flagName(Flag flag)
 {

@@ -36,6 +36,13 @@ enum class Flag : unsigned
 /** True if @p flag was named in GDS_DEBUG (or GDS_DEBUG=All). */
 bool enabled(Flag flag);
 
+/**
+ * True if any flag at all is active. One relaxed atomic load after the
+ * first call; hot loops use it to hoist per-component attribution scopes
+ * (and any other trace-only work) behind a single predictable branch.
+ */
+bool anyEnabled();
+
 /** Name of a flag as accepted in GDS_DEBUG. */
 const char *flagName(Flag flag);
 

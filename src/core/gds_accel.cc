@@ -6,6 +6,7 @@
 
 #include "core/gds_accel.hh"
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 
@@ -218,6 +219,13 @@ GdsAccel::run(const RunOptions &options)
         limits.maxCycles = 50'000'000'000ULL;
     if (options.stallCycles != 0)
         limits.stallCycles = options.stallCycles;
+    // Fast-forward is cycle-exact but incompatible with the per-cycle
+    // heartbeat (its modulo would miss skipped boundaries) and pointless
+    // under perfect memory (dispatch materializes records on demand, so
+    // waits never become provable).
+    limits.fastForward = options.fastForward && !progress &&
+                         std::getenv("GDS_NO_FASTFORWARD") == nullptr &&
+                         std::getenv("GDS_PERFECT_MEM") == nullptr;
 
     std::optional<sim::FaultInjector> injector;
     if (options.faults.any()) {
@@ -516,13 +524,83 @@ GdsAccel::tick()
         break;
     }
 
-    {
+    if (debug::anyEnabled()) {
         // Re-scope attribution: the HBM is ticked from inside our tick,
         // but its DPRINTF lines should carry its own path.
         const debug::ScopedTraceComponent scope(hbm->tracePath());
         hbm->tick();
+    } else {
+        hbm->tick();
     }
     ++now;
+}
+
+Cycle
+GdsAccel::nextEventCycle() const
+{
+    // A pending port response is drained (and acted on) next tick.
+    if (vportRead.hasResponse() || eportRead.hasResponse() ||
+        auPortWrite.hasResponse())
+        return 1;
+
+    switch (phase) {
+      case Phase::ScatterPhase:
+        if (!scatterQuiescent())
+            return 1;
+        break;
+      case Phase::ApplyPhase:
+        if (!applyQuiescent())
+            return 1;
+        break;
+      case Phase::Finished:
+        break;
+    }
+
+    // Provably waiting: the only things that can end the wait are an HBM
+    // event (a completion maturing or a queued transaction becoming
+    // issuable) and, in Apply, a VB-pipeline entry maturing.
+    Cycle horizon = hbm->nextEventCycle();
+    if (phase == Phase::ApplyPhase) {
+        for (const Pe &pe : pes)
+            horizon = std::min(horizon, pe.vbStage.cyclesUntilReady());
+    }
+    return horizon < 1 ? Cycle{1} : horizon;
+}
+
+void
+GdsAccel::skipCycles(Cycle cycles)
+{
+    // Replay per-cycle bookkeeping exactly as `cycles` quiescent tick()
+    // calls would have: phase cycle counters, per-DE and commit bottleneck
+    // attribution (the quiescence predicate pinned down which branch every
+    // skipped cycle would have taken), VB pipeline clocks, and the HBM.
+    switch (phase) {
+      case Phase::ScatterPhase: {
+        statScatterCycles += static_cast<double>(cycles);
+        for (const De &de : des) {
+            if (de.vpb.empty())
+                statDeIdle += static_cast<double>(cycles);
+            else
+                statDeWaitReady += static_cast<double>(cycles);
+        }
+        if (sc.commitCursor < sc.recordsTotal) {
+            if (!sc.batchReady[sc.commitCursor / cfg.vprefBatch])
+                statCommitBlockedBatch += static_cast<double>(cycles);
+            else
+                statCommitBlockedVpb += static_cast<double>(cycles);
+        }
+        break;
+      }
+      case Phase::ApplyPhase:
+        statApplyCycles += static_cast<double>(cycles);
+        for (Pe &pe : pes)
+            pe.vbStage.advance(cycles);
+        break;
+      case Phase::Finished:
+        break;
+    }
+    hbm->skipCycles(cycles);
+    now += cycles;
 }
 
 } // namespace gds::core

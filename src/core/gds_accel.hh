@@ -67,6 +67,12 @@ struct RunOptions
      * tracer every this many cycles; 0 keeps counter tracks off.
      */
     Cycle traceCounterInterval = 0;
+    /**
+     * Skip provably idle cycle stretches (cycle-exact; see DESIGN.md
+     * "Simulation performance"). Overridden off by GDS_NO_FASTFORWARD,
+     * GDS_PERFECT_MEM and GDS_PROGRESS.
+     */
+    bool fastForward = true;
 };
 
 /** Outcome of one accelerator run. */
@@ -133,6 +139,24 @@ class GdsAccel : public sim::Component
     void tick() override;
     bool busy() const override;
     std::string debugState() const override;
+
+    /**
+     * 1 unless the current cycle is provably a pure wait (no port response
+     * pending and the active phase cannot move or touch memory); then the
+     * earliest cycle that can change that: the HBM's own horizon and, in
+     * the Apply phase, the earliest VB-pipeline maturity.
+     */
+    Cycle nextEventCycle() const override;
+
+    /**
+     * Replay @p cycles pure-wait ticks in bulk: phase cycle counters,
+     * per-cycle bottleneck attribution, VB pipeline clocks and the HBM
+     * (refresh schedule included) all advance exactly as @p cycles naive
+     * tick() calls would have left them.
+     */
+    void skipCycles(Cycle cycles) override;
+
+    bool supportsFastForward() const override { return true; }
 
     /** Activity = edges processed by the PEs (counter-track unit). */
     std::uint64_t
@@ -312,6 +336,12 @@ class GdsAccel : public sim::Component
     void tickUes();
     void reduceFlit(const ResultFlit &flit);
 
+    // Fast-forward quiescence predicates (one per phase; each mirrors its
+    // phase's tick path and returns true only when that path is provably a
+    // pure wait — per-cycle stats aside, which skipCycles() replays).
+    bool scatterQuiescent() const;
+    bool applyQuiescent() const;
+
     void startApply();
     void tickApply();
     bool applyDone() const;
@@ -370,6 +400,15 @@ class GdsAccel : public sim::Component
     std::vector<De> des;
     std::vector<Pe> pes;
     std::vector<Ue> ues;
+    /**
+     * Aggregate occupancy of the scatter datapath queues, maintained at
+     * every push/pop. The per-tick stage walks and the fast-forward
+     * quiescence predicate consult these instead of scanning all PEs/UEs,
+     * which keeps idle stages O(1) per cycle.
+     */
+    std::uint64_t scEdgesQueued = 0;   ///< sum of PE edgeQueue sizes
+    std::uint64_t scFlitsBuffered = 0; ///< sum of PE pendingFlits sizes
+    std::uint64_t ueFlitsQueued = 0;   ///< sum of UE inbox sizes
     ScatterState sc;
     ApplyState ap;
     Phase phase = Phase::Finished;

@@ -70,6 +70,54 @@ GdsAccel::tickApply()
     flushAu(ap.groupsCompleted == ap.groups.size());
 }
 
+bool
+GdsAccel::applyQuiescent() const
+{
+    // Mirrors tickApply() stage by stage: true only when each stage would
+    // do nothing but advance VB pipeline clocks (replayed by skipCycles())
+    // and attempt no HBM access.
+
+    // A drained phase transitions at the end of its next tick.
+    if (applyDone())
+        return false;
+
+    // PEs: a matured VB-stage entry applies; an empty stage slot pulls
+    // from a non-empty list queue.
+    for (const Pe &pe : pes) {
+        if (pe.vbStage.ready())
+            return false;
+        if (!pe.applyQueue.empty() && pe.vbStage.canPush())
+            return false;
+    }
+    // Commit: the head group pushes lists (or retires) once fully fetched,
+    // unless its next list's PE queue is full.
+    if (ap.commitCursor < ap.groups.size()) {
+        const GroupFetch &gf = ap.fetch[ap.commitCursor];
+        const unsigned total_reqs = 1 + sliceCount + (hasConstProp ? 1 : 0);
+        if (gf.requestsIssued >= total_reqs && gf.outstanding == 0) {
+            const std::uint32_t lists =
+                ceilDiv(gf.remainingVerts, cfg.vListSize);
+            if (gf.listsPushed >= lists)
+                return false; // would retire the group
+            if (pes[gf.listsPushed % cfg.numPes].applyQueue.canPush())
+                return false; // would push a list
+        }
+    }
+    // Prefetch: an open request window always attempts an access (the
+    // group at the window head is never fully issued between ticks).
+    if (ap.groupsRequested < ap.groups.size() &&
+        ap.groupsRequested - ap.commitCursor < cfg.applyMaxInflightGroups)
+        return false;
+    // AU: pending property write-backs or a flushable record batch.
+    if (!ap.propWrites.empty())
+        return false;
+    const bool force = ap.groupsCompleted == ap.groups.size();
+    if (ap.auBufferedRecords >= cfg.auBatchRecords ||
+        (force && ap.auBufferedRecords > 0))
+        return false;
+    return true;
+}
+
 // ---------------------------------------------------------------------
 // Vpref (Apply): prefetch exactly the ready groups' vertex data --
 // properties, offset-array runs for edgeCnt computation (one per slice,

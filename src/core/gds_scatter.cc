@@ -78,6 +78,78 @@ GdsAccel::tickScatter()
     tickVpref();
 }
 
+bool
+GdsAccel::scatterQuiescent() const
+{
+    // Mirrors tickScatter() stage by stage: true only when every stage
+    // would provably do nothing but per-cycle wait accounting (which
+    // skipCycles() replays) and, crucially, would attempt no HBM access --
+    // even a refused access draws fault-injector randomness.
+    static const bool perfect_mem =
+        std::getenv("GDS_PERFECT_MEM") != nullptr;
+
+    // A drained phase transitions at the end of its next tick.
+    if (scatterDone())
+        return false;
+
+    // PEs and UEs: pending flits would route, queued edges would process,
+    // queued updates would reduce. The aggregate occupancy counters stand
+    // in for scanning every engine.
+    if (scFlitsBuffered != 0 || scEdgesQueued != 0 || ueFlitsQueued != 0)
+        return false;
+    // DEs: a head record with edges but no data waits (statDeWaitReady);
+    // anything else makes progress. With every PE queue empty a ready head
+    // always dispatches, so "blocked on a full PE queue" cannot occur here.
+    for (const De &de : des) {
+        if (de.vpb.empty())
+            continue;
+        if (perfect_mem)
+            return false; // dispatch would materialize the record
+        const std::uint64_t rec = de.vpb.front();
+        if (activeCur[curSlice][rec].edgeCnt == 0 || sc.fetch[rec].ready)
+            return false;
+    }
+    // Epref: walk the same window tickEpref() scans. Skipping a record
+    // for buffer budget is pure; reaching any other case pops a zero-edge
+    // record or attempts an access.
+    if (!sc.eprefPending.empty() &&
+        eportRead.inflight() < cfg.eprefMaxInflight) {
+        bool budget_blocked = false;
+        const std::size_t window =
+            std::min<std::size_t>(sc.eprefPending.size(), 8);
+        for (std::size_t w = 0; w < window; ++w) {
+            const std::uint64_t rec = sc.eprefPending[w];
+            const ActiveRecord &r = activeCur[curSlice][rec];
+            const RecordFetch &f = sc.fetch[rec];
+            if (r.edgeCnt == 0)
+                return false;
+            if (!f.reserved &&
+                (budget_blocked ||
+                 (sc.bufferedEdges > 0 &&
+                  sc.bufferedEdges + r.edgeCnt > cfg.eprefBufferEdges))) {
+                budget_blocked = true;
+                continue;
+            }
+            return false;
+        }
+    }
+    // Vpref: the tProp fill and the record stream would issue; a commit
+    // goes through unless blocked on batch data or a full VPB RAM.
+    if (sc.fillBytesLeft > 0 &&
+        vportRead.inflight() < cfg.vprefMaxInflight)
+        return false;
+    if (sc.batchesIssued < sc.batchesTotal &&
+        vportRead.inflight() < cfg.vprefMaxInflight)
+        return false;
+    if (sc.commitCursor < sc.recordsTotal) {
+        const std::uint64_t k = sc.commitCursor;
+        if (sc.batchReady[k / cfg.vprefBatch] &&
+            des[k % cfg.numDispatchers].vpb.canPush())
+            return false;
+    }
+    return true;
+}
+
 // ---------------------------------------------------------------------
 // Vpref: stream active-vertex records (and the sliced-run tProp fill).
 // ---------------------------------------------------------------------
@@ -329,6 +401,7 @@ GdsAccel::dispatchChunk(De &de, unsigned de_index)
         while (cursor < r.edgeCnt && moved < cfg.nSimt &&
                pe.edgeQueue.canPush()) {
             pe.edgeQueue.push(edges[cursor]);
+            ++scEdgesQueued;
             ++cursor;
             ++moved;
             ++statSchedulingOps;
@@ -367,6 +440,7 @@ GdsAccel::dispatchChunk(De &de, unsigned de_index)
 
     for (std::uint32_t i = 0; i < len; ++i)
         pe.edgeQueue.push(edges[begin + i]);
+    scEdgesQueued += len;
     ++statSchedulingOps;
     ++de.chunkCursor;
 
@@ -408,6 +482,11 @@ GdsAccel::tickPesScatter()
     // a single hot UE does not freeze the whole SIMT vector -- only
     // sustained contention backpressures edge processing.
     const std::size_t flit_buffer_cap = 4u * cfg.nSimt;
+    // Nothing buffered and nothing queued: no lane can do anything, and
+    // with no tryRoute() calls this cycle the crossbar's per-cycle grant
+    // state is never read, so skipping beginCycle() is state-identical.
+    if (scFlitsBuffered == 0 && scEdgesQueued == 0)
+        return;
     xbar->beginCycle();
     for (unsigned p = 0; p < cfg.numPes; ++p) {
         Pe &pe = pes[p];
@@ -421,7 +500,9 @@ GdsAccel::tickPesScatter()
             const unsigned ue = it->dst % cfg.numUes;
             if (ues[ue].inbox.canPush() && xbar->tryRoute(ue)) {
                 ues[ue].inbox.push(*it);
+                ++ueFlitsQueued;
                 it = pe.pendingFlits.erase(it);
+                --scFlitsBuffered;
                 ++routed;
             } else {
                 ++it;
@@ -443,6 +524,8 @@ GdsAccel::tickPesScatter()
                 algo.processEdge(task.uProp, task.weight);
             pe.pendingFlits.push_back(ResultFlit{task.dst, value});
         }
+        scEdgesQueued -= n;
+        scFlitsBuffered += n;
         statEdgesProcessed += n;
         statPeEdges[p] += n;
         if (collectPeLoads)
@@ -474,6 +557,8 @@ GdsAccel::reduceFlit(const ResultFlit &flit)
 void
 GdsAccel::tickUes()
 {
+    if (ueFlitsQueued == 0)
+        return;
     for (Ue &ue : ues) {
         if (ue.inbox.empty())
             continue;
@@ -500,6 +585,7 @@ GdsAccel::tickUes()
 
         reduceFlit(flit);
         ue.inbox.pop();
+        --ueFlitsQueued;
     }
 }
 

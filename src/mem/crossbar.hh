@@ -94,6 +94,12 @@ class Crossbar : public sim::Component
      *  and payload delivery is the owner's business. */
     bool busy() const override { return false; }
 
+    /** Stateless across cycles: never self-schedules an event. Routing
+     *  demand is the owner's, and reflected in the owner's horizon. */
+    Cycle nextEventCycle() const override { return kNeverEvent; }
+
+    bool supportsFastForward() const override { return true; }
+
     std::string
     debugState() const override
     {

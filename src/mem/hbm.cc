@@ -33,6 +33,14 @@ Hbm::Hbm(const HbmConfig &config, sim::Component *parent)
     gds_assert(isPow2(cfg.txBytes), "txBytes must be a power of two");
     gds_assert(cfg.rowBytes % cfg.txBytes == 0,
                "rowBytes must be a multiple of txBytes");
+    const std::uint64_t tx_per_row = cfg.rowBytes / cfg.txBytes;
+    pow2Geometry = isPow2(cfg.numChannels) && isPow2(tx_per_row) &&
+                   isPow2(cfg.banksPerChannel);
+    if (pow2Geometry) {
+        channelShift = log2Floor(cfg.numChannels);
+        rowShift = log2Floor(tx_per_row);
+        bankShift = log2Floor(cfg.banksPerChannel);
+    }
     channels.resize(cfg.numChannels);
     for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
         channels[ch].banks.resize(cfg.banksPerChannel);
@@ -50,6 +58,14 @@ Hbm::mapAddress(Addr tx_addr, unsigned &channel, std::uint32_t &bank,
     // sequential stream spreads across all channels, and within a channel
     // walks consecutive columns of one row before moving on (near-perfect
     // row locality for streams, row misses for random access).
+    if (pow2Geometry) {
+        channel = static_cast<unsigned>(tx_addr & (cfg.numChannels - 1));
+        const std::uint64_t rowGlobal = (tx_addr >> channelShift) >> rowShift;
+        bank = static_cast<std::uint32_t>(rowGlobal &
+                                          (cfg.banksPerChannel - 1));
+        row = rowGlobal >> bankShift;
+        return;
+    }
     channel = static_cast<unsigned>(tx_addr % cfg.numChannels);
     const std::uint64_t local = tx_addr / cfg.numChannels;
     const std::uint64_t txPerRow = cfg.rowBytes / cfg.txBytes;
@@ -77,15 +93,24 @@ Hbm::access(Addr addr, unsigned bytes, bool is_write, std::uint64_t tag,
     const Addr last_tx = (addr + bytes - 1) / cfg.txBytes;
     const unsigned tx_count = static_cast<unsigned>(last_tx - first_tx + 1);
 
-    // Admission: every target channel must have room. Count demand first.
-    // (Transactions of one request round-robin over channels, so per-channel
-    // demand is at most ceil(tx_count / numChannels) + 1.)
-    demandScratch.assign(cfg.numChannels, 0);
-    for (Addr tx = first_tx; tx <= last_tx; ++tx)
-        ++demandScratch[tx % cfg.numChannels];
-    for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
-        if (channels[ch].queue.size() + demandScratch[ch] > cfg.queueDepth)
-            return false;
+    // Admission: every target channel must have room. Transactions of one
+    // request round-robin over channels, so a request no wider than the
+    // channel count puts exactly one transaction on each target channel
+    // and admission needs no demand histogram at all.
+    if (tx_count <= cfg.numChannels) {
+        for (Addr tx = first_tx; tx <= last_tx; ++tx) {
+            if (channels[txChannel(tx)].queue.size() >= cfg.queueDepth)
+                return false;
+        }
+    } else {
+        demandScratch.assign(cfg.numChannels, 0);
+        for (Addr tx = first_tx; tx <= last_tx; ++tx)
+            ++demandScratch[txChannel(tx)];
+        for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
+            if (channels[ch].queue.size() + demandScratch[ch] >
+                cfg.queueDepth)
+                return false;
+        }
     }
 
     // Allocate a request slot.
@@ -98,6 +123,7 @@ Hbm::access(Addr addr, unsigned bytes, bool is_write, std::uint64_t tag,
         index = static_cast<std::uint32_t>(requests.size());
         requests.push_back(Request{tag, port, tx_count, is_write, now});
     }
+    requests[index].queuedTx = tx_count;
     port->_inflight += 1;
 
     for (Addr tx = first_tx; tx <= last_tx; ++tx) {
@@ -108,6 +134,7 @@ Hbm::access(Addr addr, unsigned bytes, bool is_write, std::uint64_t tag,
         channels[channel].queue.push_back(Transaction{index, bank, row});
     }
     inflightTx += tx_count;
+    queuedTxTotal += tx_count;
 
     // Traffic is accounted at transaction granularity: the device always
     // moves whole 32 B bursts, so a 40 B request costs 64 B of bandwidth.
@@ -188,6 +215,17 @@ Hbm::serviceChannel(unsigned ch)
     statDataBusBusy += static_cast<double>(cfg.tBurst);
     ++statTransactions;
     completions.push(Completion{done, tx.requestIndex});
+
+    // Once the last transaction issues, the request's delivery cycle is
+    // fixed: from here on only that cycle (not every burst landing) is a
+    // visible event for the fast-forward horizon.
+    Request &req = requests[tx.requestIndex];
+    if (done > req.finishAt)
+        req.finishAt = done;
+    gds_assert(req.queuedTx > 0, "issued more transactions than queued");
+    --queuedTxTotal;
+    if (--req.queuedTx == 0)
+        requestFinishes.push(Completion{req.finishAt, tx.requestIndex});
 }
 
 void
@@ -220,6 +258,7 @@ Hbm::finishCompletions()
                 req.pendingTx = 1;
                 ++inflightTx;
                 completions.push(Completion{now + delay, index});
+                requestFinishes.push(Completion{now + delay, index});
                 continue;
             }
         }
@@ -236,10 +275,110 @@ void
 Hbm::tick()
 {
     finishCompletions();
-    for (unsigned ch = 0; ch < cfg.numChannels; ++ch)
+    // Matured finish events were acted on just now (response delivered,
+    // or superseded by a delayed-fault redelivery pushed at the deferred
+    // cycle); drop them so the horizon never reports a stale event.
+    while (!requestFinishes.empty() && requestFinishes.top().at <= now)
+        requestFinishes.pop();
+    for (unsigned ch = 0; ch < cfg.numChannels; ++ch) {
+        // Nothing queued and no refresh due: the channel provably does
+        // nothing this cycle, so skip the call entirely.
+        if (channels[ch].queue.empty() && now < channels[ch].nextRefreshAt)
+            continue;
         serviceChannel(ch);
+    }
     statOccupancySum += static_cast<double>(inflightTx);
     ++now;
+}
+
+Cycle
+Hbm::nextEventCycle() const
+{
+    // The tick i cycles from now runs with the local clock at now + i - 1,
+    // so an event gated at absolute cycle G is reached by tick G - now + 1.
+    // Only request-finishing completions are visible events: the bursts a
+    // multi-transaction request lands along the way merely decrement its
+    // pending count, which skipCycles() replays in bulk.
+    Cycle horizon = kNeverEvent;
+    if (!requestFinishes.empty()) {
+        const Cycle at = requestFinishes.top().at;
+        horizon = at > now ? at - now + 1 : 1;
+    }
+    if (queuedTxTotal == 0)
+        return horizon; // nothing waiting to issue: O(1) in a pure wait
+    for (const Channel &channel : channels) {
+        if (channel.queue.empty())
+            continue;
+        const std::size_t window =
+            std::min<std::size_t>(channel.queue.size(), cfg.frfcfsWindow);
+        for (std::size_t i = 0; i < window; ++i) {
+            const Transaction &tx = channel.queue[i];
+            const Bank &bank = channel.banks[tx.bank];
+            Cycle gate = bank.nextReady;
+            if (bank.openRow != tx.row)
+                gate = std::max(gate, channel.nextActivateAt);
+            // A refresh inside the window can only delay this further
+            // (close the row, raise nextReady), so the pre-refresh gate
+            // is a safe lower bound.
+            horizon =
+                std::min(horizon, gate > now ? gate - now + 1 : Cycle{1});
+            if (horizon == 1)
+                return 1;
+        }
+    }
+    return horizon;
+}
+
+void
+Hbm::skipCycles(Cycle cycles)
+{
+    if (cycles == 0)
+        return;
+    const Cycle last = now + cycles - 1;
+    gds_assert(requestFinishes.empty() || requestFinishes.top().at > last,
+               "fast-forward across a matured HBM request completion");
+
+    // Retire the intermediate transaction completions maturing inside the
+    // window exactly as the skipped ticks would have, integrating the
+    // occupancy stat piecewise around each retirement. None of them can
+    // finish a request (the assert above), so no port response, fault
+    // draw, latency stat or progress mark is due.
+    Cycle cursor = now; // next cycle whose occupancy is unaccounted
+    while (!completions.empty() && completions.top().at <= last) {
+        const Cycle at = completions.top().at;
+        statOccupancySum += static_cast<double>(at - cursor) *
+                            static_cast<double>(inflightTx);
+        cursor = at;
+        while (!completions.empty() && completions.top().at == at) {
+            Request &req = requests[completions.top().requestIndex];
+            completions.pop();
+            gds_assert(req.pendingTx > 1,
+                       "request-finishing completion inside a skipped "
+                       "window");
+            --req.pendingTx;
+            --inflightTx;
+        }
+    }
+    statOccupancySum += static_cast<double>(now + cycles - cursor) *
+                        static_cast<double>(inflightTx);
+
+    // Replay the refreshes naive ticking would have issued inside the
+    // window, at their exact scheduled cycles; nothing else can happen in
+    // a window nextEventCycle() declared pure. nextRefreshAt >= now here
+    // because the preceding tick fired every refresh due by then.
+    for (Channel &channel : channels) {
+        while (channel.nextRefreshAt <= last) {
+            Bank &bank = channel.banks[channel.refreshBank];
+            bank.openRow = noRow;
+            bank.nextReady = std::max(
+                bank.nextReady, channel.nextRefreshAt + cfg.tRfcPerBank);
+            channel.refreshBank =
+                (channel.refreshBank + 1) % cfg.banksPerChannel;
+            channel.nextRefreshAt += cfg.tRefi / cfg.banksPerChannel;
+            ++statRefreshes;
+        }
+    }
+    now += cycles;
 }
 
 std::string

@@ -102,6 +102,30 @@ class Hbm : public sim::Component
 
     void tick() override;
     bool busy() const override { return inflightTx > 0; }
+
+    /**
+     * Earliest tick with an externally visible event: the min over the
+     * earliest *request*-finishing completion (the cycle a port response
+     * appears) and, per queued transaction in each channel's FR-FCFS
+     * window, its bank-ready / activate gate. Intermediate transaction
+     * completions of a multi-burst request are internal bookkeeping and
+     * do not bound the horizon (skipCycles() retires them in bulk);
+     * refreshes likewise only delay issue and are replayed exactly.
+     */
+    Cycle nextEventCycle() const override;
+
+    /**
+     * Replay @p cycles pure-wait ticks: retire every intermediate
+     * transaction completion maturing in the window at its exact cycle
+     * (piecewise-integrating occupancy around each), fire every scheduled
+     * refresh, advance the local clock. Asserts no request finishes
+     * inside the window; issue gates never fall inside it because they
+     * bound the horizon the window was derived from.
+     */
+    void skipCycles(Cycle cycles) override;
+
+    bool supportsFastForward() const override { return true; }
+
     std::string debugState() const override;
 
     /** Activity = transactions issued (counter-track unit: 32 B bursts). */
@@ -166,6 +190,8 @@ class Hbm : public sim::Component
         bool isWrite;
         Cycle issuedAt;
         bool faultChecked = false; ///< injector consulted for this request
+        unsigned queuedTx = 0;     ///< transactions not yet issued
+        Cycle finishAt = 0;        ///< max completion time issued so far
     };
 
     struct Transaction
@@ -204,18 +230,49 @@ class Hbm : public sim::Component
     void mapAddress(Addr tx_addr, unsigned &channel, std::uint32_t &bank,
                     std::uint64_t &row) const;
 
+    /** Channel of a transaction-aligned address (hot-path helper). */
+    unsigned
+    txChannel(Addr tx_addr) const
+    {
+        return static_cast<unsigned>(
+            pow2Geometry ? tx_addr & (cfg.numChannels - 1)
+                         : tx_addr % cfg.numChannels);
+    }
+
     void serviceChannel(unsigned ch);
     void finishCompletions();
 
     HbmConfig cfg;
+    /**
+     * Address mapping runs once per 32 B transaction, so with the default
+     * all-power-of-two geometry the channel/bank/row splits use shifts and
+     * masks instead of 64-bit divisions by runtime values.
+     */
+    bool pow2Geometry = false;
+    unsigned channelShift = 0;
+    unsigned rowShift = 0;  ///< log2(rowBytes / txBytes)
+    unsigned bankShift = 0; ///< log2(banksPerChannel)
     std::vector<Channel> channels;
     std::vector<Request> requests;       ///< slab of live requests
     std::vector<std::uint32_t> freeList; ///< recycled request slots
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>>
         completions;
+    /**
+     * Externally visible completion events: one entry per fully-issued
+     * request, stamped with its last transaction's completion time (the
+     * cycle its port response appears). Intermediate transaction
+     * completions are internal bookkeeping the fast-forward path replays
+     * in bulk, so only these bound the idle horizon. Entries are pruned
+     * by time once they mature (a delayed-fault redelivery pushes a fresh
+     * entry at the deferred time).
+     */
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<Completion>>
+        requestFinishes;
     std::vector<unsigned> demandScratch; ///< per-channel admission counts
     std::uint64_t inflightTx = 0;
+    std::uint64_t queuedTxTotal = 0; ///< not-yet-issued tx across channels
     Cycle now = 0;
     sim::FaultInjector *fault = nullptr;
 

@@ -38,7 +38,12 @@ class Sampler
     Sampler &operator=(const Sampler &) = delete;
 
     /** Sample every @p cycles cycles; 0 disables sampling entirely. */
-    void setInterval(Cycle cycles) { _interval = cycles; }
+    void
+    setInterval(Cycle cycles)
+    {
+        _interval = cycles;
+        _nextBoundary = 0; // re-derive the boundary on the next tick
+    }
     Cycle interval() const { return _interval; }
 
     /**
@@ -59,12 +64,37 @@ class Sampler
 
     std::size_t probeCount() const { return probes.size(); }
 
-    /** Per-cycle hook; samples when the interval divides @p cycle. */
+    /**
+     * Per-cycle hook; samples when the interval divides @p cycle. The
+     * cached next-boundary cycle turns the consecutive-cycle hot path
+     * into one compare; the divide only runs when a boundary is reached
+     * or the caller's clock jumped (first tick, interval change, rewind).
+     */
     void
     tick(Cycle cycle)
     {
-        if (_interval != 0 && cycle % _interval == 0)
+        if (_interval == 0)
+            return;
+        if (cycle < _nextBoundary && cycle + _interval > _nextBoundary)
+            return; // strictly between boundaries: nothing to do
+        if (cycle % _interval == 0)
             sample(cycle);
+        _nextBoundary = cycle - cycle % _interval + _interval;
+    }
+
+    /**
+     * Cycles from @p cycle to the next sampling boundary at or after it
+     * (0 when @p cycle itself is a boundary), or DelayQueue-style never
+     * when sampling is disabled. Pure function of the interval, not of
+     * tick() history; the fast-forward engine uses it to clamp skips so
+     * every boundary is reached by a real tick.
+     */
+    Cycle
+    cyclesUntilNextSample(Cycle cycle) const
+    {
+        if (_interval == 0)
+            return ~Cycle{0};
+        return cycle % _interval == 0 ? 0 : _interval - cycle % _interval;
     }
 
     /** Snapshot every probe now (also seals the column set). */
@@ -87,6 +117,7 @@ class Sampler
     };
 
     Cycle _interval = 0;
+    Cycle _nextBoundary = 0; ///< first cycle the fast tick() path re-checks
     bool sealed = false;
     std::vector<Probe> probes;
     std::vector<double> row; ///< scratch, avoids per-sample allocation

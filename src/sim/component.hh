@@ -36,6 +36,13 @@ class Component
 {
   public:
     /**
+     * Sentinel returned by nextEventCycle() when the component has no
+     * self-scheduled future event: left unticked, it would never change
+     * state again.
+     */
+    static constexpr Cycle kNeverEvent = ~Cycle{0};
+
+    /**
      * @param component_name leaf name of this component
      * @param parent enclosing component, or nullptr for a root
      */
@@ -50,6 +57,46 @@ class Component
 
     /** True while the component still has work in flight. */
     virtual bool busy() const { return false; }
+
+    /**
+     * Earliest future tick at which this component could make observable
+     * progress, as a distance in cycles from "now" (the next tick).
+     *
+     * Returning d means: the next d-1 tick() calls are guaranteed to be
+     * pure waits — no architectural state change and no side effect other
+     * than the per-cycle bookkeeping that skipCycles() replays — while the
+     * d-th tick may act. 1 means "must tick next cycle"; kNeverEvent means
+     * "no self-scheduled event" (only external input can wake it).
+     *
+     * Underestimates are safe (the component is woken early, ticks, and a
+     * new horizon is computed); overestimates are correctness bugs because
+     * the Simulator replaces the skipped ticks with one skipCycles() call.
+     * The default is maximally conservative for any busy component.
+     */
+    virtual Cycle
+    nextEventCycle() const
+    {
+        return busy() ? 1 : kNeverEvent;
+    }
+
+    /**
+     * Replay the effects of @p cycles consecutive pure-wait ticks in one
+     * call: advance internal clocks and apply exactly the per-cycle stat
+     * updates (idle counters, occupancy integrals, scheduled refreshes)
+     * that naive ticking would have produced. Only invoked for windows the
+     * component itself declared pure via nextEventCycle(). Components that
+     * return true from supportsFastForward() must override this if any of
+     * their per-cycle bookkeeping is observable in stats or reports.
+     */
+    virtual void skipCycles(Cycle cycles) { (void)cycles; }
+
+    /**
+     * Opt-in gate for the fast-forward engine. The Simulator bulk-advances
+     * time only when every registered component opts in, because the
+     * default Component contract ("tick() is called every cycle") allows
+     * tick-driven models that are never busy() yet still observable.
+     */
+    virtual bool supportsFastForward() const { return false; }
 
     /**
      * One-line free-form state description for failure diagnostics

@@ -86,6 +86,34 @@ class DelayQueue
 
     void tick() { ++now; }
 
+    /**
+     * Advance the local clock by @p cycles at once, in place of that many
+     * tick() calls. The caller must have established (via cyclesUntilReady)
+     * that no element matures strictly inside the skipped window.
+     */
+    void
+    advance(Cycle cycles)
+    {
+        gds_assert(entries.empty() ||
+                       entries.front().readyAt >= now + cycles,
+                   "advance() across a matured delay-queue element");
+        now += cycles;
+    }
+
+    /**
+     * Ticks until the head element matures: 0 when ready() already holds,
+     * the distance in tick() calls otherwise, or kNever when empty.
+     */
+    static constexpr Cycle kNever = ~Cycle{0};
+    Cycle
+    cyclesUntilReady() const
+    {
+        if (entries.empty())
+            return kNever;
+        return entries.front().readyAt <= now ? 0
+                                              : entries.front().readyAt - now;
+    }
+
     bool canPush() const { return entries.size() < _capacity; }
     std::size_t size() const { return entries.size(); }
     bool empty() const { return entries.empty(); }

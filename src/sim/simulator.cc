@@ -1,5 +1,6 @@
 #include "sim/simulator.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/debug.hh"
@@ -121,6 +122,59 @@ Simulator::totalProgress() const
     return total;
 }
 
+namespace
+{
+
+void
+accumulateProgress(const Component &c, std::uint64_t &progress, bool &busy)
+{
+    progress += c.progressCount();
+    busy = busy || c.busy();
+    for (const Component *child : c.children())
+        accumulateProgress(*child, progress, busy);
+}
+
+} // namespace
+
+Simulator::ProgressSnapshot
+Simulator::progressSnapshot() const
+{
+    ProgressSnapshot snap;
+    for (const Component *c : components)
+        accumulateProgress(*c, snap.progress, snap.busy);
+    return snap;
+}
+
+Simulator::SkipPlan
+Simulator::clampedSkip(Cycle elapsed, Cycle next_check,
+                       const RunLimits &limits) const
+{
+    Cycle horizon = Component::kNeverEvent;
+    for (const Component *c : components)
+        horizon = std::min(horizon, c->nextEventCycle());
+    if (horizon <= 1)
+        return {};
+
+    // The next horizon-1 ticks are contractually pure waits. Clamp so no
+    // observer boundary falls inside the skipped window: the watchdog
+    // checkpoint and cycle budget are re-examined at loop top (elapsed may
+    // land exactly on them), while a sampler or counter-track boundary
+    // cycle must be reached by a real step() so its row carries the naive
+    // cycle stamp.
+    Cycle skip = horizon - 1;
+    skip = std::min(skip, next_check - elapsed);
+    skip = std::min(skip, limits.maxCycles - elapsed);
+    if (_sampler != nullptr)
+        skip = std::min(skip, _sampler->cyclesUntilNextSample(_cycle));
+    if (_nextCounterAt != Component::kNeverEvent)
+        skip = std::min(skip, _nextCounterAt - _cycle);
+    // A skip that runs all the way to the horizon proves the very next
+    // tick is the event itself: nothing changes during pure waits, so
+    // re-deriving the horizon before that tick would burn a full
+    // quiescence evaluation just to conclude "step now".
+    return {skip, skip == horizon - 1};
+}
+
 void
 Simulator::emitActivityCounters()
 {
@@ -173,20 +227,41 @@ Simulator::run(const std::function<bool()> &done, const RunLimits &limits)
         return report;
     };
 
+    const bool fast_forward = limits.fastForward && fastForwardEligible();
+    Cycle next_check = 0; // next elapsed cycle with a watchdog checkpoint
+    bool event_due = false; // last skip ran to the horizon; step, don't ask
+
     while (!done()) {
         const Cycle elapsed = _cycle - start;
         if (elapsed >= limits.maxCycles)
             return fail(RunOutcome::CycleLimit);
-        if (elapsed % limits.checkInterval == 0) {
-            const std::uint64_t progress = totalProgress();
-            if (progress != last_progress_count) {
-                last_progress_count = progress;
+        if (elapsed == next_check) {
+            // One subtree traversal yields both the progress sum and the
+            // busy verdict needed for the stall classification.
+            const ProgressSnapshot snap = progressSnapshot();
+            if (snap.progress != last_progress_count) {
+                last_progress_count = snap.progress;
                 last_progress_cycle = elapsed;
             } else if (elapsed - last_progress_cycle >= limits.stallCycles) {
-                return fail(anyBusy() ? RunOutcome::Livelock
+                return fail(snap.busy ? RunOutcome::Livelock
                                       : RunOutcome::Deadlock);
             }
+            next_check += limits.checkInterval;
         }
+        if (fast_forward && !event_due) {
+            const SkipPlan plan = clampedSkip(elapsed, next_check, limits);
+            if (plan.skip > 0) {
+                for (Component *c : components)
+                    c->skipCycles(plan.skip);
+                _cycle += plan.skip;
+                event_due = plan.eventNext;
+                report.skippedCycles += plan.skip;
+                ++report.skipWindows;
+                continue;
+            }
+        }
+        event_due = false;
+        ++report.steppedCycles;
         step();
     }
 

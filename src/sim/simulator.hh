@@ -62,6 +62,12 @@ struct RunReport
     Cycle lastProgressCycle = 0;  ///< elapsed cycle of the last progress
     std::vector<ComponentDiag> components; ///< populated on failure
 
+    // Fast-forward effectiveness telemetry (wall-clock only; simulated
+    // behaviour is identical whether or not cycles were skipped).
+    Cycle steppedCycles = 0; ///< cycles executed by real step() calls
+    Cycle skippedCycles = 0; ///< cycles bulk-advanced through quiescence
+    std::uint64_t skipWindows = 0; ///< number of bulk advances
+
     bool ok() const { return outcome == RunOutcome::Completed; }
 
     /** One-line human summary ("deadlock after 1234 cycles; ..."). */
@@ -83,6 +89,15 @@ struct RunLimits
     Cycle stallCycles = 10'000'000;
     /** Progress-counter sampling period (power of two, amortizes cost). */
     Cycle checkInterval = 1024;
+    /**
+     * Allow the event-horizon fast-forward engine. Engages only when
+     * every registered component opts in via supportsFastForward();
+     * otherwise the run is naively cycle-stepped regardless. Cycle-exact
+     * either way: skipped windows are provably pure waits and skips are
+     * clamped to every sampler/counter-track/watchdog/budget boundary,
+     * so all observers see exactly the naive cycles (see DESIGN.md).
+     */
+    bool fastForward = true;
 };
 
 class Simulator
@@ -90,12 +105,27 @@ class Simulator
   public:
     Simulator() = default;
 
-    /** Register a component; ticked in registration order every cycle. */
+    /**
+     * Register a component; ticked in registration order every cycle.
+     * Components partition into a skippable set (supportsFastForward())
+     * and an always-tick set; one member of the latter pins the whole
+     * run to naive stepping, because skipping its ticks could change
+     * behaviour the fast-forward contract cannot see.
+     */
     void
     add(Component *c)
     {
         gds_assert(c != nullptr, "null component");
         components.push_back(c);
+        if (!c->supportsFastForward())
+            ++_alwaysTick;
+    }
+
+    /** True when every registered component opted into fast-forwarding. */
+    bool
+    fastForwardEligible() const
+    {
+        return _alwaysTick == 0 && !components.empty();
     }
 
     /** Current simulated cycle. */
@@ -122,23 +152,41 @@ class Simulator
         _tracer = tracer;
         _counterInterval = counter_interval;
         counterTracks.clear();
+        if (_tracer != nullptr && _counterInterval != 0) {
+            _nextCounterAt = _cycle % _counterInterval == 0
+                                 ? _cycle
+                                 : _cycle + _counterInterval -
+                                       _cycle % _counterInterval;
+        } else {
+            _nextCounterAt = Component::kNeverEvent;
+        }
     }
     obs::Tracer *tracer() const { return _tracer; }
 
-    /** Tick every registered component exactly once. */
+    /**
+     * Tick every registered component exactly once. The telemetry-off
+     * hot path does no per-component scope work (one cached any-flag
+     * branch) and no modulo arithmetic (counter emission compares
+     * against a precomputed boundary cycle).
+     */
     void
     step()
     {
         debug::setTraceCycle(_cycle);
-        for (Component *c : components) {
-            const debug::ScopedTraceComponent scope(c->tracePath());
-            c->tick();
+        if (debug::anyEnabled()) {
+            for (Component *c : components) {
+                const debug::ScopedTraceComponent scope(c->tracePath());
+                c->tick();
+            }
+        } else {
+            for (Component *c : components)
+                c->tick();
         }
         if (_sampler)
             _sampler->tick(_cycle);
-        if (_tracer && _counterInterval != 0 &&
-            _cycle % _counterInterval == 0) {
+        if (_cycle == _nextCounterAt) {
             emitActivityCounters();
+            _nextCounterAt += _counterInterval;
         }
         ++_cycle;
     }
@@ -176,7 +224,25 @@ class Simulator
         std::uint64_t last;
     };
 
+    /** Progress sum + busy verdict from one traversal (watchdog). */
+    struct ProgressSnapshot
+    {
+        std::uint64_t progress = 0;
+        bool busy = false;
+    };
+
+    /** Outcome of one fast-forward attempt. */
+    struct SkipPlan
+    {
+        Cycle skip = 0;       ///< pure-wait cycles safe to bulk-advance
+        bool eventNext = false; ///< skip reaches the horizon: next tick IS
+                                ///< the event, no need to re-derive it
+    };
+
     std::uint64_t totalProgress() const;
+    ProgressSnapshot progressSnapshot() const;
+    SkipPlan clampedSkip(Cycle elapsed, Cycle next_check,
+                         const RunLimits &limits) const;
     void emitActivityCounters();
 
     std::vector<Component *> components;
@@ -184,7 +250,9 @@ class Simulator
     obs::Sampler *_sampler = nullptr;
     obs::Tracer *_tracer = nullptr;
     Cycle _counterInterval = 0;
+    Cycle _nextCounterAt = Component::kNeverEvent;
     Cycle _cycle = 0;
+    std::size_t _alwaysTick = 0; ///< components outside the skippable set
 };
 
 } // namespace gds::sim

@@ -1,0 +1,15 @@
+// Fixture for R6 (component-hooks): a Component subclass with every
+// diagnostic hook except the fast-forward horizon that its busy()
+// override makes mandatory.
+
+#pragma once
+
+#include "sim/component.hh"
+
+class SluggishWidget : public sim::Component
+{
+  public:
+    bool busy() const override { return false; }
+    std::string debugState() const override { return "idle"; }
+    std::uint64_t activityCounter() const override { return 0; }
+};

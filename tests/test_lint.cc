@@ -156,8 +156,9 @@ TEST(LintRules, ComponentHooksFlagged)
               (std::vector<std::string>{"component-hooks@8"}));
     EXPECT_NE(r.diagnostics[0].message.find("'SilentWidget'"),
               std::string::npos);
+    // Overriding busy() also makes nextEventCycle() mandatory.
     EXPECT_NE(r.diagnostics[0].message.find(
-                  "debugState() and activityCounter()"),
+                  "debugState(), activityCounter() and nextEventCycle()"),
               std::string::npos);
     // busy() is overridden in the fixture, so it is not reported.
     EXPECT_EQ(r.diagnostics[0].message.find("busy()"), std::string::npos);
@@ -170,10 +171,29 @@ TEST(LintRules, ComponentHooksActivityCounterFlagged)
               (std::vector<std::string>{"component-hooks@8"}));
     EXPECT_NE(r.diagnostics[0].message.find("'MuteWidget'"),
               std::string::npos);
-    // Both watchdog hooks exist; only the telemetry hook is missing.
-    EXPECT_NE(r.diagnostics[0].message.find("activityCounter()"),
+    // Both watchdog hooks exist; the telemetry hook and (because busy()
+    // is overridden) the fast-forward horizon are missing.
+    EXPECT_NE(r.diagnostics[0].message.find(
+                  "activityCounter() and nextEventCycle()"),
               std::string::npos);
     EXPECT_EQ(r.diagnostics[0].message.find("busy()"), std::string::npos);
+    EXPECT_EQ(r.diagnostics[0].message.find("debugState()"),
+              std::string::npos);
+}
+
+TEST(LintRules, ComponentHooksNextEventCycleFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_next_event.hh");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"component-hooks@9"}));
+    EXPECT_NE(r.diagnostics[0].message.find("'SluggishWidget'"),
+              std::string::npos);
+    // Every diagnostic hook exists; only the fast-forward horizon that
+    // the busy() override requires is missing.
+    EXPECT_NE(r.diagnostics[0].message.find("nextEventCycle()"),
+              std::string::npos);
+    EXPECT_EQ(r.diagnostics[0].message.find("activityCounter()"),
+              std::string::npos);
     EXPECT_EQ(r.diagnostics[0].message.find("debugState()"),
               std::string::npos);
 }
@@ -260,19 +280,19 @@ TEST(LintDriver, JsonSummaryCountsRules)
     std::ostringstream os;
     writeJsonSummary(r, os);
     const std::string json = os.str();
-    EXPECT_NE(json.find("\"files_scanned\": 14"), std::string::npos);
-    EXPECT_NE(json.find("\"violations\": 16"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 15"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 17"), std::string::npos);
     EXPECT_NE(json.find("\"tool_errors\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"no-naked-assert\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"bad-suppression\": 3"), std::string::npos);
-    EXPECT_NE(json.find("\"component-hooks\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"component-hooks\": 3"), std::string::npos);
 }
 
 TEST(LintDriver, FixtureTreeExitsOne)
 {
     const LintResult r = lintPaths({fixtureRoot}, fixtureRoot);
-    EXPECT_EQ(r.filesScanned, 14u);
-    EXPECT_EQ(r.diagnostics.size(), 16u);
+    EXPECT_EQ(r.filesScanned, 15u);
+    EXPECT_EQ(r.diagnostics.size(), 17u);
     EXPECT_EQ(exitCode(r), 1);
 }
 

@@ -33,6 +33,11 @@ class CountingComponent : public Component
 
     bool busy() const override { return pendingWork > 0; }
 
+    // Test predicates mutate state the horizon cannot see, so every cycle
+    // is an event. supportsFastForward() stays false: these runs must tick
+    // naively even under fast-forwarding limits.
+    Cycle nextEventCycle() const override { return 1; }
+
     std::uint64_t
     activityCounter() const override
     {
@@ -179,6 +184,147 @@ TEST(Simulator, AnyBusyReflectsComponents)
     EXPECT_FALSE(sim.anyBusy());
     b.pendingWork = 1;
     EXPECT_TRUE(sim.anyBusy());
+}
+
+// --- Fast-forward engine -------------------------------------------------
+
+/** Component whose waits are provable: events fire every `period` cycles
+ *  of its local clock, everything in between is a pure wait. */
+class PeriodicComponent : public Component
+{
+  public:
+    PeriodicComponent(std::string n, Cycle event_period)
+        : Component(std::move(n), nullptr), period(event_period)
+    {}
+
+    void
+    tick() override
+    {
+        ++realTicks;
+        ++localCycle;
+        if (localCycle % period == 0) {
+            ++events;
+            progressed(localCycle);
+        }
+    }
+
+    bool busy() const override { return true; }
+
+    Cycle
+    nextEventCycle() const override
+    {
+        // Local clock is at `localCycle`; tick d runs with clock
+        // localCycle + d, so the next multiple of `period` is event tick
+        // period - localCycle % period.
+        return period - localCycle % period;
+    }
+
+    void skipCycles(Cycle cycles) override { localCycle += cycles; }
+    bool supportsFastForward() const override { return true; }
+    std::string debugState() const override { return "periodic"; }
+    std::uint64_t activityCounter() const override { return events; }
+
+    Cycle period;
+    Cycle localCycle = 0;
+    std::uint64_t events = 0;
+    std::uint64_t realTicks = 0;
+};
+
+TEST(FastForward, EligibilityRequiresUnanimousOptIn)
+{
+    PeriodicComponent fast("fast", 10);
+    CountingComponent naive("naive", nullptr, nullptr);
+    Simulator sim;
+    sim.add(&fast);
+    EXPECT_TRUE(sim.fastForwardEligible());
+    sim.add(&naive);
+    EXPECT_FALSE(sim.fastForwardEligible());
+}
+
+TEST(FastForward, EmptySimulatorIsNotEligible)
+{
+    Simulator sim;
+    EXPECT_FALSE(sim.fastForwardEligible());
+}
+
+TEST(FastForward, SkipsToEventsWithExactCycleCount)
+{
+    PeriodicComponent c("c", 1000);
+    Simulator sim;
+    sim.add(&c);
+    const RunReport report = sim.run([&] { return c.events >= 7; });
+    EXPECT_EQ(report.outcome, RunOutcome::Completed);
+    EXPECT_EQ(report.cycles, 7000u);
+    EXPECT_EQ(sim.cycle(), 7000u);
+    EXPECT_EQ(c.localCycle, 7000u);
+    // The bulk of every window was skipped, not ticked.
+    EXPECT_LT(c.realTicks, 100u);
+}
+
+TEST(FastForward, DisabledLimitsTickNaively)
+{
+    PeriodicComponent c("c", 1000);
+    Simulator sim;
+    sim.add(&c);
+    RunLimits limits;
+    limits.fastForward = false;
+    const RunReport report = sim.run([&] { return c.events >= 2; }, limits);
+    EXPECT_EQ(report.cycles, 2000u);
+    EXPECT_EQ(c.localCycle, 2000u);
+}
+
+TEST(FastForward, MixedFleetTicksEveryComponentEveryCycle)
+{
+    PeriodicComponent fast("fast", 100);
+    CountingComponent naive("naive", nullptr, nullptr);
+    Simulator sim;
+    sim.add(&fast);
+    sim.add(&naive);
+    const RunReport report = sim.run([&] {
+        naive.progressed();
+        return fast.events >= 3;
+    });
+    EXPECT_EQ(report.cycles, 300u);
+    EXPECT_EQ(naive.ticks, 300); // no tick was skipped
+}
+
+TEST(FastForward, WatchdogStillFiresAcrossSkippedWindows)
+{
+    // The first event is far beyond the stall window, so the detector
+    // must trip inside a skippable stretch -- at the same cycle as a
+    // naive run, with the same busy-based classification.
+    RunLimits limits;
+    limits.maxCycles = 1'000'000;
+    limits.stallCycles = 256;
+    limits.checkInterval = 64;
+    const RunReport naive_report = [&] {
+        PeriodicComponent n("n", 10'000);
+        Simulator ns;
+        ns.add(&n);
+        RunLimits nl = limits;
+        nl.fastForward = false;
+        return ns.run([] { return false; }, nl);
+    }();
+    PeriodicComponent c("c", 10'000);
+    Simulator sim;
+    sim.add(&c);
+    const RunReport report = sim.run([] { return false; }, limits);
+    EXPECT_EQ(report.outcome, RunOutcome::Livelock);
+    EXPECT_EQ(report.outcome, naive_report.outcome);
+    EXPECT_EQ(report.cycles, naive_report.cycles);
+}
+
+TEST(FastForward, CycleLimitHonoredExactly)
+{
+    PeriodicComponent c("c", 1'000'000); // next event far past the budget
+    Simulator sim;
+    sim.add(&c);
+    RunLimits limits;
+    limits.maxCycles = 1234;
+    const RunReport report = sim.run([] { return false; }, limits);
+    EXPECT_EQ(report.outcome, RunOutcome::CycleLimit);
+    EXPECT_EQ(report.cycles, 1234u);
+    EXPECT_EQ(c.localCycle, 1234u);
 }
 
 TEST(BoundedQueue, FifoOrderAndBackpressure)

@@ -266,6 +266,7 @@ ruleComponentHooks(const LexedFile &f, std::vector<Diagnostic> &out)
         bool has_busy = false;
         bool has_debug_state = false;
         bool has_activity = false;
+        bool has_next_event = false;
         for (++j; j < toks.size() && depth > 0; ++j) {
             if (isPunct(toks[j], "{"))
                 ++depth;
@@ -277,8 +278,15 @@ ruleComponentHooks(const LexedFile &f, std::vector<Diagnostic> &out)
                 has_debug_state = true;
             else if (isIdent(toks[j], "activityCounter"))
                 has_activity = true;
+            else if (isIdent(toks[j], "nextEventCycle"))
+                has_next_event = true;
         }
-        if (!has_busy || !has_debug_state || !has_activity) {
+        // A class that overrides busy() has wait states of its own, so the
+        // inherited busy-based nextEventCycle() default no longer describes
+        // them: it must state its own fast-forward horizon.
+        const bool needs_next_event = has_busy && !has_next_event;
+        if (!has_busy || !has_debug_state || !has_activity ||
+            needs_next_event) {
             std::vector<std::string> hooks;
             if (!has_busy)
                 hooks.push_back("busy()");
@@ -286,6 +294,8 @@ ruleComponentHooks(const LexedFile &f, std::vector<Diagnostic> &out)
                 hooks.push_back("debugState()");
             if (!has_activity)
                 hooks.push_back("activityCounter()");
+            if (needs_next_event)
+                hooks.push_back("nextEventCycle()");
             std::string missing;
             for (std::size_t k = 0; k < hooks.size(); ++k) {
                 if (k != 0)
@@ -295,8 +305,9 @@ ruleComponentHooks(const LexedFile &f, std::vector<Diagnostic> &out)
             out.push_back({f.path, class_line, "component-hooks",
                            "Component subclass '" + class_name +
                            "' must override the diagnostic hook(s) " +
-                           missing + " so deadlock snapshots and "
-                           "activity traces stay actionable",
+                           missing + " so deadlock snapshots, activity "
+                           "traces and fast-forward horizons stay "
+                           "actionable",
                            false});
         }
     }
