@@ -24,11 +24,22 @@
  *   --samples FILE                 sample CSV path (default
  *                                  gds_samples.csv; per-system prefix
  *                                  with --system all)
+ *   --checkpoint-dir DIR           write mid-run checkpoints into DIR
+ *   --checkpoint-interval N        checkpoint every N cycles (default:
+ *                                  only on SIGINT/SIGTERM)
+ *   --resume                       resume from DIR's latest checkpoint
+ *   --kill-at-cycle N              raise SIGKILL at cycle N (crash tests)
+ *
+ * SIGINT/SIGTERM request a graceful stop: the run halts at the next
+ * watchdog boundary, writes a final checkpoint (when --checkpoint-dir is
+ * set) and still flushes samples and the trace, so an interrupted run can
+ * be resumed with --resume and loses nothing.
  *
  * Every value flag also accepts the --flag=value spelling.
  */
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -64,7 +75,18 @@ struct Options
     std::string traceFile;
     Cycle sampleInterval = 0;
     std::string sampleFile = "gds_samples.csv";
+    std::string checkpointDir;
+    Cycle checkpointInterval = 0;
+    bool resume = false;
+    Cycle killAtCycle = 0;
 };
+
+/** Async-signal-safe: requestStop() is one relaxed atomic store. */
+void
+handleStopSignal(int)
+{
+    sim::requestStop();
+}
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -77,7 +99,10 @@ usage(const char *argv0)
                  "       [--no-wb] [--no-ep] [--no-ao] [--no-us] "
                  "[--stats]\n"
                  "       [--trace FILE] [--sample-interval N] "
-                 "[--samples FILE]\n",
+                 "[--samples FILE]\n"
+                 "       [--checkpoint-dir DIR] [--checkpoint-interval N] "
+                 "[--resume]\n"
+                 "       [--kill-at-cycle N]\n",
                  argv0);
     std::exit(1);
 }
@@ -164,6 +189,15 @@ parseArgs(int argc, char **argv)
             opts.sampleInterval = std::stoull(need_value());
         else if (arg == "--samples")
             opts.sampleFile = need_value();
+        else if (arg == "--checkpoint-dir")
+            opts.checkpointDir = need_value();
+        else if (arg == "--checkpoint-interval")
+            opts.checkpointInterval = std::stoull(need_value());
+        else if (arg == "--resume") {
+            no_value();
+            opts.resume = true;
+        } else if (arg == "--kill-at-cycle")
+            opts.killAtCycle = std::stoull(need_value());
         else
             usage(argv[0]);
     }
@@ -174,6 +208,9 @@ parseArgs(int argc, char **argv)
                               (opts.rmatScale ? 1 : 0);
     if (graph_sources != 1)
         usage(argv[0]);
+    if (opts.checkpointDir.empty() &&
+        (opts.resume || opts.checkpointInterval != 0))
+        fatal("--resume and --checkpoint-interval need --checkpoint-dir");
     return opts;
 }
 
@@ -193,6 +230,14 @@ int
 main(int argc, char **argv)
 {
     const Options opts = parseArgs(argc, argv);
+
+    // Graceful stop: the handler only sets an atomic flag; the run loop
+    // notices it at the next watchdog boundary, checkpoints and returns,
+    // and main still flushes samples and the trace below.
+    sim::clearStopRequest();
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+
     const auto algorithm_id = *opts.algorithm;
     const bool weighted =
         algo::makeAlgorithm(algorithm_id)->usesWeights();
@@ -251,6 +296,26 @@ main(int argc, char **argv)
                             opts.sampleInterval));
         }
     };
+    // Per-system checkpoint basename so --system all runs don't collide.
+    auto checkpoint_for = [&](const char *system_tag) {
+        core::CheckpointOptions ckpt;
+        if (opts.checkpointDir.empty())
+            return ckpt;
+        ckpt.dir = opts.checkpointDir;
+        ckpt.basename = system_tag;
+        ckpt.interval = opts.checkpointInterval;
+        ckpt.resume = opts.resume;
+        return ckpt;
+    };
+    auto note_interrupted = [&](const core::RunResult &r) {
+        if (r.report.outcome != sim::RunOutcome::Stopped)
+            return;
+        std::printf("  stopped by signal at cycle %llu%s\n",
+                    static_cast<unsigned long long>(r.cycles),
+                    opts.checkpointDir.empty()
+                        ? ""
+                        : "; checkpoint written (rerun with --resume)");
+    };
 
     if (all || opts.system == "gds") {
         core::GdsConfig cfg = opts.gdsConfig;
@@ -265,6 +330,8 @@ main(int argc, char **argv)
             run.sampler = &sampler;
         }
         run.traceCounterInterval = counter_interval;
+        run.checkpoint = checkpoint_for("gds");
+        run.killAtCycle = opts.killAtCycle;
         const auto r = accel.run(run);
         last_traced_cycle = std::max(last_traced_cycle, r.cycles);
         const auto e =
@@ -277,6 +344,7 @@ main(int argc, char **argv)
                     r.iterations, accel.numSlices(),
                     static_cast<unsigned long long>(r.updatesSkipped),
                     static_cast<unsigned long long>(r.atomicStalls));
+        note_interrupted(r);
         if (opts.sampleInterval != 0)
             dump_samples(sampler, "gds");
         if (opts.dumpStats)
@@ -295,6 +363,8 @@ main(int argc, char **argv)
             run.sampler = &sampler;
         }
         run.traceCounterInterval = counter_interval;
+        run.checkpoint = checkpoint_for("graphicionado");
+        run.killAtCycle = opts.killAtCycle;
         const auto r = accel.run(run);
         last_traced_cycle = std::max(last_traced_cycle, r.cycles);
         const auto e = energy_model.graphicionadoEnergy(cfg, r.cycles,
@@ -302,6 +372,7 @@ main(int argc, char **argv)
         printCommon("Graphicionado", static_cast<double>(r.cycles) * 1e-9,
                     r.gteps(), static_cast<double>(r.memoryBytes),
                     r.bandwidthUtilization, e.totalJ());
+        note_interrupted(r);
         if (opts.sampleInterval != 0)
             dump_samples(sampler, "graphicionado");
         if (opts.dumpStats)

@@ -1,10 +1,12 @@
 #include "baseline/graphicionado.hh"
 
+#include <csignal>
 #include <cstdlib>
 #include <optional>
 #include <sstream>
 
 #include "common/bitutil.hh"
+#include "sim/checkpoint.hh"
 
 namespace gds::baseline
 {
@@ -168,7 +170,7 @@ GraphicionadoAccel::run(const core::RunOptions &options)
     activeBuf = 0;
     startIteration();
 
-    const Cycle start_cycle = now;
+    runStart = now;
 
     // Supervised execution (same protocol as GdsAccel::run): completion,
     // deadlock, livelock and budget exhaustion are distinguished by the
@@ -195,10 +197,117 @@ GraphicionadoAccel::run(const core::RunOptions &options)
         hbm->setFaultInjector(&*injector);
     }
 
-    const sim::RunReport report =
-        driver.run([&] { return phase == Phase::Finished; }, limits);
+    // Checkpoint wiring: same payload protocol as GdsAccel::run()
+    // (accelerator, then optional fault/sampler/tracer state, then the
+    // driver).
+    constexpr std::uint32_t kStateVersion = 1;
+    std::optional<sim::CheckpointStore> store;
+    std::string identity;
+    if (!options.checkpoint.dir.empty()) {
+        identity = gds::detail::vformat(
+            "graphicionado|%s|V=%u|E=%llu|src=%u|%s", algo.name().c_str(),
+            v_count,
+            static_cast<unsigned long long>(fullGraph.numEdges()),
+            options.source, options.checkpoint.identity.c_str());
+        store.emplace(options.checkpoint.dir, options.checkpoint.basename);
+    }
+
+    const auto serializeAll = [&](sim::Serializer &s) {
+        saveState(s);
+        s.writeBool(injector.has_value());
+        if (injector)
+            injector->saveState(s);
+        s.writeBool(options.sampler != nullptr);
+        if (options.sampler)
+            options.sampler->saveState(s);
+        obs::Tracer *tr = obs::activeTracer();
+        s.writeBool(tr != nullptr);
+        if (tr)
+            tr->saveState(s);
+        driver.saveState(s);
+    };
+
+    if (store && options.checkpoint.resume) {
+        std::string reason;
+        if (const auto loaded = store->loadLatest(&reason)) {
+            if (loaded->meta.stateVersion != kStateVersion ||
+                loaded->meta.identity != identity) {
+                warn("ignoring checkpoint %s: identity/version mismatch "
+                     "(have \"%s\" v%u, want \"%s\" v%u); starting clean",
+                     store->currentPath().c_str(),
+                     loaded->meta.identity.c_str(),
+                     loaded->meta.stateVersion, identity.c_str(),
+                     kStateVersion);
+            } else {
+                sim::Deserializer d(loaded->payload);
+                restoreState(d);
+                const bool had_injector = d.readBool();
+                gds_require(had_injector == injector.has_value(),
+                            CheckpointError,
+                            "checkpoint fault-injection state does not "
+                            "match this run's fault plan");
+                if (injector)
+                    injector->restoreState(d);
+                const bool had_sampler = d.readBool();
+                gds_require(had_sampler == (options.sampler != nullptr),
+                            CheckpointError,
+                            "checkpoint sampler state does not match this "
+                            "run's sampler configuration");
+                if (options.sampler)
+                    options.sampler->restoreState(d);
+                const bool had_tracer = d.readBool();
+                obs::Tracer *tr = obs::activeTracer();
+                gds_require(had_tracer == (tr != nullptr), CheckpointError,
+                            "checkpoint tracer state does not match this "
+                            "run's tracer configuration");
+                if (tr)
+                    tr->restoreState(d);
+                driver.restoreState(d);
+                d.expectEnd();
+                inform("resumed from %s at cycle %llu%s",
+                       (loaded->usedFallback ? store->previousPath()
+                                             : store->currentPath())
+                           .c_str(),
+                       static_cast<unsigned long long>(loaded->meta.cycle),
+                       loaded->usedFallback
+                           ? " (previous checkpoint; current was invalid)"
+                           : "");
+            }
+        } else if (!reason.empty()) {
+            warn("no usable checkpoint (%s); starting clean",
+                 reason.c_str());
+        }
+    }
+
+    sim::RunHooks hooks;
+    hooks.wallBudgetSeconds = options.wallBudgetSeconds;
+    if (store) {
+        hooks.checkpointInterval = options.checkpoint.interval;
+        hooks.writeCheckpoint = [&] {
+            sim::Serializer s;
+            serializeAll(s);
+            sim::CheckpointMeta meta;
+            meta.stateVersion = kStateVersion;
+            meta.identity = identity;
+            meta.cycle = now;
+            store->write(meta, s);
+        };
+    }
+
+    const Cycle start_cycle = runStart;
+    const sim::RunReport report = driver.run(
+        [&] {
+            if (options.killAtCycle != 0 &&
+                now - start_cycle >= options.killAtCycle)
+                std::raise(SIGKILL);
+            return phase == Phase::Finished;
+        },
+        limits, hooks);
 
     hbm->setFaultInjector(nullptr);
+
+    if (store && report.outcome == sim::RunOutcome::Completed)
+        store->removeAll();
 
     core::RunResult result;
     result.report = report;
@@ -823,6 +932,168 @@ GraphicionadoAccel::skipCycles(Cycle cycles)
     }
     hbm->skipCycles(cycles);
     now += cycles;
+}
+
+namespace
+{
+
+constexpr std::uint32_t kBaselineMarker = 0x47494f31; // "GIO1"
+
+template <typename SER, typename T>
+void
+saveNestedVec(SER &s, const std::vector<std::vector<T>> &v)
+{
+    s.writeU64(v.size());
+    for (const std::vector<T> &inner : v)
+        s.writePodVec(inner);
+}
+
+template <typename DES, typename T>
+void
+restoreNestedVec(DES &d, std::vector<std::vector<T>> &v)
+{
+    v.resize(static_cast<std::size_t>(d.readU64()));
+    for (std::vector<T> &inner : v)
+        d.readPodVec(inner);
+}
+
+} // namespace
+
+void
+GraphicionadoAccel::saveState(sim::Serializer &s) const
+{
+    s.registerPointer(&vport);
+    s.registerPointer(&eport);
+    s.registerPointer(&wport);
+
+    sim::Component::saveState(s);
+    s.writeMarker(kBaselineMarker);
+
+    s.writePodVec(prop);
+    s.writePodVec(tProp);
+    s.writePodVec(cProp);
+    s.writePodVec(lastReduceAt);
+    saveNestedVec(s, activeCur);
+    saveNestedVec(s, activeNext);
+    s.writeU64(activatedThisIteration);
+
+    for (const Stream &stream : streams) {
+        s.writePodDeque(stream.records);
+        s.writeU32(stream.edgeCursor);
+    }
+
+    s.writeU64(sc.recordsTotal);
+    s.writeU64(sc.expectedEdges);
+    s.writeU64(sc.batchesTotal);
+    s.writeU64(sc.batchesIssued);
+    s.writePodVec(sc.batchReady);
+    s.writeU64(sc.commitCursor);
+    s.writeU64(sc.recordsDone);
+    s.writeU64(sc.edgesReduced);
+    s.writePodVec(sc.fetch);
+    saveNestedVec(s, sc.fetchedEdges);
+
+    s.writeU32(ap.sweepBegin);
+    s.writeU32(ap.sweepEnd);
+    s.writeU64(ap.batchesTotal);
+    s.writeU64(ap.batchesIssued);
+    s.writePodVec(ap.batchIssuedParts);
+    s.writePodVec(ap.batchPending);
+    s.writeU32(ap.commitCursor);
+    s.writeU32(ap.appliedCount);
+    s.writePodDeque(ap.pendingApplies);
+    s.writeU64(ap.pendingAuRecords);
+    s.writeU64(ap.auWriteCursor);
+    // std::pair is not trivially copyable; serialize element-wise.
+    s.writeU64(ap.writes.size());
+    for (const auto &[addr, count] : ap.writes) {
+        s.writeU64(addr);
+        s.writeU32(count);
+    }
+
+    s.writeU8(static_cast<std::uint8_t>(phase));
+    s.writeU32(curSlice);
+    s.writeU32(iteration);
+    s.writeU32(activeBuf);
+    s.writeU64(now);
+    s.writeU64(runStart);
+    s.writeBool(collectPeLoads);
+    s.writePodVec(streamLoadThisIteration);
+    saveNestedVec(s, streamLoadTrace);
+
+    vport.saveState(s);
+    eport.saveState(s);
+    wport.saveState(s);
+    hbm->saveState(s);
+}
+
+void
+GraphicionadoAccel::restoreState(sim::Deserializer &d)
+{
+    d.registerPointer(&vport);
+    d.registerPointer(&eport);
+    d.registerPointer(&wport);
+
+    sim::Component::restoreState(d);
+    d.expectMarker(kBaselineMarker);
+
+    d.readPodVec(prop);
+    d.readPodVec(tProp);
+    d.readPodVec(cProp);
+    d.readPodVec(lastReduceAt);
+    restoreNestedVec(d, activeCur);
+    restoreNestedVec(d, activeNext);
+    activatedThisIteration = d.readU64();
+
+    for (Stream &stream : streams) {
+        d.readPodDeque(stream.records);
+        stream.edgeCursor = d.readU32();
+    }
+
+    sc.recordsTotal = d.readU64();
+    sc.expectedEdges = d.readU64();
+    sc.batchesTotal = d.readU64();
+    sc.batchesIssued = d.readU64();
+    d.readPodVec(sc.batchReady);
+    sc.commitCursor = d.readU64();
+    sc.recordsDone = d.readU64();
+    sc.edgesReduced = d.readU64();
+    d.readPodVec(sc.fetch);
+    restoreNestedVec(d, sc.fetchedEdges);
+
+    ap.sweepBegin = d.readU32();
+    ap.sweepEnd = d.readU32();
+    ap.batchesTotal = d.readU64();
+    ap.batchesIssued = d.readU64();
+    d.readPodVec(ap.batchIssuedParts);
+    d.readPodVec(ap.batchPending);
+    ap.commitCursor = d.readU32();
+    ap.appliedCount = d.readU32();
+    d.readPodDeque(ap.pendingApplies);
+    ap.pendingAuRecords = d.readU64();
+    ap.auWriteCursor = d.readU64();
+    ap.writes.clear();
+    const std::uint64_t pending_writes = d.readU64();
+    for (std::uint64_t i = 0; i < pending_writes; ++i) {
+        const Addr addr = d.readU64();
+        const unsigned count = d.readU32();
+        ap.writes.emplace_back(addr, count);
+    }
+
+    phase = static_cast<Phase>(d.readU8());
+    curSlice = d.readU32();
+    iteration = d.readU32();
+    activeBuf = d.readU32();
+    now = d.readU64();
+    runStart = d.readU64();
+    collectPeLoads = d.readBool();
+    d.readPodVec(streamLoadThisIteration);
+    restoreNestedVec(d, streamLoadTrace);
+
+    vport.restoreState(d);
+    eport.restoreState(d);
+    wport.restoreState(d);
+    hbm->restoreState(d);
 }
 
 } // namespace gds::baseline

@@ -105,6 +105,14 @@ class GraphicionadoAccel : public sim::Component
 
     bool supportsFastForward() const override { return true; }
 
+    /**
+     * Checkpoint the complete baseline: property arrays, frontier
+     * buffers, per-stream backlogs, both phase-state blocks, the ports
+     * and the HBM. Same contract as GdsAccel::saveState().
+     */
+    void saveState(sim::Serializer &s) const override;
+    void restoreState(sim::Deserializer &d) override;
+
     /** Activity = edges processed by the streams (counter-track unit). */
     std::uint64_t
     activityCounter() const override
@@ -242,6 +250,9 @@ class GraphicionadoAccel : public sim::Component
     unsigned iteration = 0;
     unsigned activeBuf = 0;
     Cycle now = 0;
+    /** Local clock at run() entry; serialized so a resumed run reports
+     *  cycles spanning the whole logical run, not just the tail. */
+    Cycle runStart = 0;
     bool collectPeLoads = false;
     std::vector<std::uint64_t> streamLoadThisIteration;
     std::vector<std::vector<std::uint64_t>> streamLoadTrace;

@@ -21,6 +21,12 @@ errorCodeName(ErrorCode code)
         return "config";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::Stopped:
+        return "stopped";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::Checkpoint:
+        return "checkpoint";
     }
     panic("bad error code %d", static_cast<int>(code));
 }
@@ -38,8 +44,12 @@ CorruptInputError::describe(const std::string &input_path,
                             std::size_t line_number, const std::string &msg)
 {
     std::string where = input_path;
-    if (line_number != 0)
-        where += ":" + std::to_string(line_number);
+    if (line_number != 0) {
+        // Two appends, not operator+: GCC 12's -Wrestrict false-positive
+        // (PR105651) fires on `"lit" + std::string&&` under -O2 -Werror.
+        where += ':';
+        where += std::to_string(line_number);
+    }
     return where.empty() ? msg : where + ": " + msg;
 }
 
@@ -60,6 +70,12 @@ throwStatus(const Status &status)
         throw ConfigError(status.message());
       case ErrorCode::Internal:
         throw InternalError(status.message());
+      case ErrorCode::Stopped:
+        throw StoppedError(status.message());
+      case ErrorCode::Timeout:
+        throw TimeoutError(status.message());
+      case ErrorCode::Checkpoint:
+        throw CheckpointError(status.message());
       default:
         throw SimError(status.code(), status.message());
     }

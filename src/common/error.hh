@@ -35,6 +35,9 @@ enum class ErrorCode
     CorruptInput, ///< malformed/truncated input data (graph file, cache)
     Config,       ///< invalid user-supplied configuration
     Internal,     ///< unexpected internal condition surfaced as an error
+    Stopped,      ///< run interrupted by a graceful-stop request (signal)
+    Timeout,      ///< run exceeded its wall-clock budget
+    Checkpoint,   ///< checkpoint file corrupt, truncated or incompatible
 };
 
 /** Stable lower-case name of an error code ("ok", "deadlock", ...). */
@@ -229,6 +232,33 @@ class InternalError : public SimError
   public:
     explicit InternalError(const std::string &msg)
         : SimError(ErrorCode::Internal, msg)
+    {}
+};
+
+/** A run was interrupted by a graceful-stop request (SIGINT/SIGTERM). */
+class StoppedError : public SimError
+{
+  public:
+    explicit StoppedError(const std::string &msg)
+        : SimError(ErrorCode::Stopped, msg)
+    {}
+};
+
+/** A run exceeded its wall-clock budget and was reaped. */
+class TimeoutError : public SimError
+{
+  public:
+    explicit TimeoutError(const std::string &msg)
+        : SimError(ErrorCode::Timeout, msg)
+    {}
+};
+
+/** A checkpoint file is corrupt, truncated, or from an incompatible build. */
+class CheckpointError : public SimError
+{
+  public:
+    explicit CheckpointError(const std::string &msg)
+        : SimError(ErrorCode::Checkpoint, msg)
     {}
 };
 

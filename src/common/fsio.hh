@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Durable filesystem primitives shared by every atomic-write path in the
+ * repository (graph binary caches, the harness result journal, simulator
+ * checkpoints).
+ *
+ * The classic crash-safe publish sequence is: write a temporary file,
+ * fsync it, rename it over the destination, then fsync the destination's
+ * parent directory so the rename itself is on stable storage. Skipping
+ * either fsync leaves a window where power loss produces an empty or
+ * truncated file under the final name — exactly the torn-journal failure
+ * these helpers exist to rule out.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace gds
+{
+
+/** fsync() the file at @p path. Returns false (and warns) on failure. */
+bool fsyncFile(const std::string &path);
+
+/**
+ * fsync() the directory containing @p path, making a completed rename of
+ * @p path durable. Returns false (and warns) on failure.
+ */
+bool fsyncParentDir(const std::string &path);
+
+/**
+ * Durably publish @p from as @p to: fsync @p from, rename it over @p to,
+ * then fsync the parent directory. Returns false (and warns) when any
+ * step fails; the rename is not attempted if the source fsync fails.
+ */
+bool durableRename(const std::string &from, const std::string &to);
+
+} // namespace gds

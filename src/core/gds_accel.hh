@@ -44,6 +44,29 @@
 namespace gds::core
 {
 
+/**
+ * Checkpoint policy of one accelerator run. With a directory configured
+ * the run periodically snapshots its complete state (datapath, HBM,
+ * crossbar, fault RNG, sampler, tracer, driver) to
+ * `<dir>/<basename>.ckpt`; with resume set it first tries to continue
+ * from the newest valid checkpoint whose identity matches. See
+ * DESIGN.md "Checkpoint & recovery".
+ */
+struct CheckpointOptions
+{
+    /** Checkpoint directory; empty disables checkpointing entirely. */
+    std::string dir;
+    /** File base name inside dir (one logical run per base name). */
+    std::string basename = "run";
+    /** Cycles between periodic checkpoints; 0 = only on graceful stop. */
+    Cycle interval = 0;
+    /** Try to resume from the newest valid checkpoint first. */
+    bool resume = false;
+    /** Extra identity salt (e.g. the harness config hash); a checkpoint
+     *  written under a different salt is refused on resume. */
+    std::string identity;
+};
+
 /** Options of one accelerator run. */
 struct RunOptions
 {
@@ -73,6 +96,19 @@ struct RunOptions
      * GDS_PERFECT_MEM and GDS_PROGRESS.
      */
     bool fastForward = true;
+    /** Checkpoint/resume policy (preemption tolerance). */
+    CheckpointOptions checkpoint;
+    /** Wall-clock budget in seconds; 0 = unlimited. An exhausted budget
+     *  writes a final checkpoint (when configured) and the run returns
+     *  RunOutcome::Timeout. */
+    double wallBudgetSeconds = 0.0;
+    /**
+     * Crash-injection hook for the checkpoint tests: raise SIGKILL the
+     * moment this many cycles have elapsed in this run. 0 disables.
+     * Combined with CheckpointOptions this proves a resumed run is
+     * bit-exact against an uninterrupted one.
+     */
+    Cycle killAtCycle = 0;
 };
 
 /** Outcome of one accelerator run. */
@@ -157,6 +193,17 @@ class GdsAccel : public sim::Component
     void skipCycles(Cycle cycles) override;
 
     bool supportsFastForward() const override { return true; }
+
+    /**
+     * Checkpoint the complete accelerator: functional property arrays,
+     * frontier buffers, every DE/PE/UE queue and pipeline register, both
+     * phase-state blocks, the HBM (ports registered on the
+     * serializer first) and the crossbar. Configuration and the bound
+     * graph/algorithm are rebuilt by the constructor and must match —
+     * run() guards that with the checkpoint identity string.
+     */
+    void saveState(sim::Serializer &s) const override;
+    void restoreState(sim::Deserializer &d) override;
 
     /** Activity = edges processed by the PEs (counter-track unit). */
     std::uint64_t
@@ -416,6 +463,9 @@ class GdsAccel : public sim::Component
     unsigned iteration = 0;
     unsigned activeBuf = 0;
     Cycle now = 0;
+    /** Local clock at run() entry; serialized so a resumed run reports
+     *  cycles spanning the whole logical run, not just the tail. */
+    Cycle runStart = 0;
     bool collectPeLoads = false;
     std::vector<std::uint64_t> peLoadThisIteration;
     std::vector<std::vector<std::uint64_t>> peLoadTrace;

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fsio.hh"
 #include "graph/builder.hh"
 
 namespace gds::graph
@@ -191,11 +192,11 @@ saveBinaryAtomic(const Csr &graph, const std::string &path)
     const std::string tmp_file =
         path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
     saveBinary(graph, tmp_file);
-    std::error_code ec;
-    std::filesystem::rename(tmp_file, path, ec);
-    if (ec) {
-        warn("cannot move '%s' into place as '%s': %s", tmp_file.c_str(),
-             path.c_str(), ec.message().c_str());
+    // Durable publish (fsync + rename + parent-dir fsync): a power loss
+    // can otherwise leave a zero-length file under the final name, which
+    // every later run would have to detect and regenerate.
+    if (!durableRename(tmp_file, path)) {
+        std::error_code ec;
         std::filesystem::remove(tmp_file, ec);
     }
 }

@@ -1,6 +1,7 @@
 #include "harness/experiment.hh"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -10,7 +11,9 @@
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
+#include "common/fsio.hh"
 #include "energy/energy_model.hh"
 #include "graph/loader.hh"
 #include "harness/manifest.hh"
@@ -123,23 +126,110 @@ cellCycleBudget()
     return static_cast<Cycle>(parsed);
 }
 
+double
+cellWallBudgetSeconds()
+{
+    const char *env = std::getenv("GDS_CELL_WALL_BUDGET");
+    if (!env)
+        return 0.0;
+    char *end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(parsed > 0.0)) {
+        warn("ignoring invalid GDS_CELL_WALL_BUDGET '%s'", env);
+        return 0.0;
+    }
+    return parsed;
+}
+
+unsigned
+cellRetryLimit()
+{
+    constexpr unsigned defaultRetries = 2;
+    const char *env = std::getenv("GDS_CELL_RETRIES");
+    if (!env)
+        return defaultRetries;
+    char *end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0' || parsed > 100) {
+        warn("ignoring invalid GDS_CELL_RETRIES '%s'", env);
+        return defaultRetries;
+    }
+    return static_cast<unsigned>(parsed);
+}
+
+core::CheckpointOptions
+cellCheckpointOptions(const std::string &algorithm,
+                      const std::string &dataset,
+                      const std::string &config_hash)
+{
+    core::CheckpointOptions ckpt;
+    const char *dir = std::getenv("GDS_CHECKPOINT_DIR");
+    if (!dir || *dir == '\0')
+        return ckpt; // disabled: empty dir, interval 0
+    ckpt.dir = dir;
+    // One checkpoint file per cell: the basename encodes what is being
+    // run, the identity (verified on resume) fingerprints how.
+    std::string base = algorithm + "_" + dataset + "_" + config_hash;
+    for (char &c : base) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    ckpt.basename = base;
+    ckpt.identity = config_hash;
+    ckpt.resume = true;
+    ckpt.interval = 100'000'000; // 100 ms of simulated time at 1 GHz
+    if (const char *env = std::getenv("GDS_CHECKPOINT_INTERVAL")) {
+        char *end = nullptr;
+        const unsigned long long parsed = std::strtoull(env, &end, 10);
+        if (end == env || *end != '\0' || parsed == 0)
+            warn("ignoring invalid GDS_CHECKPOINT_INTERVAL '%s'", env);
+        else
+            ckpt.interval = static_cast<Cycle>(parsed);
+    }
+    return ckpt;
+}
+
 RunRecord
 runCell(const std::string &system, algo::AlgorithmId algorithm,
         const std::string &dataset,
         const std::function<RunRecord()> &compute)
 {
-    try {
-        return compute();
-    } catch (const SimError &e) {
-        warn("cell %s/%s/%s failed: %s", system.c_str(),
-             algo::algorithmName(algorithm).c_str(), dataset.c_str(),
-             e.what());
-        RunRecord r;
-        r.system = system;
-        r.algorithm = algo::algorithmName(algorithm);
-        r.dataset = dataset;
-        r.status = errorCodeName(e.code());
-        return r;
+    const unsigned retries = cellRetryLimit();
+    for (unsigned attempt = 0;; ++attempt) {
+        try {
+            return compute();
+        } catch (const SimError &e) {
+            // Environmental failures (an unreadable checkpoint, a torn
+            // dataset cache, an internal race) can succeed on a rerun;
+            // verdicts about the simulation itself cannot.
+            const bool transient = e.code() == ErrorCode::Internal ||
+                                   e.code() == ErrorCode::Checkpoint ||
+                                   e.code() == ErrorCode::CorruptInput;
+            if (transient && attempt < retries) {
+                const std::uint64_t delay_ms =
+                    std::min<std::uint64_t>(100ULL << attempt, 2000);
+                warn("cell %s/%s/%s attempt %u failed (%s); retrying in "
+                     "%llu ms",
+                     system.c_str(),
+                     algo::algorithmName(algorithm).c_str(),
+                     dataset.c_str(), attempt + 1, e.what(),
+                     static_cast<unsigned long long>(delay_ms));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(delay_ms));
+                continue;
+            }
+            warn("cell %s/%s/%s failed: %s", system.c_str(),
+                 algo::algorithmName(algorithm).c_str(), dataset.c_str(),
+                 e.what());
+            RunRecord r;
+            r.system = system;
+            r.algorithm = algo::algorithmName(algorithm);
+            r.dataset = dataset;
+            r.status = errorCodeName(e.code());
+            return r;
+        }
     }
 }
 
@@ -195,9 +285,13 @@ runGds(algo::AlgorithmId algorithm, const std::string &dataset,
 
     auto a = algo::makeAlgorithm(algorithm);
     core::GdsAccel accel(cfg, g, *a);
+    const std::string hash = configHash(cfg);
     core::RunOptions options;
     options.source = sourceFor(algorithm, g);
     options.cycleBudget = cellCycleBudget();
+    options.wallBudgetSeconds = cellWallBudgetSeconds();
+    options.checkpoint = cellCheckpointOptions(
+        algo::algorithmName(algorithm), dataset, hash);
 
     double sim_seconds = 0.0;
     double validate_seconds = 0.0;
@@ -216,7 +310,7 @@ runGds(algo::AlgorithmId algorithm, const std::string &dataset,
                                  ? "GraphDynS"
                                  : "GraphDynS-" + variantName(variant),
                              algorithm, dataset);
-    r.configHash = configHash(cfg);
+    r.configHash = hash;
     r.wallSimSeconds = sim_seconds;
     if (!run.completed())
         r.status = errorCodeName(sim::runOutcomeError(run.report.outcome));
@@ -245,9 +339,13 @@ runGraphicionado(algo::AlgorithmId algorithm, const std::string &dataset,
 
     auto a = algo::makeAlgorithm(algorithm);
     baseline::GraphicionadoAccel accel(cfg, g, *a);
+    const std::string hash = configHash(cfg);
     core::RunOptions options;
     options.source = sourceFor(algorithm, g);
     options.cycleBudget = cellCycleBudget();
+    options.wallBudgetSeconds = cellWallBudgetSeconds();
+    options.checkpoint = cellCheckpointOptions(
+        algo::algorithmName(algorithm), dataset, hash);
 
     double sim_seconds = 0.0;
     double validate_seconds = 0.0;
@@ -263,7 +361,7 @@ runGraphicionado(algo::AlgorithmId algorithm, const std::string &dataset,
         cfg, run.cycles, run.memoryBytes);
 
     RunRecord r = baseRecord("Graphicionado", algorithm, dataset);
-    r.configHash = configHash(cfg);
+    r.configHash = hash;
     r.wallSimSeconds = sim_seconds;
     if (!run.completed())
         r.status = errorCodeName(sim::runOutcomeError(run.report.outcome));
@@ -669,6 +767,10 @@ ResultCache::appendLocked(const std::string &key, const RunRecord &record)
         journal_failed = true;
         return;
     }
+    // ...and fsync so a power loss (not just a SIGKILL) can't take an
+    // already-reported cell result with it. Cells cost seconds to
+    // minutes; one fsync per cell is noise.
+    fsyncFile(cacheFile);
     ++appended;
 }
 
@@ -734,9 +836,10 @@ ResultCache::load()
 void
 ResultCache::compactLocked()
 {
-    // Rewrite the journal once, deduplicated, via a temp file + rename so
-    // a crash mid-write can never truncate or corrupt the existing cache
-    // (rename is atomic within a filesystem).
+    // Rewrite the journal once, deduplicated, via a temp file + durable
+    // rename (fsync file, rename, fsync parent directory) so neither a
+    // crash mid-write nor a power loss right after can truncate or
+    // corrupt the existing cache.
     const std::string tmp_file = std::string(cacheFile) + ".tmp";
     {
         std::ofstream out(tmp_file);
@@ -750,11 +853,9 @@ ResultCache::compactLocked()
             return;
         }
     }
-    std::error_code ec;
-    std::filesystem::rename(tmp_file, cacheFile, ec);
-    if (ec) {
-        warn("cannot replace result cache '%s': %s", cacheFile,
-             ec.message().c_str());
+    if (!durableRename(tmp_file, cacheFile)) {
+        std::error_code ec;
+        std::filesystem::remove(tmp_file, ec);
     }
 }
 

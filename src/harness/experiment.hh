@@ -109,10 +109,41 @@ graph::Csr loadDataset(const std::string &name, bool weighted);
 Cycle cellCycleBudget();
 
 /**
+ * Per-cell wall-clock budget in seconds: the GDS_CELL_WALL_BUDGET
+ * environment variable when set (fractional values allowed), otherwise 0
+ * (no wall-clock limit). A cell that exceeds it is reaped at the next
+ * watchdog boundary and recorded with status "timeout".
+ */
+double cellWallBudgetSeconds();
+
+/**
+ * How many times a transiently failed cell is retried before its failure
+ * is recorded: the GDS_CELL_RETRIES environment variable when set,
+ * otherwise 2. Only "internal", "checkpoint" and "corrupt-input" errors
+ * count as transient; verdicts about the run itself (deadlock, budget
+ * exhaustion, a requested stop) are never retried.
+ */
+unsigned cellRetryLimit();
+
+/**
+ * Checkpoint policy for one cell, keyed by its config hash. Disabled
+ * (empty dir) unless the GDS_CHECKPOINT_DIR environment variable names a
+ * directory; then each cell periodically checkpoints there (every
+ * GDS_CHECKPOINT_INTERVAL cycles, default 100e6) under a basename derived
+ * from the algorithm, dataset and config hash, and resumes from its own
+ * previous checkpoint when one is present — a preempted evaluation matrix
+ * picks up mid-cell instead of restarting cells from cycle zero.
+ */
+core::CheckpointOptions cellCheckpointOptions(const std::string &algorithm,
+                                              const std::string &dataset,
+                                              const std::string &config_hash);
+
+/**
  * Run one cell's compute function, degrading failure into data: a thrown
  * SimError (bad config, corrupt dataset, watchdog verdict) becomes a
  * RunRecord whose status names the error, so the surrounding bench keeps
- * emitting its remaining cells.
+ * emitting its remaining cells. Transient failures (see cellRetryLimit())
+ * are retried with capped exponential backoff before being recorded.
  */
 RunRecord runCell(const std::string &system, algo::AlgorithmId algorithm,
                   const std::string &dataset,

@@ -16,6 +16,7 @@
 
 #include "common/debug.hh"
 #include "obs/trace.hh"
+#include "sim/checkpoint.hh"
 #include "sim/component.hh"
 #include "sim/fault.hh"
 
@@ -99,6 +100,24 @@ class Crossbar : public sim::Component
     Cycle nextEventCycle() const override { return kNeverEvent; }
 
     bool supportsFastForward() const override { return true; }
+
+    /** Checkpoint: base progress/stats plus the grant mask. Checkpoints
+     *  land between cycles, where the mask is the (already consumed)
+     *  previous cycle's grants — serialized anyway so the state is
+     *  byte-for-byte identical to the uninterrupted run's. */
+    void
+    saveState(sim::Serializer &s) const override
+    {
+        sim::Component::saveState(s);
+        s.writeBoolVec(granted);
+    }
+
+    void
+    restoreState(sim::Deserializer &d) override
+    {
+        sim::Component::restoreState(d);
+        d.readBoolVec(granted);
+    }
 
     std::string
     debugState() const override

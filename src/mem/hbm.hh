@@ -75,6 +75,28 @@ class HbmPort
     /** Requests issued but not yet fully completed. */
     std::uint64_t inflight() const { return _inflight; }
 
+    /**
+     * Checkpoint hook: pending response tags plus the in-flight count.
+     * The owning requester saves its ports alongside its own state (the
+     * Hbm serializes port *references* through the pointer registry, not
+     * port contents).
+     */
+    template <typename SER>
+    void
+    saveState(SER &s) const
+    {
+        s.writePodDeque(responses);
+        s.writeU64(_inflight);
+    }
+
+    template <typename DES>
+    void
+    restoreState(DES &d)
+    {
+        d.readPodDeque(responses);
+        _inflight = d.readU64();
+    }
+
   private:
     friend class Hbm;
     std::deque<std::uint64_t> responses;
@@ -127,6 +149,18 @@ class Hbm : public sim::Component
     bool supportsFastForward() const override { return true; }
 
     std::string debugState() const override;
+
+    /**
+     * Checkpoint every live timing structure: per-channel queues, bank
+     * rows, bus/activate/refresh clocks, the request slab (ports travel
+     * as pointer-registry references — register every HbmPort on the
+     * Serializer/Deserializer before calling), the free list, and both
+     * completion heaps copied verbatim so equal-time pops replay in the
+     * exact pre-checkpoint order. Geometry and timing come from the
+     * constructor's config and are not serialized.
+     */
+    void saveState(sim::Serializer &s) const override;
+    void restoreState(sim::Deserializer &d) override;
 
     /** Activity = transactions issued (counter-track unit: 32 B bursts). */
     std::uint64_t

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/types.hh"
 #include "stats/stats.hh"
 #include "stats/timeseries.hh"
@@ -108,6 +109,62 @@ class Sampler
 
     /** writeCsv() to @p path; false (and a warning) on I/O failure. */
     bool writeCsvFile(const std::string &path) const;
+
+    /**
+     * Checkpoint hook: the sealed flag plus every recorded row, so a
+     * resumed run appends to an identical series. Probes are live
+     * callables and cannot travel — the resume path re-registers the
+     * same probes in the same order before calling restoreState(),
+     * which verifies the count against the sealed column set.
+     */
+    template <typename SER>
+    void
+    saveState(SER &s) const
+    {
+        s.writeBool(sealed);
+        const std::vector<std::string> &cols = table.columns();
+        s.writeU64(cols.size());
+        for (const std::string &col : cols)
+            s.writeString(col);
+        s.writeU64(table.rowCount());
+        for (std::size_t r = 0; r < table.rowCount(); ++r) {
+            s.writeU64(table.cycleAt(r));
+            for (std::size_t c = 0; c < cols.size(); ++c)
+                s.writeDouble(table.value(r, c));
+        }
+    }
+
+    template <typename DES>
+    void
+    restoreState(DES &d)
+    {
+        sealed = d.readBool();
+        const std::uint64_t cols = d.readU64();
+        std::vector<std::string> names;
+        names.reserve(static_cast<std::size_t>(cols));
+        for (std::uint64_t c = 0; c < cols; ++c)
+            names.push_back(d.readString());
+        table.clear();
+        if (!names.empty())
+            table.setColumns(std::move(names));
+        const std::uint64_t rows = d.readU64();
+        std::vector<double> values(static_cast<std::size_t>(cols));
+        for (std::uint64_t r = 0; r < rows; ++r) {
+            const Cycle cycle = d.readU64();
+            for (double &v : values)
+                v = d.readDouble();
+            table.addRow(cycle, values);
+        }
+        if (sealed) {
+            gds_require(probes.size() == table.columnCount(),
+                        CheckpointError,
+                        "sampler checkpoint sealed %zu columns but %zu "
+                        "probes are registered",
+                        table.columnCount(), probes.size());
+            row.resize(probes.size());
+        }
+        _nextBoundary = 0; // re-derived on the next tick
+    }
 
   private:
     struct Probe

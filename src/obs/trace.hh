@@ -89,6 +89,59 @@ class Tracer
     /** write() to @p path; returns false (and warns) on I/O failure. */
     bool writeFile(const std::string &path) const;
 
+    /**
+     * Checkpoint hook: the full event log and track table travel with
+     * the simulator state, so a resumed run appends to a trace identical
+     * to the uninterrupted one. Restoring track names in recorded order
+     * preserves TrackId assignment for every later track() call.
+     */
+    template <typename SER>
+    void
+    saveState(SER &s) const
+    {
+        s.writeU64(trackNames.size());
+        for (const std::string &name : trackNames)
+            s.writeString(name);
+        for (const unsigned depth : openDepth)
+            s.writeU64(depth);
+        s.writeU64(events.size());
+        for (const Event &e : events) {
+            s.writeU8(static_cast<std::uint8_t>(e.phase));
+            s.writeU32(e.tid);
+            s.writeU64(e.ts);
+            s.writeString(e.name);
+            s.writeString(e.detail);
+            s.writeDouble(e.value);
+        }
+    }
+
+    template <typename DES>
+    void
+    restoreState(DES &d)
+    {
+        const std::uint64_t tracks = d.readU64();
+        trackNames.clear();
+        trackNames.reserve(static_cast<std::size_t>(tracks));
+        for (std::uint64_t t = 0; t < tracks; ++t)
+            trackNames.push_back(d.readString());
+        openDepth.assign(static_cast<std::size_t>(tracks), 0);
+        for (unsigned &depth : openDepth)
+            depth = static_cast<unsigned>(d.readU64());
+        const std::uint64_t n = d.readU64();
+        events.clear();
+        events.reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            Event e;
+            e.phase = static_cast<char>(d.readU8());
+            e.tid = d.readU32();
+            e.ts = d.readU64();
+            e.name = d.readString();
+            e.detail = d.readString();
+            e.value = d.readDouble();
+            events.push_back(std::move(e));
+        }
+    }
+
   private:
     struct Event
     {

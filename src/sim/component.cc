@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/checkpoint.hh"
+
 namespace gds::sim
 {
 
@@ -38,6 +40,22 @@ Component::subtreeProgress() const
     for (const Component *child : _children)
         total += child->subtreeProgress();
     return total;
+}
+
+void
+Component::saveState(Serializer &s) const
+{
+    s.writeU64(_progressCount);
+    s.writeU64(_lastProgressAt);
+    saveStats(s, _stats);
+}
+
+void
+Component::restoreState(Deserializer &d)
+{
+    _progressCount = d.readU64();
+    _lastProgressAt = d.readU64();
+    restoreStats(d, _stats);
 }
 
 bool

@@ -30,6 +30,8 @@ namespace gds::sim
 {
 
 class Simulator;
+class Serializer;
+class Deserializer;
 
 /** A named, clocked model element. */
 class Component
@@ -148,6 +150,24 @@ class Component
 
     /** True if this component or any descendant reports busy(). */
     bool subtreeBusy() const;
+
+    /**
+     * Serialize every run-mutable datum of this component into @p s so a
+     * later restoreState() resumes bit-exactly: queue contents, cursors,
+     * local clocks, RNG streams, plus the base-class progress counters
+     * and directly-registered stats (the base implementation covers the
+     * latter two — overrides must call it first). Configuration-derived
+     * state (geometry, capacities, wiring) is rebuilt by the constructor
+     * and must NOT be serialized. Child components are saved explicitly
+     * by their owner, in a fixed order, after its own state.
+     */
+    virtual void saveState(Serializer &s) const;
+
+    /**
+     * Mirror of saveState(): consume the same fields in the same order.
+     * @throws CheckpointError (via Deserializer) on any layout mismatch.
+     */
+    virtual void restoreState(Deserializer &d);
 
     /** Stats group for this component (child of the parent's group). */
     stats::Group &statsGroup() { return _stats; }

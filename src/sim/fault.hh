@@ -28,6 +28,9 @@
 namespace gds::sim
 {
 
+class Serializer;
+class Deserializer;
+
 /** Declarative description of the faults to inject. */
 struct FaultPlan
 {
@@ -91,6 +94,15 @@ class FaultInjector
 
     /** True to refuse one crossbar output grant this cycle. */
     bool stallOutput();
+
+    /**
+     * Checkpoint the decision stream: RNG words plus counters, so a
+     * resumed run draws the exact same fault sequence from where the
+     * interrupted one left off. The plan itself is configuration and is
+     * rebuilt by the constructor.
+     */
+    void saveState(Serializer &s) const;
+    void restoreState(Deserializer &d);
 
     // Decision counters (observability + test assertions).
     std::uint64_t responsesSeen() const { return _responsesSeen; }

@@ -65,6 +65,21 @@ class BoundedQueue
         return value;
     }
 
+    /** Checkpoint hook; capacity is configuration, only contents move. */
+    template <typename SER>
+    void
+    saveState(SER &s) const
+    {
+        s.writePodDeque(entries);
+    }
+
+    template <typename DES>
+    void
+    restoreState(DES &d)
+    {
+        d.readPodDeque(entries);
+    }
+
   private:
     std::size_t _capacity;
     std::deque<T> entries;
@@ -147,6 +162,24 @@ class DelayQueue
         T value = std::move(entries.front().value);
         entries.pop_front();
         return value;
+    }
+
+    /** Checkpoint hook: local clock plus in-flight entries (their
+     *  readyAt stamps are relative to that clock, so both travel). */
+    template <typename SER>
+    void
+    saveState(SER &s) const
+    {
+        s.writeU64(now);
+        s.writePodDeque(entries);
+    }
+
+    template <typename DES>
+    void
+    restoreState(DES &d)
+    {
+        now = d.readU64();
+        d.readPodDeque(entries);
     }
 
   private:

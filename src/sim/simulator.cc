@@ -1,9 +1,12 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <sstream>
 
 #include "common/debug.hh"
+#include "sim/checkpoint.hh"
 
 namespace gds::sim
 {
@@ -20,8 +23,38 @@ runOutcomeName(RunOutcome outcome)
         return "livelock";
       case RunOutcome::CycleLimit:
         return "cycle-limit";
+      case RunOutcome::Stopped:
+        return "stopped";
+      case RunOutcome::Timeout:
+        return "timeout";
     }
     panic("bad run outcome %d", static_cast<int>(outcome));
+}
+
+namespace
+{
+
+/** Process-wide graceful-stop request (set from signal handlers). */
+std::atomic<bool> stopFlag{false};
+
+} // namespace
+
+void
+requestStop()
+{
+    stopFlag.store(true, std::memory_order_relaxed);
+}
+
+bool
+stopRequested()
+{
+    return stopFlag.load(std::memory_order_relaxed);
+}
+
+void
+clearStopRequest()
+{
+    stopFlag.store(false, std::memory_order_relaxed);
 }
 
 ErrorCode
@@ -36,6 +69,10 @@ runOutcomeError(RunOutcome outcome)
         return ErrorCode::Livelock;
       case RunOutcome::CycleLimit:
         return ErrorCode::CycleLimit;
+      case RunOutcome::Stopped:
+        return ErrorCode::Stopped;
+      case RunOutcome::Timeout:
+        return ErrorCode::Timeout;
     }
     panic("bad run outcome %d", static_cast<int>(outcome));
 }
@@ -47,11 +84,13 @@ RunReport::summary() const
     os << runOutcomeName(outcome) << " after " << cycles << " cycles";
     if (!ok()) {
         os << " (last progress at cycle " << lastProgressCycle << ")";
-        unsigned busy_count = 0;
-        for (const ComponentDiag &d : components)
-            busy_count += d.busy ? 1 : 0;
-        os << "; " << busy_count << "/" << components.size()
-           << " components busy";
+        if (!components.empty()) {
+            unsigned busy_count = 0;
+            for (const ComponentDiag &d : components)
+                busy_count += d.busy ? 1 : 0;
+            os << "; " << busy_count << "/" << components.size()
+               << " components busy";
+        }
     }
     return os.str();
 }
@@ -84,6 +123,10 @@ RunReport::throwIfFailed() const
         throw LivelockError(msg);
       case RunOutcome::CycleLimit:
         throw CycleLimitError(msg);
+      case RunOutcome::Stopped:
+        throw StoppedError(msg);
+      case RunOutcome::Timeout:
+        throw TimeoutError(msg);
       case RunOutcome::Completed:
         break;
     }
@@ -176,21 +219,28 @@ Simulator::clampedSkip(Cycle elapsed, Cycle next_check,
 }
 
 void
+Simulator::buildCounterTracks()
+{
+    // Enumerate every component subtree into flat counter tracks;
+    // registration order is fixed before the first step, so the order is
+    // deterministic (checkpoint restore depends on that).
+    const std::function<void(Component *)> collect = [&](Component *c) {
+        counterTracks.push_back(CounterTrack{
+            c, _tracer->track(c->tracePath()), c->activityCounter()});
+        for (Component *child : c->children())
+            collect(child);
+    };
+    for (Component *c : components)
+        collect(c);
+}
+
+void
 Simulator::emitActivityCounters()
 {
-    // Lazily enumerate every component subtree into flat counter tracks;
-    // registration order is fixed before the first step, so this runs once
-    // per setTracer().
-    if (counterTracks.empty()) {
-        const std::function<void(Component *)> collect = [&](Component *c) {
-            counterTracks.push_back(CounterTrack{
-                c, _tracer->track(c->tracePath()), c->activityCounter()});
-            for (Component *child : c->children())
-                collect(child);
-        };
-        for (Component *c : components)
-            collect(c);
-    }
+    // Lazily built: setTracer() clears the tracks, the first counter
+    // boundary rebuilds them.
+    if (counterTracks.empty())
+        buildCounterTracks();
     for (CounterTrack &ct : counterTracks) {
         const std::uint64_t now = ct.component->activityCounter();
         _tracer->counter(ct.track, "activity",
@@ -200,7 +250,8 @@ Simulator::emitActivityCounters()
 }
 
 RunReport
-Simulator::run(const std::function<bool()> &done, const RunLimits &limits)
+Simulator::run(const std::function<bool()> &done, const RunLimits &limits,
+               const RunHooks &hooks)
 {
     gds_assert(limits.checkInterval > 0, "check interval must be positive");
 
@@ -231,6 +282,17 @@ Simulator::run(const std::function<bool()> &done, const RunLimits &limits)
     Cycle next_check = 0; // next elapsed cycle with a watchdog checkpoint
     bool event_due = false; // last skip ran to the horizon; step, don't ask
 
+    // Checkpoint policy: periodic snapshots at elapsed-cycle boundaries
+    // (reached exactly, like watchdog boundaries, because skips clamp to
+    // them), a final snapshot on graceful stop or wall-clock timeout.
+    const bool periodic_ckpt =
+        static_cast<bool>(hooks.writeCheckpoint) &&
+        hooks.checkpointInterval > 0;
+    Cycle next_ckpt =
+        periodic_ckpt ? hooks.checkpointInterval : Component::kNeverEvent;
+    const bool wall_budgeted = hooks.wallBudgetSeconds > 0.0;
+    const auto wall_start = std::chrono::steady_clock::now();
+
     while (!done()) {
         const Cycle elapsed = _cycle - start;
         if (elapsed >= limits.maxCycles)
@@ -247,9 +309,31 @@ Simulator::run(const std::function<bool()> &done, const RunLimits &limits)
                                       : RunOutcome::Deadlock);
             }
             next_check += limits.checkInterval;
+            if (stopRequested()) {
+                if (hooks.writeCheckpoint)
+                    hooks.writeCheckpoint();
+                report.outcome = RunOutcome::Stopped;
+                report.cycles = _cycle - start;
+                report.lastProgressCycle = last_progress_cycle;
+                inform("simulation %s", report.summary().c_str());
+                return report;
+            }
+            if (wall_budgeted &&
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                        .count() >= hooks.wallBudgetSeconds) {
+                if (hooks.writeCheckpoint)
+                    hooks.writeCheckpoint();
+                return fail(RunOutcome::Timeout);
+            }
+        }
+        if (elapsed == next_ckpt) {
+            hooks.writeCheckpoint();
+            next_ckpt += hooks.checkpointInterval;
         }
         if (fast_forward && !event_due) {
-            const SkipPlan plan = clampedSkip(elapsed, next_check, limits);
+            const SkipPlan plan = clampedSkip(
+                elapsed, std::min(next_check, next_ckpt), limits);
             if (plan.skip > 0) {
                 for (Component *c : components)
                     c->skipCycles(plan.skip);
@@ -269,6 +353,52 @@ Simulator::run(const std::function<bool()> &done, const RunLimits &limits)
     report.cycles = _cycle - start;
     report.lastProgressCycle = _cycle - start;
     return report;
+}
+
+void
+Simulator::saveState(Serializer &s) const
+{
+    s.writeU64(_cycle);
+    s.writeBool(!counterTracks.empty());
+    s.writeU64(counterTracks.size());
+    for (const CounterTrack &ct : counterTracks)
+        s.writeU64(ct.last);
+}
+
+void
+Simulator::restoreState(Deserializer &d)
+{
+    _cycle = d.readU64();
+    // Re-derive the counter boundary for the restored clock; setTracer()
+    // computed it against the pre-restore cycle.
+    if (_tracer != nullptr && _counterInterval != 0) {
+        _nextCounterAt = _cycle % _counterInterval == 0
+                             ? _cycle
+                             : _cycle + _counterInterval -
+                                   _cycle % _counterInterval;
+    } else {
+        _nextCounterAt = Component::kNeverEvent;
+    }
+    const bool tracks_built = d.readBool();
+    const std::uint64_t n = d.readU64();
+    counterTracks.clear();
+    if (!tracks_built) {
+        gds_require(n == 0, CheckpointError,
+                    "checkpoint carries %llu counter-track baselines for "
+                    "unbuilt tracks", static_cast<unsigned long long>(n));
+        return;
+    }
+    gds_require(_tracer != nullptr && _counterInterval != 0,
+                CheckpointError,
+                "checkpoint carries counter tracks but this run has no "
+                "tracer with a counter interval attached");
+    buildCounterTracks();
+    gds_require(n == counterTracks.size(), CheckpointError,
+                "checkpoint carries %llu counter-track baselines, this "
+                "component tree has %zu",
+                static_cast<unsigned long long>(n), counterTracks.size());
+    for (CounterTrack &ct : counterTracks)
+        ct.last = d.readU64();
 }
 
 } // namespace gds::sim

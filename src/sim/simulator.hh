@@ -36,7 +36,20 @@ enum class RunOutcome
     Deadlock,   ///< no component busy, predicate unsatisfied, no progress
     Livelock,   ///< components busy but no progress for the stall window
     CycleLimit, ///< the cycle budget was exhausted
+    Stopped,    ///< a graceful-stop request interrupted the run
+    Timeout,    ///< the wall-clock budget was exhausted
 };
+
+/**
+ * Async-signal-safe graceful-stop request flag, shared by every
+ * Simulator in the process. A signal handler calls requestStop(); the
+ * run loop notices at the next watchdog boundary, writes a final
+ * checkpoint when one is configured, and returns RunOutcome::Stopped
+ * instead of dying with torn output files.
+ */
+void requestStop();
+bool stopRequested();
+void clearStopRequest();
 
 /** Stable name of an outcome ("completed", "deadlock", ...). */
 const char *runOutcomeName(RunOutcome outcome);
@@ -98,6 +111,24 @@ struct RunLimits
      * so all observers see exactly the naive cycles (see DESIGN.md).
      */
     bool fastForward = true;
+};
+
+/**
+ * Checkpoint policy of one supervised run. Periodic checkpoints fire at
+ * elapsed-cycle boundaries (skips are clamped so the boundary is always
+ * reached at loop top, between cycles, where component state is
+ * closed-form); the final checkpoint fires on a graceful stop or a
+ * wall-clock timeout, so no interruption loses more than one interval.
+ */
+struct RunHooks
+{
+    /** Elapsed cycles between periodic checkpoints; 0 = only on stop. */
+    Cycle checkpointInterval = 0;
+    /** Snapshot callback; owns serialization and the atomic write. */
+    std::function<void()> writeCheckpoint;
+    /** Wall-clock budget in seconds; 0 = unlimited. Checked at watchdog
+     *  boundaries; an exhausted budget returns RunOutcome::Timeout. */
+    double wallBudgetSeconds = 0.0;
 };
 
 class Simulator
@@ -199,7 +230,24 @@ class Simulator
      * @return outcome + diagnostics; never asserts on runaway simulations
      */
     RunReport run(const std::function<bool()> &done,
-                  const RunLimits &limits = {});
+                  const RunLimits &limits = {},
+                  const RunHooks &hooks = {});
+
+    /**
+     * Serialize driver-side run state: the cycle counter and the counter-
+     * track delta baselines (whose first post-resume emission would
+     * otherwise report a bogus delta). Components serialize themselves;
+     * call this after them so the stream order is fixed.
+     */
+    void saveState(Serializer &s) const;
+
+    /**
+     * Mirror of saveState(). Call only after add()/setSampler()/
+     * setTracer() have re-established the wiring the save-side run had:
+     * the counter tracks are rebuilt against the restored tracer and the
+     * counter boundary is re-derived from the restored cycle.
+     */
+    void restoreState(Deserializer &d);
 
     /** True if any registered component reports in-flight work. */
     bool
@@ -243,6 +291,7 @@ class Simulator
     ProgressSnapshot progressSnapshot() const;
     SkipPlan clampedSkip(Cycle elapsed, Cycle next_check,
                          const RunLimits &limits) const;
+    void buildCounterTracks();
     void emitActivityCounters();
 
     std::vector<Component *> components;

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace gds::stats
@@ -117,6 +118,30 @@ class Distribution : public Stat
     std::uint64_t bucketCount(std::size_t b) const { return buckets.at(b); }
     static std::size_t numBuckets() { return 8; }
     static std::string bucketLabel(std::size_t b);
+
+    /** Raw accumulators, exposed for mid-run checkpointing. */
+    std::uint64_t sampleSum() const { return sum; }
+    std::uint64_t maxSampled() const { return maxSample; }
+
+    /**
+     * Checkpoint restore: overwrite the raw accumulators wholesale.
+     * @throws CheckpointError when @p bucket_counts has the wrong arity
+     * (the checkpoint was produced by an incompatible build).
+     */
+    void
+    restoreRaw(const std::vector<std::uint64_t> &bucket_counts,
+               std::uint64_t sample_count, std::uint64_t sample_sum,
+               std::uint64_t max_sample)
+    {
+        gds_require(bucket_counts.size() == buckets.size(), CheckpointError,
+                    "distribution '%s' restore carries %zu buckets, "
+                    "this build has %zu",
+                    name().c_str(), bucket_counts.size(), buckets.size());
+        buckets = bucket_counts;
+        samples = sample_count;
+        sum = sample_sum;
+        maxSample = max_sample;
+    }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override;

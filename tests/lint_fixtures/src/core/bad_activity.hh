@@ -10,4 +10,6 @@ class MuteWidget : public sim::Component
   public:
     bool busy() const override { return false; }
     std::string debugState() const override { return "idle"; }
+    void saveState(sim::Serializer &s) const override;
+    void restoreState(sim::Deserializer &d) override;
 };

@@ -1,0 +1,16 @@
+// Fixture for R7 (checkpoint-hooks): a Component subclass with every
+// diagnostic hook but no saveState()/restoreState() pair, so its state
+// would silently vanish from mid-run checkpoints.
+
+#pragma once
+
+#include "sim/component.hh"
+
+class ForgetfulWidget : public sim::Component
+{
+  public:
+    bool busy() const override { return false; }
+    std::string debugState() const override { return "idle"; }
+    std::uint64_t activityCounter() const override { return 0; }
+    Cycle nextEventCycle() const override { return 1; }
+};

@@ -9,4 +9,6 @@ class SilentWidget : public sim::Component
 {
   public:
     bool busy() const override { return false; }
+    void saveState(sim::Serializer &s) const override;
+    void restoreState(sim::Deserializer &d) override;
 };

@@ -12,4 +12,6 @@ class SluggishWidget : public sim::Component
     bool busy() const override { return false; }
     std::string debugState() const override { return "idle"; }
     std::uint64_t activityCounter() const override { return 0; }
+    void saveState(sim::Serializer &s) const override;
+    void restoreState(sim::Deserializer &d) override;
 };

@@ -45,6 +45,7 @@ TEST(LintRules, KnownRuleSetIsStable)
     const std::vector<std::string> expected = {
         "no-naked-assert", "no-raw-stderr",  "no-unseeded-rng",
         "no-float-eq",     "header-hygiene", "component-hooks",
+        "checkpoint-hooks",
     };
     EXPECT_EQ(knownRules(), expected);
 }
@@ -203,6 +204,48 @@ TEST(LintRules, ComponentHooksSuppressed)
     EXPECT_TRUE(lintFixture("src/core/ok_component.hh").clean());
 }
 
+// --- R7: checkpoint-hooks ------------------------------------------------
+
+TEST(LintRules, CheckpointHooksFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_checkpoint.hh");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"checkpoint-hooks@9"}));
+    EXPECT_NE(r.diagnostics[0].message.find("'ForgetfulWidget'"),
+              std::string::npos);
+    // Both halves of the serialization pair are missing.
+    EXPECT_NE(r.diagnostics[0].message.find(
+                  "saveState() and restoreState()"),
+              std::string::npos);
+}
+
+TEST(LintRules, CheckpointHooksSatisfiedByDeclarationPair)
+{
+    // The R6 fixtures declare the pair, so they trip only their own rule;
+    // an in-memory subclass with just one half names the missing other.
+    const std::string body =
+        "class HalfWidget : public sim::Component\n"
+        "{\n"
+        "  public:\n"
+        "    bool busy() const override { return false; }\n"
+        "    std::string debugState() const override { return \"\"; }\n"
+        "    std::uint64_t activityCounter() const override { return 0; }\n"
+        "    Cycle nextEventCycle() const override { return 1; }\n"
+        "    void saveState(sim::Serializer &s) const override;\n"
+        "};\n";
+    const auto diags = lintBuffer("x.hh", "src/core/x.hh", body);
+    // header-hygiene (no pragma once) plus the missing restoreState().
+    bool found = false;
+    for (const auto &d : diags) {
+        if (d.rule == "checkpoint-hooks") {
+            found = true;
+            EXPECT_NE(d.message.find("restoreState()"), std::string::npos);
+            EXPECT_EQ(d.message.find("saveState() and"), std::string::npos);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
 // --- bad-suppression meta rule -------------------------------------------
 
 TEST(LintRules, BadDirectivesFlagged)
@@ -280,19 +323,20 @@ TEST(LintDriver, JsonSummaryCountsRules)
     std::ostringstream os;
     writeJsonSummary(r, os);
     const std::string json = os.str();
-    EXPECT_NE(json.find("\"files_scanned\": 15"), std::string::npos);
-    EXPECT_NE(json.find("\"violations\": 17"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 16"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 18"), std::string::npos);
     EXPECT_NE(json.find("\"tool_errors\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"no-naked-assert\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"bad-suppression\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"component-hooks\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"checkpoint-hooks\": 1"), std::string::npos);
 }
 
 TEST(LintDriver, FixtureTreeExitsOne)
 {
     const LintResult r = lintPaths({fixtureRoot}, fixtureRoot);
-    EXPECT_EQ(r.filesScanned, 15u);
-    EXPECT_EQ(r.diagnostics.size(), 17u);
+    EXPECT_EQ(r.filesScanned, 16u);
+    EXPECT_EQ(r.diagnostics.size(), 18u);
     EXPECT_EQ(exitCode(r), 1);
 }
 

@@ -24,6 +24,16 @@ namespace gds::harness
 namespace
 {
 
+/** Build "<prefix><i>" by appending, not operator+: GCC 12's -Wrestrict
+ *  false positive (PR105651) fires on `"lit" + std::string&&` at -O2. */
+std::string
+keyOf(const char *prefix, std::size_t i)
+{
+    std::string key = prefix;
+    key += std::to_string(i);
+    return key;
+}
+
 TEST(Parallel, JobCountReadsEnvWithFallback)
 {
     ::setenv("GDS_JOBS", "3", 1);
@@ -116,12 +126,12 @@ TEST_F(ParallelHarnessTest, ConcurrentStoresOnDistinctKeys)
             RunRecord r;
             r.system = "S";
             r.algorithm = "A";
-            r.dataset = "D" + std::to_string(i);
+            r.dataset = keyOf("D", i);
             r.gteps = static_cast<double>(i);
-            cache.store("k" + std::to_string(i), r);
+            cache.store(keyOf("k", i), r);
         });
         for (std::size_t i = 0; i < n; ++i) {
-            const auto found = cache.lookup("k" + std::to_string(i));
+            const auto found = cache.lookup(keyOf("k", i));
             ASSERT_TRUE(found.has_value()) << "key k" << i;
             EXPECT_DOUBLE_EQ(found->gteps, static_cast<double>(i));
         }
@@ -129,7 +139,7 @@ TEST_F(ParallelHarnessTest, ConcurrentStoresOnDistinctKeys)
     // Everything survived the journal + compaction round trip.
     ResultCache reloaded;
     for (std::size_t i = 0; i < n; ++i)
-        EXPECT_TRUE(reloaded.lookup("k" + std::to_string(i)).has_value());
+        EXPECT_TRUE(reloaded.lookup(keyOf("k", i)).has_value());
 }
 
 TEST_F(ParallelHarnessTest, ConcurrentGetOrRunOnTheSameKeyIsConsistent)

@@ -15,6 +15,8 @@ namespace gds::sim
 namespace
 {
 
+// gds-lint: allow(checkpoint-hooks) test double lives only inside one
+// run loop; the checkpoint tests use the real accelerator models
 class CountingComponent : public Component
 {
   public:
@@ -190,6 +192,8 @@ TEST(Simulator, AnyBusyReflectsComponents)
 
 /** Component whose waits are provable: events fire every `period` cycles
  *  of its local clock, everything in between is a pure wait. */
+// gds-lint: allow(checkpoint-hooks) test double lives only inside one
+// run loop; the checkpoint tests use the real accelerator models
 class PeriodicComponent : public Component
 {
   public:

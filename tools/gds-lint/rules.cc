@@ -313,6 +313,68 @@ ruleComponentHooks(const LexedFile &f, std::vector<Diagnostic> &out)
     }
 }
 
+// --- R7: Component checkpoint hooks ---------------------------------------
+
+void
+ruleCheckpointHooks(const LexedFile &f, std::vector<Diagnostic> &out)
+{
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "class") && !isIdent(toks[i], "struct"))
+            continue;
+        if (toks[i + 1].kind != TokKind::Identifier)
+            continue;
+        const std::string &class_name = toks[i + 1].text;
+        const std::size_t class_line = toks[i].line;
+
+        std::size_t j = i + 2;
+        if (j < toks.size() && isIdent(toks[j], "final"))
+            ++j;
+        if (j >= toks.size() || !isPunct(toks[j], ":"))
+            continue;
+        ++j;
+        bool derives_component = false;
+        while (j < toks.size() && !isPunct(toks[j], "{") &&
+               !isPunct(toks[j], ";")) {
+            if (isIdent(toks[j], "Component"))
+                derives_component = true;
+            ++j;
+        }
+        if (!derives_component || j >= toks.size() || !isPunct(toks[j], "{"))
+            continue;
+
+        // Scan the class body for the serialization pair. A component
+        // missing either half silently drops its state from every
+        // checkpoint, which surfaces much later as a non-bit-exact resume.
+        std::size_t depth = 1;
+        bool has_save = false;
+        bool has_restore = false;
+        for (++j; j < toks.size() && depth > 0; ++j) {
+            if (isPunct(toks[j], "{"))
+                ++depth;
+            else if (isPunct(toks[j], "}"))
+                --depth;
+            else if (isIdent(toks[j], "saveState"))
+                has_save = true;
+            else if (isIdent(toks[j], "restoreState"))
+                has_restore = true;
+        }
+        if (has_save && has_restore)
+            continue;
+        std::string missing;
+        if (!has_save && !has_restore)
+            missing = "saveState() and restoreState()";
+        else
+            missing = has_save ? "restoreState()" : "saveState()";
+        out.push_back({f.path, class_line, "checkpoint-hooks",
+                       "Component subclass '" + class_name +
+                       "' must override " + missing + " so mid-run "
+                       "checkpoints capture its state (see "
+                       "src/sim/checkpoint.hh)",
+                       false});
+    }
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -321,6 +383,7 @@ knownRules()
     static const std::vector<std::string> rules = {
         "no-naked-assert", "no-raw-stderr",   "no-unseeded-rng",
         "no-float-eq",     "header-hygiene",  "component-hooks",
+        "checkpoint-hooks",
     };
     return rules;
 }
@@ -335,6 +398,7 @@ runRules(const LexedFile &file, const std::string &rel_path)
     ruleFloatEq(file, rel_path, found);
     ruleHeaderHygiene(file, rel_path, found);
     ruleComponentHooks(file, found);
+    ruleCheckpointHooks(file, found);
 
     // Malformed directives and unknown rule names are violations too:
     // a suppression that silently fails to apply would be worse.

@@ -25,6 +25,10 @@
  *  - component-hooks   R6: every direct sim::Component subclass overrides
  *                      the diagnostic hooks busy(), debugState() and
  *                      activityCounter().
+ *  - checkpoint-hooks  R7: every direct sim::Component subclass overrides
+ *                      the serialization pair saveState()/restoreState();
+ *                      a component missing either silently drops its state
+ *                      from every mid-run checkpoint.
  *  - bad-suppression   meta: a gds-lint directive that does not parse, names
  *                      an unknown rule, or lacks a justification.
  */
