@@ -43,10 +43,12 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 
 #include "baseline/graphicionado.hh"
+#include "common/parse.hh"
 #include "baseline/gunrock_sim.hh"
 #include "core/gds_accel.hh"
 #include "energy/energy_model.hh"
@@ -149,6 +151,13 @@ parseArgs(int argc, char **argv)
             if (inline_value)
                 usage(argv[0]);
         };
+        // Numeric flags go through the checked parser: "--num-pes=abc",
+        // "--source=-1" or an overflowing value is a ConfigError that
+        // main() turns into a message + usage, never an uncaught
+        // std::invalid_argument crash (which bare std::stoul threw).
+        auto need_u64 = [&](std::uint64_t min_v, std::uint64_t max_v) {
+            return common::requireU64(arg, need_value(), min_v, max_v);
+        };
         if (arg == "--algo")
             opts.algorithm = parseAlgo(need_value());
         else if (arg == "--system")
@@ -158,15 +167,19 @@ parseArgs(int argc, char **argv)
         else if (arg == "--graph")
             opts.graphFile = need_value();
         else if (arg == "--rmat")
-            opts.rmatScale = std::stoul(need_value());
+            opts.rmatScale = static_cast<unsigned>(need_u64(1, 30));
         else if (arg == "--source")
-            opts.source = std::stoul(need_value());
+            opts.source = static_cast<VertexId>(
+                need_u64(0, std::numeric_limits<VertexId>::max()));
         else if (arg == "--iters")
-            opts.iterations = std::stoul(need_value());
+            opts.iterations = static_cast<unsigned>(
+                need_u64(1, std::numeric_limits<unsigned>::max()));
         else if (arg == "--ues")
-            opts.gdsConfig.numUes = std::stoul(need_value());
+            opts.gdsConfig.numUes =
+                static_cast<unsigned>(need_u64(1, 1 << 20));
         else if (arg == "--pes") {
-            opts.gdsConfig.numPes = std::stoul(need_value());
+            opts.gdsConfig.numPes =
+                static_cast<unsigned>(need_u64(1, 1 << 20));
             opts.gdsConfig.numDispatchers = opts.gdsConfig.numPes;
         } else if (arg == "--no-wb") {
             no_value();
@@ -186,18 +199,21 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--trace")
             opts.traceFile = need_value();
         else if (arg == "--sample-interval")
-            opts.sampleInterval = std::stoull(need_value());
+            opts.sampleInterval = need_u64(
+                1, std::numeric_limits<Cycle>::max());
         else if (arg == "--samples")
             opts.sampleFile = need_value();
         else if (arg == "--checkpoint-dir")
             opts.checkpointDir = need_value();
         else if (arg == "--checkpoint-interval")
-            opts.checkpointInterval = std::stoull(need_value());
+            opts.checkpointInterval = need_u64(
+                1, std::numeric_limits<Cycle>::max());
         else if (arg == "--resume") {
             no_value();
             opts.resume = true;
         } else if (arg == "--kill-at-cycle")
-            opts.killAtCycle = std::stoull(need_value());
+            opts.killAtCycle = need_u64(
+                1, std::numeric_limits<Cycle>::max());
         else
             usage(argv[0]);
     }
@@ -229,7 +245,13 @@ printCommon(const char *system, double seconds, double gteps,
 int
 main(int argc, char **argv)
 {
-    const Options opts = parseArgs(argc, argv);
+    Options opts;
+    try {
+        opts = parseArgs(argc, argv);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        usage(argv[0]);
+    }
 
     // Graceful stop: the handler only sets an atomic flag; the run loop
     // notices it at the next watchdog boundary, checkpoints and returns,

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * gds_simd: the persistent simulation-service daemon. Accepts JSON-line
+ * simulation jobs over a Unix-domain socket (see src/svc/protocol.hh),
+ * schedules them onto a worker pool, shares loaded datasets across
+ * concurrent jobs and serves repeat requests from the on-disk result
+ * cache. Pair it with tools/gds_cli:
+ *
+ *   gds_simd --socket /tmp/gds.sock --workers 4 &
+ *   gds_cli --socket /tmp/gds.sock submit --algo bfs --dataset FR
+ *   gds_cli --socket /tmp/gds.sock statsz
+ *
+ * Options (all values also accept the --flag=value spelling):
+ *   --socket PATH          listening socket path (default gds_simd.sock)
+ *   --workers N            simulation worker threads (default 2)
+ *   --max-queue N          admission bound: queued+running jobs beyond
+ *                          which submits are rejected (default 8)
+ *   --checkpoint-dir DIR   checkpoint in-flight jobs into DIR so a
+ *                          drained job's resubmission resumes mid-run
+ *
+ * SIGINT/SIGTERM trigger a graceful drain: admission stops, in-flight
+ * jobs halt at their next check boundary (writing checkpoints when
+ * --checkpoint-dir is set), and the daemon exits 0. The result cache and
+ * dataset cache live in the working directory, exactly as for the
+ * benches, so a daemon and batch runs share warm state.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "common/parse.hh"
+#include "sim/simulator.hh"
+#include "svc/server.hh"
+
+using namespace gds;
+
+namespace
+{
+
+/** Async-signal-safe: requestStop() is one relaxed atomic store. The
+ *  serve loop polls the flag between accepts and drains. */
+void
+handleStopSignal(int)
+{
+    sim::requestStop();
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--socket PATH] [--workers N] "
+                 "[--max-queue N]\n"
+                 "       [--checkpoint-dir DIR]\n",
+                 argv0);
+    std::exit(1);
+}
+
+svc::ServerConfig
+parseArgs(int argc, char **argv)
+{
+    svc::ServerConfig config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::optional<std::string> inline_value;
+        if (arg.rfind("--", 0) == 0) {
+            const std::size_t eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.resize(eq);
+            }
+        }
+        auto need_value = [&]() -> std::string {
+            if (inline_value)
+                return *inline_value;
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        // The same checked parser as gds_sim's flags and the daemon's
+        // own request fields: garbage is a ConfigError, never a crash.
+        auto need_u64 = [&](std::uint64_t min_v, std::uint64_t max_v) {
+            return common::requireU64(arg, need_value(), min_v, max_v);
+        };
+        if (arg == "--socket")
+            config.socketPath = need_value();
+        else if (arg == "--workers")
+            config.service.workers =
+                static_cast<unsigned>(need_u64(1, 1024));
+        else if (arg == "--max-queue")
+            config.service.maxQueue =
+                static_cast<std::size_t>(need_u64(1, 1 << 20));
+        else if (arg == "--checkpoint-dir")
+            config.service.checkpointDir = need_value();
+        else
+            usage(argv[0]);
+    }
+    return config;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    svc::ServerConfig config;
+    try {
+        config = parseArgs(argc, argv);
+    } catch (const ConfigError &e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        usage(argv[0]);
+    }
+
+    sim::clearStopRequest();
+    std::signal(SIGINT, handleStopSignal);
+    std::signal(SIGTERM, handleStopSignal);
+
+    svc::Server server(config);
+    const Status status = server.serve();
+    if (!status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", argv[0],
+                     status.toString().c_str());
+        return 1;
+    }
+    return 0;
+}

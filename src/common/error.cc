@@ -27,6 +27,8 @@ errorCodeName(ErrorCode code)
         return "timeout";
       case ErrorCode::Checkpoint:
         return "checkpoint";
+      case ErrorCode::Resource:
+        return "resource";
     }
     panic("bad error code %d", static_cast<int>(code));
 }
@@ -76,6 +78,8 @@ throwStatus(const Status &status)
         throw TimeoutError(status.message());
       case ErrorCode::Checkpoint:
         throw CheckpointError(status.message());
+      case ErrorCode::Resource:
+        throw ResourceError(status.message());
       default:
         throw SimError(status.code(), status.message());
     }

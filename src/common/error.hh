@@ -38,6 +38,7 @@ enum class ErrorCode
     Stopped,      ///< run interrupted by a graceful-stop request (signal)
     Timeout,      ///< run exceeded its wall-clock budget
     Checkpoint,   ///< checkpoint file corrupt, truncated or incompatible
+    Resource,     ///< a bounded resource (admission queue, pool) is full
 };
 
 /** Stable lower-case name of an error code ("ok", "deadlock", ...). */
@@ -259,6 +260,19 @@ class CheckpointError : public SimError
   public:
     explicit CheckpointError(const std::string &msg)
         : SimError(ErrorCode::Checkpoint, msg)
+    {}
+};
+
+/**
+ * A bounded resource is exhausted: the request was well-formed but the
+ * system cannot take it on right now (e.g. the simulation service's
+ * admission queue is full). Clients are expected to back off and retry.
+ */
+class ResourceError : public SimError
+{
+  public:
+    explicit ResourceError(const std::string &msg)
+        : SimError(ErrorCode::Resource, msg)
     {}
 };
 

@@ -1,0 +1,273 @@
+#include "common/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace gds::common
+{
+
+namespace
+{
+
+Status
+errnoStatus(const char *what)
+{
+    return Status::failure(ErrorCode::Internal,
+                           std::string(what) + ": " +
+                               std::strerror(errno));
+}
+
+/** sockaddr_un for @p path; sun_path is a fixed 108-byte array. */
+Status
+fillAddr(const std::string &path, sockaddr_un &addr)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        return Status::failure(
+            ErrorCode::Config,
+            "socket path must be 1.." +
+                std::to_string(sizeof(addr.sun_path) - 1) +
+                " bytes: '" + path + "'");
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return Status();
+}
+
+/** Wait for readability/writability; 0 = timed out, 1 = ready, -1 = error. */
+int
+waitFd(int fd, short events, int timeout_ms)
+{
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc >= 0)
+            return rc > 0 ? 1 : 0;
+        if (errno != EINTR)
+            return -1;
+        // EINTR: retry. A drain signal interrupting poll() is noticed by
+        // the caller's own stop flag on the next loop, not here.
+    }
+}
+
+} // namespace
+
+LineChannel::~LineChannel()
+{
+    close();
+}
+
+LineChannel::LineChannel(LineChannel &&other) noexcept
+    : _fd(other._fd), buffered(std::move(other.buffered))
+{
+    other._fd = -1;
+}
+
+LineChannel &
+LineChannel::operator=(LineChannel &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        _fd = other._fd;
+        buffered = std::move(other.buffered);
+        other._fd = -1;
+    }
+    return *this;
+}
+
+void
+LineChannel::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    buffered.clear();
+}
+
+Status
+LineChannel::readLine(std::string &line, int timeout_ms,
+                      std::size_t max_line)
+{
+    gds_assert(open(), "readLine() on a closed channel");
+    for (;;) {
+        const std::size_t nl = buffered.find('\n');
+        if (nl != std::string::npos) {
+            line = buffered.substr(0, nl);
+            buffered.erase(0, nl + 1);
+            return Status();
+        }
+        if (buffered.size() > max_line) {
+            return Status::failure(ErrorCode::CorruptInput,
+                                   "request line exceeds " +
+                                       std::to_string(max_line) +
+                                       " bytes");
+        }
+        const int ready = waitFd(_fd, POLLIN, timeout_ms);
+        if (ready < 0)
+            return errnoStatus("poll");
+        if (ready == 0)
+            return Status::failure(ErrorCode::Timeout,
+                                   "timed out waiting for a line");
+        char chunk[4096];
+        const ssize_t n = ::recv(_fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN)
+                continue;
+            return errnoStatus("recv");
+        }
+        if (n == 0) {
+            if (buffered.empty()) {
+                return Status::failure(ErrorCode::Stopped,
+                                       "connection closed");
+            }
+            return Status::failure(ErrorCode::CorruptInput,
+                                   "connection closed mid-line");
+        }
+        buffered.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+Status
+LineChannel::writeLine(const std::string &line)
+{
+    gds_assert(open(), "writeLine() on a closed channel");
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+        // MSG_NOSIGNAL: a vanished client surfaces as EPIPE, not a
+        // process-killing SIGPIPE in the middle of the daemon.
+        const ssize_t n = ::send(_fd, out.data() + off, out.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return errnoStatus("send");
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return Status();
+}
+
+UnixListener::~UnixListener()
+{
+    close();
+}
+
+void
+UnixListener::close()
+{
+    if (_fd >= 0) {
+        ::close(_fd);
+        _fd = -1;
+    }
+    if (!_path.empty()) {
+        ::unlink(_path.c_str());
+        _path.clear();
+    }
+}
+
+Status
+UnixListener::bind(const std::string &path, int backlog)
+{
+    gds_assert(!listening(), "listener already bound to '%s'",
+               _path.c_str());
+    sockaddr_un addr;
+    if (const Status s = fillAddr(path, addr); !s.ok())
+        return s;
+
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errnoStatus("socket");
+
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (errno != EADDRINUSE) {
+            const Status s = errnoStatus("bind");
+            ::close(fd);
+            return s;
+        }
+        // A socket file exists. If a live daemon answers, refuse; if it
+        // is a leftover from a dead process, replace it.
+        const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        const bool alive =
+            probe >= 0 &&
+            ::connect(probe, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0;
+        if (probe >= 0)
+            ::close(probe);
+        if (alive) {
+            ::close(fd);
+            return Status::failure(ErrorCode::Resource,
+                                   "another daemon is already listening "
+                                   "on '" + path + "'");
+        }
+        ::unlink(path.c_str());
+        if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof(addr)) < 0) {
+            const Status s = errnoStatus("bind");
+            ::close(fd);
+            return s;
+        }
+    }
+
+    if (::listen(fd, backlog) < 0) {
+        const Status s = errnoStatus("listen");
+        ::close(fd);
+        ::unlink(path.c_str());
+        return s;
+    }
+    _fd = fd;
+    _path = path;
+    return Status();
+}
+
+Result<LineChannel>
+UnixListener::accept(int timeout_ms)
+{
+    gds_assert(listening(), "accept() on a closed listener");
+    const int ready = waitFd(_fd, POLLIN, timeout_ms);
+    if (ready < 0)
+        return errnoStatus("poll");
+    if (ready == 0) {
+        return Status::failure(ErrorCode::Timeout,
+                               "no connection within the accept window");
+    }
+    const int client = ::accept(_fd, nullptr, nullptr);
+    if (client < 0)
+        return errnoStatus("accept");
+    return LineChannel(client);
+}
+
+Result<LineChannel>
+connectUnix(const std::string &path, int timeout_ms)
+{
+    sockaddr_un addr;
+    if (const Status s = fillAddr(path, addr); !s.ok())
+        return s;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errnoStatus("socket");
+    (void)timeout_ms; // local sockets connect immediately or fail
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        const Status s = Status::failure(
+            ErrorCode::Resource, "cannot connect to '" + path + "': " +
+                                     std::strerror(errno));
+        ::close(fd);
+        return s;
+    }
+    return LineChannel(fd);
+}
+
+} // namespace gds::common

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Local (Unix-domain) stream-socket primitives for the simulation
+ * service: a listener bound to a filesystem path, a client connector,
+ * and a line-oriented channel for the daemon's JSON-lines protocol.
+ *
+ * Deliberately local-only: the daemon serves same-machine clients (the
+ * CLI, test harnesses, batch submitters); there is no TCP surface and
+ * therefore no remote attack surface. All failures are reported through
+ * Status/Result — a refused connection or a vanished peer is routine,
+ * not exceptional.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.hh"
+
+namespace gds::common
+{
+
+/**
+ * One connected stream socket with line framing. Owns the file
+ * descriptor (closed on destruction); movable, not copyable.
+ */
+class LineChannel
+{
+  public:
+    LineChannel() = default;
+    /** Adopt an already-connected descriptor. */
+    explicit LineChannel(int fd) : _fd(fd) {}
+    ~LineChannel();
+
+    LineChannel(LineChannel &&other) noexcept;
+    LineChannel &operator=(LineChannel &&other) noexcept;
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    bool open() const { return _fd >= 0; }
+    int fd() const { return _fd; }
+    void close();
+
+    /**
+     * Read one '\n'-terminated line (the newline is stripped). Blocks up
+     * to @p timeout_ms (<0 = forever). Returns:
+     *  - ok Status with @p line filled on success;
+     *  - ErrorCode::Stopped when the peer closed with no partial line
+     *    (normal end of a connection);
+     *  - ErrorCode::Timeout when the deadline passed;
+     *  - ErrorCode::CorruptInput when a line exceeds @p max_line bytes
+     *    or the peer closed mid-line;
+     *  - ErrorCode::Internal on a socket error.
+     */
+    Status readLine(std::string &line, int timeout_ms = -1,
+                    std::size_t max_line = 1 << 20);
+
+    /** Write @p line plus a trailing newline, retrying short writes. */
+    Status writeLine(const std::string &line);
+
+  private:
+    int _fd = -1;
+    std::string buffered; ///< bytes read past the last returned line
+};
+
+/**
+ * A listening Unix-domain socket bound to @p path. The socket file is
+ * unlinked on destruction (and a stale file from a dead daemon is
+ * replaced at bind time when nothing is listening behind it).
+ */
+class UnixListener
+{
+  public:
+    UnixListener() = default;
+    ~UnixListener();
+
+    UnixListener(const UnixListener &) = delete;
+    UnixListener &operator=(const UnixListener &) = delete;
+
+    /** Bind + listen. Fails if a live daemon already owns @p path. */
+    Status bind(const std::string &path, int backlog = 16);
+
+    bool listening() const { return _fd >= 0; }
+    const std::string &path() const { return _path; }
+
+    /**
+     * Accept one connection, waiting up to @p timeout_ms. Returns a
+     * Timeout failure when nothing arrived (callers poll this to notice
+     * drain requests), an Internal failure on socket errors.
+     */
+    Result<LineChannel> accept(int timeout_ms);
+
+    void close();
+
+  private:
+    int _fd = -1;
+    std::string _path;
+};
+
+/** Connect to the daemon listening at @p path. */
+Result<LineChannel> connectUnix(const std::string &path,
+                                int timeout_ms = 5000);
+
+} // namespace gds::common

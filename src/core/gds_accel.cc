@@ -11,6 +11,7 @@
 #include <optional>
 #include <sstream>
 
+#include "common/parse.hh"
 #include "core/detail.hh"
 #include "sim/checkpoint.hh"
 
@@ -175,6 +176,13 @@ GdsAccel::run(const RunOptions &options)
         throw ConfigError(gds::detail::vformat(
             "source %u out of range (V=%u)", options.source, v_count));
 
+    // Resolve env-derived run behaviour exactly once, here. Every other
+    // consumer reads the member: re-reading getenv() mid-run (or caching
+    // it in a function-local static, as dispatchChunk once did) lets two
+    // sites disagree when the environment changes mid-process — fatal in
+    // a daemon where many jobs share one process.
+    perfectMem = common::envFlag("GDS_PERFECT_MEM");
+
     algo.bind(fullGraph);
 
     prop.resize(v_count);
@@ -226,8 +234,8 @@ GdsAccel::run(const RunOptions &options)
     // under perfect memory (dispatch materializes records on demand, so
     // waits never become provable).
     limits.fastForward = options.fastForward && !progress &&
-                         std::getenv("GDS_NO_FASTFORWARD") == nullptr &&
-                         std::getenv("GDS_PERFECT_MEM") == nullptr;
+                         !common::envFlag("GDS_NO_FASTFORWARD") &&
+                         !perfectMem;
 
     std::optional<sim::FaultInjector> injector;
     if (options.faults.any()) {

@@ -466,6 +466,15 @@ class GdsAccel : public sim::Component
     /** Local clock at run() entry; serialized so a resumed run reports
      *  cycles spanning the whole logical run, not just the tail. */
     Cycle runStart = 0;
+    /**
+     * GDS_PERFECT_MEM, resolved exactly once at run() entry and used by
+     * every consumer (dispatch materialization, the scatter quiescence
+     * predicate, fast-forward gating). Run-scoped on purpose: a test or
+     * a daemon job that flips the environment variable between runs gets
+     * consistent behaviour within each run, and nothing latched in a
+     * function-local static can leak across jobs sharing the process.
+     */
+    bool perfectMem = false;
     bool collectPeLoads = false;
     std::vector<std::uint64_t> peLoadThisIteration;
     std::vector<std::vector<std::uint64_t>> peLoadTrace;

@@ -85,8 +85,8 @@ GdsAccel::scatterQuiescent() const
     // would provably do nothing but per-cycle wait accounting (which
     // skipCycles() replays) and, crucially, would attempt no HBM access --
     // even a refused access draws fault-injector randomness.
-    static const bool perfect_mem =
-        std::getenv("GDS_PERFECT_MEM") != nullptr;
+    // perfectMem is resolved once per run (GdsAccel::run), so this
+    // predicate and dispatchChunk() can never disagree about it.
 
     // A drained phase transitions at the end of its next tick.
     if (scatterDone())
@@ -103,7 +103,7 @@ GdsAccel::scatterQuiescent() const
     for (const De &de : des) {
         if (de.vpb.empty())
             continue;
-        if (perfect_mem)
+        if (perfectMem)
             return false; // dispatch would materialize the record
         const std::uint64_t rec = de.vpb.front();
         if (activeCur[curSlice][rec].edgeCnt == 0 || sc.fetch[rec].ready)
@@ -382,8 +382,7 @@ GdsAccel::dispatchChunk(De &de, unsigned de_index)
         return;
     }
 
-    static const bool perfect_mem = std::getenv("GDS_PERFECT_MEM");
-    if (!f.ready && perfect_mem)
+    if (!f.ready && perfectMem)
         materializeRecord(rec);
     if (!f.ready) {
         ++statDeWaitReady;

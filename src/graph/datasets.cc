@@ -4,6 +4,7 @@
 
 #include "common/bitutil.hh"
 #include "common/error.hh"
+#include "common/parse.hh"
 #include "graph/generators.hh"
 
 namespace gds::graph
@@ -96,15 +97,10 @@ datasetByName(const std::string &name)
 unsigned
 datasetScaleDivisor()
 {
-    const char *env = std::getenv("GDS_SCALE");
-    if (!env)
-        return 16;
-    const long value = std::strtol(env, nullptr, 10);
-    if (value < 1) {
-        warn("ignoring invalid GDS_SCALE='%s'", env);
-        return 16;
-    }
-    return static_cast<unsigned>(value);
+    // Strict env parsing (common/parse.hh): "16abc" or "-4" is a warned
+    // fallback to 16, not a silently strtol-truncated divisor.
+    return static_cast<unsigned>(
+        common::parseEnvU64("GDS_SCALE", 16, 1, 1u << 30));
 }
 
 Csr

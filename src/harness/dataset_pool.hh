@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Refcounted, once-only dataset loading shared by concurrent consumers:
+ * the evaluation matrix's workers (PR 2) and, since the simulation
+ * service, every daemon job that names the same dataset. The first
+ * consumer needing a (name, weighted) combination loads it while the
+ * others block on a shared future — no duplicate generation, no race on
+ * the on-disk binary dataset cache — and the graph is freed as soon as
+ * its last registered consumer releases it.
+ *
+ * Lifecycle per consumer: expect() reserves a reference (admission
+ * time), get() fetches the shared graph (loading it on the first call),
+ * release() drops the reference (always, whether or not get() was ever
+ * called). The pool is safe to use from any number of threads.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hh"
+
+namespace gds::harness
+{
+
+class DatasetPool
+{
+  public:
+    using GraphPtr = std::shared_ptr<const graph::Csr>;
+
+    /**
+     * Maps a (name, weighted) pair to a loaded graph. The default
+     * loader is harness::loadDataset (Table 4 datasets with the on-disk
+     * binary cache); the simulation service installs a loader that also
+     * understands ad-hoc RMAT requests.
+     */
+    using Loader =
+        std::function<graph::Csr(const std::string &name, bool weighted)>;
+
+    /** Pool with the default Table 4 loader. */
+    DatasetPool();
+
+    /** Pool with a custom loader. */
+    explicit DatasetPool(Loader dataset_loader);
+
+    DatasetPool(const DatasetPool &) = delete;
+    DatasetPool &operator=(const DatasetPool &) = delete;
+
+    /** Register one consumer that may need (name, weighted). */
+    void expect(const std::string &name, bool weighted);
+
+    /**
+     * Fetch the shared graph, loading it on the first call. Requires a
+     * preceding expect(). A loader failure is rethrown to every waiter.
+     */
+    GraphPtr get(const std::string &name, bool weighted);
+
+    /**
+     * One consumer of (name, weighted) is done; free the graph after
+     * the last one (whether or not it ever called get()).
+     */
+    void release(const std::string &name, bool weighted);
+
+    /** Number of datasets currently loaded (or loading). */
+    std::size_t residentCount() const;
+
+    /** Keys ("name|w" / "name|u") of resident datasets, sorted. */
+    std::vector<std::string> residentKeys() const;
+
+    /** Total refcount over all slots (consumers not yet released). */
+    std::size_t pendingConsumers() const;
+
+  private:
+    struct Slot
+    {
+        std::promise<GraphPtr> promise;
+        std::shared_future<GraphPtr> future;
+        unsigned remaining = 0;
+    };
+
+    static std::string key(const std::string &name, bool weighted);
+
+    Loader loader;
+    mutable std::mutex mu;
+    std::map<std::string, Slot> slots; // node-stable under insert/erase
+};
+
+} // namespace gds::harness

@@ -14,8 +14,10 @@
 #include <thread>
 
 #include "common/fsio.hh"
+#include "common/parse.hh"
 #include "energy/energy_model.hh"
 #include "graph/loader.hh"
+#include "harness/dataset_pool.hh"
 #include "harness/manifest.hh"
 #include "harness/parallel.hh"
 #include "harness/walltime.hh"
@@ -113,48 +115,22 @@ loadDataset(const std::string &name, bool weighted)
 Cycle
 cellCycleBudget()
 {
-    constexpr Cycle defaultBudget = 50'000'000'000ULL;
-    const char *env = std::getenv("GDS_CELL_BUDGET");
-    if (!env)
-        return defaultBudget;
-    char *end = nullptr;
-    const unsigned long long parsed = std::strtoull(env, &end, 10);
-    if (end == env || *end != '\0' || parsed == 0) {
-        warn("ignoring invalid GDS_CELL_BUDGET '%s'", env);
-        return defaultBudget;
-    }
-    return static_cast<Cycle>(parsed);
+    // parseEnvU64 rejects sign, garbage and overflow (strtoull would
+    // happily wrap "-1" to 2^64-1) and warns + falls back to the default.
+    return common::parseEnvU64("GDS_CELL_BUDGET", 50'000'000'000ULL, 1);
 }
 
 double
 cellWallBudgetSeconds()
 {
-    const char *env = std::getenv("GDS_CELL_WALL_BUDGET");
-    if (!env)
-        return 0.0;
-    char *end = nullptr;
-    const double parsed = std::strtod(env, &end);
-    if (end == env || *end != '\0' || !(parsed > 0.0)) {
-        warn("ignoring invalid GDS_CELL_WALL_BUDGET '%s'", env);
-        return 0.0;
-    }
-    return parsed;
+    return common::parseEnvF64("GDS_CELL_WALL_BUDGET", 0.0);
 }
 
 unsigned
 cellRetryLimit()
 {
-    constexpr unsigned defaultRetries = 2;
-    const char *env = std::getenv("GDS_CELL_RETRIES");
-    if (!env)
-        return defaultRetries;
-    char *end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0' || parsed > 100) {
-        warn("ignoring invalid GDS_CELL_RETRIES '%s'", env);
-        return defaultRetries;
-    }
-    return static_cast<unsigned>(parsed);
+    return static_cast<unsigned>(
+        common::parseEnvU64("GDS_CELL_RETRIES", 2, 0, 100));
 }
 
 core::CheckpointOptions
@@ -179,15 +155,10 @@ cellCheckpointOptions(const std::string &algorithm,
     ckpt.basename = base;
     ckpt.identity = config_hash;
     ckpt.resume = true;
-    ckpt.interval = 100'000'000; // 100 ms of simulated time at 1 GHz
-    if (const char *env = std::getenv("GDS_CHECKPOINT_INTERVAL")) {
-        char *end = nullptr;
-        const unsigned long long parsed = std::strtoull(env, &end, 10);
-        if (end == env || *end != '\0' || parsed == 0)
-            warn("ignoring invalid GDS_CHECKPOINT_INTERVAL '%s'", env);
-        else
-            ckpt.interval = static_cast<Cycle>(parsed);
-    }
+    // 100 ms of simulated time at 1 GHz unless overridden; the strict
+    // parser keeps "-1"/"1e6"/trailing garbage from becoming an interval.
+    ckpt.interval =
+        common::parseEnvU64("GDS_CHECKPOINT_INTERVAL", 100'000'000, 1);
     return ckpt;
 }
 
@@ -274,24 +245,54 @@ baseRecord(const std::string &system, algo::AlgorithmId id,
 
 } // namespace
 
+namespace
+{
+
+/**
+ * Resolve the effective RunOptions for one cell: per-job CellPolicy
+ * overrides first, the env-driven defaults (GDS_CELL_BUDGET & friends)
+ * for anything the policy leaves unset.
+ */
+core::RunOptions
+cellRunOptions(algo::AlgorithmId algorithm, const std::string &dataset,
+               const graph::Csr &g, const std::string &config_hash,
+               const CellPolicy *policy)
+{
+    core::RunOptions options;
+    options.source = policy && policy->source ? *policy->source
+                                              : sourceFor(algorithm, g);
+    options.cycleBudget = policy && policy->cycleBudget != 0
+                              ? policy->cycleBudget
+                              : cellCycleBudget();
+    options.wallBudgetSeconds = policy && policy->wallBudgetSeconds >= 0.0
+                                    ? policy->wallBudgetSeconds
+                                    : cellWallBudgetSeconds();
+    options.checkpoint =
+        policy && policy->checkpoint
+            ? *policy->checkpoint
+            : cellCheckpointOptions(algo::algorithmName(algorithm), dataset,
+                                    config_hash);
+    return options;
+}
+
+} // namespace
+
 RunRecord
 runGds(algo::AlgorithmId algorithm, const std::string &dataset,
        const graph::Csr &g, GdsVariant variant,
-       const core::GdsConfig *base)
+       const core::GdsConfig *base, const CellPolicy *policy)
 {
     core::GdsConfig cfg = base ? *base : core::GdsConfig{};
-    cfg.maxIterations = iterationCap(algorithm);
+    cfg.maxIterations = policy && policy->iterations
+                            ? *policy->iterations
+                            : iterationCap(algorithm);
     cfg = applyVariant(cfg, variant);
 
     auto a = algo::makeAlgorithm(algorithm);
     core::GdsAccel accel(cfg, g, *a);
     const std::string hash = configHash(cfg);
-    core::RunOptions options;
-    options.source = sourceFor(algorithm, g);
-    options.cycleBudget = cellCycleBudget();
-    options.wallBudgetSeconds = cellWallBudgetSeconds();
-    options.checkpoint = cellCheckpointOptions(
-        algo::algorithmName(algorithm), dataset, hash);
+    const core::RunOptions options =
+        cellRunOptions(algorithm, dataset, g, hash, policy);
 
     double sim_seconds = 0.0;
     double validate_seconds = 0.0;
@@ -332,20 +333,18 @@ runGds(algo::AlgorithmId algorithm, const std::string &dataset,
 
 RunRecord
 runGraphicionado(algo::AlgorithmId algorithm, const std::string &dataset,
-                 const graph::Csr &g)
+                 const graph::Csr &g, const CellPolicy *policy)
 {
     baseline::GraphicionadoConfig cfg;
-    cfg.maxIterations = iterationCap(algorithm);
+    cfg.maxIterations = policy && policy->iterations
+                            ? *policy->iterations
+                            : iterationCap(algorithm);
 
     auto a = algo::makeAlgorithm(algorithm);
     baseline::GraphicionadoAccel accel(cfg, g, *a);
     const std::string hash = configHash(cfg);
-    core::RunOptions options;
-    options.source = sourceFor(algorithm, g);
-    options.cycleBudget = cellCycleBudget();
-    options.wallBudgetSeconds = cellWallBudgetSeconds();
-    options.checkpoint = cellCheckpointOptions(
-        algo::algorithmName(algorithm), dataset, hash);
+    const core::RunOptions options =
+        cellRunOptions(algorithm, dataset, g, hash, policy);
 
     double sim_seconds = 0.0;
     double validate_seconds = 0.0;
@@ -412,91 +411,6 @@ runGunrock(algo::AlgorithmId algorithm, const std::string &dataset,
 
 namespace
 {
-
-/**
- * Once-only dataset loading shared by concurrent matrix workers. The
- * first worker needing a (name, weighted) combination loads it while the
- * others block on a shared future — no duplicate generation, and no race
- * on the on-disk binary dataset cache. Slots are refcounted by the cells
- * that may still need them, so a graph is freed as soon as its last cell
- * completes instead of accumulating the whole Table 4 in memory.
- */
-class DatasetPool
-{
-  public:
-    using GraphPtr = std::shared_ptr<const graph::Csr>;
-
-    /** Register one cell that may need (name, weighted). */
-    void
-    expect(const std::string &name, bool weighted)
-    {
-        const std::lock_guard<std::mutex> lock(mu);
-        ++slots[key(name, weighted)].remaining;
-    }
-
-    /** Fetch the shared graph, loading it on the first call. */
-    GraphPtr
-    get(const std::string &name, bool weighted)
-    {
-        Slot *slot = nullptr;
-        bool loader = false;
-        {
-            const std::lock_guard<std::mutex> lock(mu);
-            slot = &slots[key(name, weighted)];
-            gds_assert(slot->remaining > 0,
-                       "dataset %s fetched with no registered cells",
-                       name.c_str());
-            if (!slot->future.valid()) {
-                slot->future = slot->promise.get_future().share();
-                loader = true;
-            }
-        }
-        // The load runs outside the pool lock so distinct datasets load
-        // concurrently; waiters for *this* dataset block on the future.
-        if (loader) {
-            try {
-                harnessLine("loading %s%s", name.c_str(),
-                            weighted ? " (weighted)" : "");
-                slot->promise.set_value(std::make_shared<graph::Csr>(
-                    loadDataset(name, weighted)));
-            } catch (...) {
-                slot->promise.set_exception(std::current_exception());
-            }
-        }
-        return slot->future.get();
-    }
-
-    /** One cell for (name, weighted) is done; free the graph after the
-     *  last one (whether or not it ever called get()). */
-    void
-    release(const std::string &name, bool weighted)
-    {
-        const std::lock_guard<std::mutex> lock(mu);
-        const auto it = slots.find(key(name, weighted));
-        gds_assert(it != slots.end() && it->second.remaining > 0,
-                   "dataset %s released more often than expected",
-                   name.c_str());
-        if (--it->second.remaining == 0)
-            slots.erase(it);
-    }
-
-  private:
-    struct Slot
-    {
-        std::promise<GraphPtr> promise;
-        std::shared_future<GraphPtr> future;
-        unsigned remaining = 0;
-    };
-
-    static std::string
-    key(const std::string &name, bool weighted)
-    {
-        return name + (weighted ? "|w" : "|u");
-    }
-
-    std::mutex mu;
-    std::map<std::string, Slot> slots; // node-stable under insert/erase
-};
 
 /** Cache-key system tag for a SystemId. */
 const char *

@@ -104,7 +104,11 @@ graph::Csr loadDataset(const std::string &name, bool weighted);
 /**
  * Per-cell cycle budget applied to every simulated run (GraphDynS and
  * Graphicionado): the GDS_CELL_BUDGET environment variable when set,
- * otherwise 50e9 cycles (50 s at the 1 GHz clock).
+ * otherwise 50e9 cycles (50 s at the 1 GHz clock). Like every harness
+ * env knob, the value is parsed strictly (common::parseEnvU64): a
+ * signed, non-numeric, trailing-garbage or overflowing value is
+ * rejected with a warning and the documented default is used — it can
+ * never wrap around to a nonsense budget.
  */
 Cycle cellCycleBudget();
 
@@ -152,14 +156,39 @@ RunRecord runCell(const std::string &system, algo::AlgorithmId algorithm,
 /** Apply a variant to a base GraphDynS configuration. */
 core::GdsConfig applyVariant(core::GdsConfig cfg, GdsVariant v);
 
+/**
+ * Per-job overrides for the env-driven cell policy. The evaluation
+ * matrix passes none (every cell reads GDS_CELL_BUDGET & friends once
+ * per run); the simulation-service daemon builds one per request so
+ * concurrent jobs can carry different budgets, sources and checkpoint
+ * options without touching shared process environment.
+ */
+struct CellPolicy
+{
+    /** Cycle budget; 0 falls back to cellCycleBudget(). */
+    Cycle cycleBudget = 0;
+    /** Wall budget in seconds; negative falls back to
+     *  cellWallBudgetSeconds(); 0 means "no wall limit". */
+    double wallBudgetSeconds = -1.0;
+    /** Source vertex; unset falls back to sourceFor(). */
+    std::optional<VertexId> source;
+    /** Iteration cap; unset falls back to iterationCap(). */
+    std::optional<unsigned> iterations;
+    /** Checkpoint options; null falls back to cellCheckpointOptions()
+     *  (the GDS_CHECKPOINT_DIR policy). Not owned; must outlive the run. */
+    const core::CheckpointOptions *checkpoint = nullptr;
+};
+
 /** Run one cell on GraphDynS (optionally an ablation variant). */
 RunRecord runGds(algo::AlgorithmId algorithm, const std::string &dataset,
                  const graph::Csr &g, GdsVariant variant = GdsVariant::Full,
-                 const core::GdsConfig *base = nullptr);
+                 const core::GdsConfig *base = nullptr,
+                 const CellPolicy *policy = nullptr);
 
 /** Run one cell on Graphicionado. */
 RunRecord runGraphicionado(algo::AlgorithmId algorithm,
-                           const std::string &dataset, const graph::Csr &g);
+                           const std::string &dataset, const graph::Csr &g,
+                           const CellPolicy *policy = nullptr);
 
 /** Run one cell on GunrockSim. */
 RunRecord runGunrock(algo::AlgorithmId algorithm,

@@ -1,9 +1,9 @@
 #include "harness/parallel.hh"
 
 #include <algorithm>
-#include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/parse.hh"
 
 namespace gds::harness
 {
@@ -13,17 +13,11 @@ jobCount()
 {
     const unsigned fallback =
         std::max(1u, std::thread::hardware_concurrency());
-    const char *env = std::getenv("GDS_JOBS");
-    if (!env)
-        return fallback;
-    char *end = nullptr;
-    const unsigned long parsed = std::strtoul(env, &end, 10);
-    if (end == env || *end != '\0' || parsed == 0) {
-        warn("ignoring invalid GDS_JOBS '%s'; using %u workers", env,
-             fallback);
-        return fallback;
-    }
-    return static_cast<unsigned>(parsed);
+    // Strict parse: "GDS_JOBS=-1" used to strtoul-wrap to ~4 billion
+    // workers; parseEnvU64 warns and falls back instead. The cap keeps a
+    // fat-fingered "GDS_JOBS=1000000" from exhausting thread handles.
+    return static_cast<unsigned>(
+        common::parseEnvU64("GDS_JOBS", fallback, 1, 4096));
 }
 
 ThreadPool::ThreadPool(unsigned workers)

@@ -1,0 +1,131 @@
+#include "svc/server.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "stats/json.hh"
+
+namespace gds::svc
+{
+
+namespace
+{
+
+/** {"ok":true,"job":...,"state":...,"cached":...[,"record":{...}]} */
+std::string
+jobLine(const JobView &view)
+{
+    std::ostringstream os;
+    os << "{\"ok\":true,\"job\":";
+    stats::emitJsonString(os, view.id);
+    os << ",\"state\":";
+    stats::emitJsonString(os, jobStateName(view.state));
+    os << ",\"cached\":" << (view.cached ? "true" : "false");
+    if (view.state == JobState::Done || view.state == JobState::Failed) {
+        os << ",\"latency_seconds\":";
+        stats::emitJsonNumber(os, view.latencySeconds);
+        os << ",\"record\":" << recordJson(view.record);
+    }
+    os << '}';
+    return os.str();
+}
+
+} // namespace
+
+Server::Server(ServerConfig server_config)
+    : config(server_config), sim_service(server_config.service)
+{
+}
+
+std::string
+Server::handleLine(const std::string &line)
+{
+    auto parsed = parseRequest(line);
+    if (!parsed.ok())
+        return errorLine(parsed.status());
+    const Request &req = parsed.value();
+
+    switch (req.op) {
+      case RequestOp::Submit: {
+          auto view = sim_service.submit(req.spec);
+          return view.ok() ? jobLine(view.value())
+                           : errorLine(view.status());
+      }
+      case RequestOp::Poll: {
+          auto view = sim_service.poll(req.jobId);
+          return view.ok() ? jobLine(view.value())
+                           : errorLine(view.status());
+      }
+      case RequestOp::Result: {
+          auto view = sim_service.result(req.jobId);
+          return view.ok() ? jobLine(view.value())
+                           : errorLine(view.status());
+      }
+      case RequestOp::Statsz:
+        return sim_service.statszLine();
+      case RequestOp::Shutdown:
+        requestStop();
+        return "{\"ok\":true,\"state\":\"draining\"}";
+    }
+    panic("bad request op");
+}
+
+Status
+Server::serve()
+{
+    common::UnixListener listener;
+    if (Status s = listener.bind(config.socketPath); !s.ok())
+        return s;
+    inform("gds_simd listening on %s (%u workers, queue %zu)",
+           config.socketPath.c_str(), config.service.workers,
+           config.service.maxQueue);
+
+    while (!stop.load(std::memory_order_relaxed) && !sim::stopRequested()) {
+        auto channel = listener.accept(200);
+        if (!channel.ok()) {
+            if (channel.status().code() == ErrorCode::Timeout)
+                continue; // idle tick: re-check the stop flags
+            warn("accept failed: %s", channel.status().message().c_str());
+            continue;
+        }
+        common::LineChannel chan = std::move(channel.value());
+        // Serve every line the client sends on this connection; a clean
+        // peer close (Stopped) ends it. Stop flags are honoured between
+        // requests so a drain never hangs on an idle client.
+        std::string line;
+        for (;;) {
+            const Status s = chan.readLine(line, 1000);
+            if (s.ok()) {
+                if (Status w = chan.writeLine(handleLine(line)); !w.ok()) {
+                    warn("client write failed: %s", w.message().c_str());
+                    break;
+                }
+                continue;
+            }
+            if (s.code() == ErrorCode::Timeout) {
+                if (stop.load(std::memory_order_relaxed) ||
+                    sim::stopRequested())
+                    break;
+                continue;
+            }
+            if (s.code() != ErrorCode::Stopped)
+                warn("client read failed: %s", s.toString().c_str());
+            break;
+        }
+    }
+
+    inform("gds_simd draining (%zu jobs in flight)",
+           sim_service.stats().queueDepth);
+    sim_service.drain();
+    inform("gds_simd drained; exiting");
+    return Status{};
+}
+
+void
+Server::requestStop()
+{
+    stop.store(true, std::memory_order_relaxed);
+}
+
+} // namespace gds::svc

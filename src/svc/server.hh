@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Socket front-end of the simulation service: binds a Unix-domain
+ * listener, reads JSON-line requests, dispatches them to SimService and
+ * writes JSON-line responses. Connections are served one at a time —
+ * requests are cheap registry operations (the simulations themselves run
+ * on the service's worker pool), so a serial accept loop keeps the
+ * protocol surface single-threaded and trivially race-free.
+ *
+ * Shutdown: the loop polls sim::stopRequested() between accepts (the
+ * daemon's SIGTERM handler raises it) and also honours an in-band
+ * {"op":"shutdown"} request; either way serve() drains the service —
+ * in-flight jobs checkpoint and stop — and returns an ok Status for a
+ * clean exit.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "common/error.hh"
+#include "common/socket.hh"
+#include "svc/service.hh"
+
+namespace gds::svc
+{
+
+struct ServerConfig
+{
+    std::string socketPath = "gds_simd.sock";
+    ServiceConfig service;
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig server_config);
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind and serve until a stop is requested (signal or shutdown op).
+     * Returns a failure Status only for setup errors (socket path in
+     * use); protocol-level failures are answered in-band, never fatal.
+     */
+    Status serve();
+
+    /** Ask the accept loop to exit after the current connection. */
+    void requestStop();
+
+    /** Dispatch one request line to one response line (exposed for
+     *  in-process tests; no socket involved). */
+    std::string handleLine(const std::string &line);
+
+    SimService &service() { return sim_service; }
+
+  private:
+    ServerConfig config;
+    SimService sim_service;
+    std::atomic<bool> stop{false};
+};
+
+} // namespace gds::svc

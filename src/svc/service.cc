@@ -1,0 +1,348 @@
+#include "svc/service.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+#include "stats/json.hh"
+
+namespace gds::svc
+{
+
+namespace
+{
+
+/** Filesystem-safe checkpoint basename from a cache key. */
+std::string
+sanitizedBasename(const std::string &key)
+{
+    std::string base = key;
+    for (char &c : base) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    return base;
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+const char *
+jobStateName(JobState state)
+{
+    switch (state) {
+      case JobState::Queued:
+        return "queued";
+      case JobState::Running:
+        return "running";
+      case JobState::Done:
+        return "done";
+      case JobState::Failed:
+        return "failed";
+    }
+    panic("bad job state");
+}
+
+SimService::SimService(ServiceConfig service_config)
+    : config(std::move(service_config))
+{
+    gds_require(config.workers > 0, ConfigError,
+                "service needs at least one worker");
+    gds_require(config.maxQueue > 0, ConfigError,
+                "service needs a positive admission bound");
+    counters.workers = config.workers;
+    threads = std::make_unique<harness::ThreadPool>(config.workers);
+}
+
+SimService::~SimService()
+{
+    drain();
+}
+
+Result<JobView>
+SimService::submit(const JobSpec &spec)
+{
+    const std::string key = spec.key();
+    const bool weighted =
+        algo::makeAlgorithm(spec.algorithm)->usesWeights();
+
+    std::shared_ptr<Job> job;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        ++counters.submitted;
+        if (stopping)
+            return Status::failure(ErrorCode::Resource,
+                                   "service is draining; not accepting "
+                                   "new jobs");
+
+        job = std::make_shared<Job>();
+        // (vformat, not "j" + to_string: GCC 12 -Wrestrict misfires on
+        // literal + temporary-string concatenation under -Werror.)
+        job->id = detail::vformat(
+            "j%llu", static_cast<unsigned long long>(nextId++));
+        job->spec = spec;
+        job->key = key;
+        job->submitTime = std::chrono::steady_clock::now();
+
+        // Cache probe at admission: a repeat request costs one map
+        // lookup, no queue slot and no worker.
+        ++counters.cacheLookups;
+        if (auto hit = cache.lookup(key)) {
+            ++counters.cacheHits;
+            job->cached = true;
+            job->state = JobState::Done;
+            job->record = *hit;
+            jobs.emplace(job->id, job);
+            return viewOf(*job);
+        }
+
+        if (inFlight >= config.maxQueue) {
+            ++counters.rejected;
+            return Status::failure(
+                ErrorCode::Resource,
+                detail::vformat("admission queue full (%zu/%zu jobs in "
+                                "flight); resubmit later",
+                                inFlight, config.maxQueue));
+        }
+        ++counters.admitted;
+        ++inFlight;
+        jobs.emplace(job->id, job);
+    }
+
+    // Reserve the dataset reference outside the registry lock (the pool
+    // has its own); the matching release happens when the job finishes.
+    pool.expect(spec.dataset, weighted);
+    threads->submit([this, job] { runJob(job); });
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        return viewOf(*job);
+    }
+}
+
+void
+SimService::runJob(const std::shared_ptr<Job> &job)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        job->state = JobState::Running;
+        ++runningNow;
+    }
+
+    const JobSpec &spec = job->spec;
+    const bool weighted =
+        algo::makeAlgorithm(spec.algorithm)->usesWeights();
+
+    harness::RunRecord record;
+    try {
+        // Per-job policy: the request's budgets and overrides, plus a
+        // per-key checkpoint so a drained job's resubmission resumes
+        // where the SIGTERM stopped it.
+        harness::CellPolicy policy;
+        policy.cycleBudget = spec.cycleBudget;
+        policy.wallBudgetSeconds = spec.wallBudgetSeconds;
+        policy.source = spec.source;
+        policy.iterations = spec.iterations;
+        core::CheckpointOptions ckpt;
+        if (!config.checkpointDir.empty()) {
+            ckpt.dir = config.checkpointDir;
+            ckpt.basename = sanitizedBasename(job->key);
+            ckpt.identity = job->key;
+            ckpt.resume = true;
+            ckpt.interval = 100'000'000;
+            policy.checkpoint = &ckpt;
+        }
+
+        const std::string system = harness::systemName(spec.system);
+        record = cache.getOrRun(job->key, [&] {
+            return harness::runCell(system, spec.algorithm, spec.dataset,
+                                    [&] {
+                auto g = pool.get(spec.dataset, weighted);
+                switch (spec.system) {
+                  case harness::SystemId::GraphDynS:
+                    return harness::runGds(spec.algorithm, spec.dataset,
+                                           *g, harness::GdsVariant::Full,
+                                           nullptr, &policy);
+                  case harness::SystemId::Graphicionado:
+                    return harness::runGraphicionado(
+                        spec.algorithm, spec.dataset, *g, &policy);
+                  case harness::SystemId::Gunrock:
+                    return harness::runGunrock(spec.algorithm,
+                                               spec.dataset, *g);
+                }
+                panic("bad system id");
+            });
+        });
+    } catch (const std::exception &e) {
+        // runCell degrades SimErrors into records; anything else (a
+        // std::bad_alloc, a filesystem surprise) must not poison the
+        // pool's wait() for unrelated jobs.
+        warn("job %s failed unexpectedly: %s", job->id.c_str(), e.what());
+        record.system = harness::systemName(spec.system);
+        record.algorithm = algo::algorithmName(spec.algorithm);
+        record.dataset = spec.dataset;
+        record.status = "internal";
+    }
+
+    pool.release(spec.dataset, weighted);
+
+    const std::lock_guard<std::mutex> lock(mu);
+    job->record = record;
+    job->state = record.ok() ? JobState::Done : JobState::Failed;
+    job->latencySeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      job->submitTime)
+            .count();
+    latencies.push_back(job->latencySeconds);
+    record.ok() ? ++counters.completed : ++counters.failed;
+    --runningNow;
+    --inFlight;
+}
+
+JobView
+SimService::viewOf(const Job &job) const
+{
+    JobView v;
+    v.id = job.id;
+    v.state = job.state;
+    v.cached = job.cached;
+    v.record = job.record;
+    v.latencySeconds = job.latencySeconds;
+    return v;
+}
+
+Result<JobView>
+SimService::poll(const std::string &job_id) const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto it = jobs.find(job_id);
+    if (it == jobs.end())
+        return Status::failure(ErrorCode::Config,
+                               "unknown job '" + job_id + "'");
+    return viewOf(*it->second);
+}
+
+Result<JobView>
+SimService::result(const std::string &job_id) const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto it = jobs.find(job_id);
+    if (it == jobs.end())
+        return Status::failure(ErrorCode::Config,
+                               "unknown job '" + job_id + "'");
+    const Job &job = *it->second;
+    if (job.state != JobState::Done && job.state != JobState::Failed)
+        return Status::failure(ErrorCode::Timeout,
+                               "job '" + job_id + "' not finished yet");
+    return viewOf(job);
+}
+
+ServiceStats
+SimService::stats() const
+{
+    ServiceStats s;
+    std::vector<double> lat;
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        s = counters;
+        s.queueDepth = inFlight;
+        s.running = runningNow;
+        s.draining = stopping;
+        lat = latencies;
+    }
+    s.datasetsResident = pool.residentCount();
+    s.datasetKeys = pool.residentKeys();
+    std::sort(lat.begin(), lat.end());
+    s.latencyP50 = percentile(lat, 0.50);
+    s.latencyP90 = percentile(lat, 0.90);
+    s.latencyMax = lat.empty() ? 0.0 : lat.back();
+    return s;
+}
+
+std::string
+SimService::statszLine() const
+{
+    const ServiceStats s = stats();
+    std::ostringstream os;
+    auto num = [&](const char *name, double value) {
+        stats::emitJsonString(os, name);
+        os << ':';
+        stats::emitJsonNumber(os, value);
+        os << ',';
+    };
+    os << "{\"ok\":true,";
+    num("submitted", static_cast<double>(s.submitted));
+    num("admitted", static_cast<double>(s.admitted));
+    num("rejected", static_cast<double>(s.rejected));
+    num("completed", static_cast<double>(s.completed));
+    num("failed", static_cast<double>(s.failed));
+    num("cache_hits", static_cast<double>(s.cacheHits));
+    num("cache_lookups", static_cast<double>(s.cacheLookups));
+    num("cache_hit_rate",
+        s.cacheLookups == 0 ? 0.0
+                            : static_cast<double>(s.cacheHits) /
+                                  static_cast<double>(s.cacheLookups));
+    num("queue_depth", static_cast<double>(s.queueDepth));
+    num("running", static_cast<double>(s.running));
+    num("workers", s.workers);
+    os << "\"draining\":" << (s.draining ? "true" : "false") << ',';
+    num("datasets_resident", static_cast<double>(s.datasetsResident));
+    os << "\"dataset_keys\":[";
+    for (std::size_t i = 0; i < s.datasetKeys.size(); ++i) {
+        if (i)
+            os << ',';
+        stats::emitJsonString(os, s.datasetKeys[i]);
+    }
+    os << "],";
+    num("latency_p50_seconds", s.latencyP50);
+    num("latency_p90_seconds", s.latencyP90);
+    os << "\"latency_max_seconds\":";
+    stats::emitJsonNumber(os, s.latencyMax);
+    os << '}';
+    return os.str();
+}
+
+void
+SimService::drain()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (stopping && !threads)
+            return; // already drained
+        stopping = true;
+    }
+    // Every in-flight run notices the global stop flag at its next
+    // check-interval boundary, writes a checkpoint when configured, and
+    // returns RunOutcome::Stopped (record status "stopped").
+    sim::requestStop();
+    if (threads) {
+        try {
+            threads->wait();
+        } catch (const std::exception &e) {
+            warn("drain: worker raised: %s", e.what());
+        }
+        threads.reset();
+    }
+    sim::clearStopRequest();
+}
+
+bool
+SimService::draining() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    return stopping;
+}
+
+} // namespace gds::svc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The simulation service proper, socket-free so tests can drive it
+ * in-process: a job registry in front of the experiment harness.
+ * Submitted jobs are admitted into a bounded queue, scheduled onto a
+ * harness::ThreadPool, share loaded graphs through the refcounted
+ * harness::DatasetPool, and are served straight from the disk-backed
+ * harness::ResultCache when an identical request (same key, see
+ * JobSpec::key()) already ran — in this process or a previous one.
+ *
+ * Draining: drain() stops admission (submits are rejected with a
+ * "resource" error), raises the global sim::requestStop() flag so every
+ * in-flight simulation stops at its next check boundary — writing a
+ * resumable checkpoint first when a checkpoint directory is configured —
+ * and waits for the pool to empty. A drained service can still answer
+ * poll/result/statsz, so clients can collect what finished.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "harness/dataset_pool.hh"
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
+#include "svc/protocol.hh"
+
+namespace gds::svc
+{
+
+/** Daemon-side configuration (CLI flags of gds_simd). */
+struct ServiceConfig
+{
+    /** Simulation worker threads. */
+    unsigned workers = 2;
+    /** Admission bound: queued + running jobs; submits beyond it are
+     *  rejected with a "resource" error instead of queuing unboundedly. */
+    std::size_t maxQueue = 8;
+    /** Checkpoint directory for in-flight jobs ("" disables). Jobs
+     *  interrupted by a drain leave `<dir>/<sanitized key>.ckpt` and an
+     *  identical resubmission resumes from it. */
+    std::string checkpointDir;
+};
+
+/** Lifecycle of one submitted job. */
+enum class JobState
+{
+    Queued,
+    Running,
+    Done,   ///< finished with record.ok()
+    Failed, ///< finished with a non-ok status ("stopped", "timeout", ...)
+};
+
+const char *jobStateName(JobState state);
+
+/** Snapshot of one job for poll/result responses. */
+struct JobView
+{
+    std::string id;
+    JobState state = JobState::Queued;
+    bool cached = false; ///< served from the result cache at submit
+    harness::RunRecord record; ///< meaningful once Done/Failed
+    double latencySeconds = 0.0; ///< submit → finish (0 while in flight)
+};
+
+/** Aggregate service metrics (the /statsz payload). */
+struct ServiceStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0; ///< admission-queue-full rejections
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheLookups = 0;
+    std::size_t queueDepth = 0; ///< admitted, not yet finished
+    std::size_t running = 0;
+    unsigned workers = 0;
+    bool draining = false;
+    std::size_t datasetsResident = 0;
+    std::vector<std::string> datasetKeys;
+    /** Submit→finish latency percentiles over finished jobs (seconds). */
+    double latencyP50 = 0.0;
+    double latencyP90 = 0.0;
+    double latencyMax = 0.0;
+};
+
+class SimService
+{
+  public:
+    explicit SimService(ServiceConfig service_config);
+    ~SimService();
+
+    SimService(const SimService &) = delete;
+    SimService &operator=(const SimService &) = delete;
+
+    /**
+     * Admit one job. Returns its JobView — state Done immediately when
+     * the result cache already holds the record (cached=true). Fails
+     * with ErrorCode::Resource when the admission queue is full or the
+     * service is draining.
+     */
+    Result<JobView> submit(const JobSpec &spec);
+
+    /** Look up a job by id (ConfigError for an unknown id). */
+    Result<JobView> poll(const std::string &job_id) const;
+
+    /**
+     * Fetch a finished job's record. A job still in flight fails with
+     * ErrorCode::Timeout ("not finished yet") so clients can poll-loop
+     * on the code, not on message text.
+     */
+    Result<JobView> result(const std::string &job_id) const;
+
+    /** Metrics snapshot. */
+    ServiceStats stats() const;
+
+    /** Serialize stats() as one JSON object line ({"ok":true,...}). */
+    std::string statszLine() const;
+
+    /** Stop admission, stop in-flight runs (checkpointing), wait. */
+    void drain();
+
+    bool draining() const;
+
+  private:
+    struct Job
+    {
+        std::string id;
+        JobSpec spec;
+        std::string key;
+        JobState state = JobState::Queued;
+        bool cached = false;
+        harness::RunRecord record;
+        std::chrono::steady_clock::time_point submitTime;
+        double latencySeconds = 0.0;
+    };
+
+    void runJob(const std::shared_ptr<Job> &job);
+    JobView viewOf(const Job &job) const;
+
+    ServiceConfig config;
+    harness::DatasetPool pool;
+    harness::ResultCache cache;
+    std::unique_ptr<harness::ThreadPool> threads; ///< destroyed before pool
+
+    mutable std::mutex mu;
+    std::map<std::string, std::shared_ptr<Job>> jobs;
+    std::uint64_t nextId = 1;
+    std::size_t inFlight = 0; ///< admitted, not yet finished
+    std::size_t runningNow = 0;
+    bool stopping = false;
+    ServiceStats counters; ///< monotonic fields only (queue fields derived)
+    std::vector<double> latencies;
+};
+
+} // namespace gds::svc

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Tests for the simulation service (src/svc): protocol parsing, the
+ * in-process service lifecycle (submit/poll/result, cache hits,
+ * admission rejection, drain-with-checkpoint, resume), the socket
+ * server end-to-end, and regressions for the input-handling bugfix
+ * sweep that shipped with the daemon:
+ *  - checked CLI/request numeric parsing (common/parse.hh) instead of
+ *    bare std::stoul crashes and strtoul sign-wraparound;
+ *  - env knobs rejecting negative/garbage values with the documented
+ *    default instead of wrapping ("GDS_CELL_RETRIES=-1" -> ~4e9);
+ *  - GDS_PERFECT_MEM resolved once per run instead of once per process
+ *    half of the time (function-local static in the scatter path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "common/jsonio.hh"
+#include "common/parse.hh"
+#include "common/socket.hh"
+#include "core/gds_accel.hh"
+#include "graph/generators.hh"
+#include "harness/experiment.hh"
+#include "harness/parallel.hh"
+#include "sim/simulator.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+#include "expect_error.hh"
+
+using namespace gds;
+
+namespace
+{
+
+/**
+ * Scratch-directory fixture: the service's result cache, dataset cache
+ * and checkpoints are all CWD-relative. GDS_SCALE is pinned high so the
+ * Table 4 datasets the jobs name are tiny.
+ */
+class SvcTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        original = std::filesystem::current_path();
+        scratch = std::filesystem::temp_directory_path() /
+                  ("gds_svc_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(scratch);
+        std::filesystem::current_path(scratch);
+        ::setenv("GDS_SCALE", "256", 1);
+        sim::clearStopRequest();
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("GDS_SCALE");
+        sim::clearStopRequest();
+        std::filesystem::current_path(original);
+        std::filesystem::remove_all(scratch);
+    }
+
+    std::filesystem::path original;
+    std::filesystem::path scratch;
+};
+
+svc::JobSpec
+bfsSpec(const std::string &dataset = "FR")
+{
+    svc::JobSpec spec;
+    spec.system = harness::SystemId::GraphDynS;
+    spec.algorithm = algo::AlgorithmId::Bfs;
+    spec.dataset = dataset;
+    return spec;
+}
+
+/** Poll until the job leaves the queue (bounded; these jobs are tiny). */
+svc::JobView
+awaitJob(svc::SimService &service, const std::string &id)
+{
+    for (int i = 0; i < 600; ++i) {
+        auto view = service.poll(id);
+        EXPECT_TRUE(view.ok()) << view.status().toString();
+        if (view.value().state == svc::JobState::Done ||
+            view.value().state == svc::JobState::Failed)
+            return view.value();
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ADD_FAILURE() << "job " << id << " never finished";
+    return {};
+}
+
+// ---------------------------------------------------------------------
+// Protocol parsing.
+// ---------------------------------------------------------------------
+
+TEST(SvcProtocol, ParsesFullSubmit)
+{
+    auto req = svc::parseRequest(
+        R"({"op":"submit","system":"graphicionado","algorithm":"sssp",)"
+        R"("dataset":"PK","source":7,"iterations":3,"cycle_budget":1000,)"
+        R"("wall_budget_seconds":1.5})");
+    ASSERT_TRUE(req.ok()) << req.status().toString();
+    const svc::JobSpec &spec = req.value().spec;
+    EXPECT_EQ(req.value().op, svc::RequestOp::Submit);
+    EXPECT_EQ(spec.system, harness::SystemId::Graphicionado);
+    EXPECT_EQ(spec.algorithm, algo::AlgorithmId::Sssp);
+    EXPECT_EQ(spec.dataset, "PK");
+    ASSERT_TRUE(spec.source.has_value());
+    EXPECT_EQ(*spec.source, 7u);
+    ASSERT_TRUE(spec.iterations.has_value());
+    EXPECT_EQ(*spec.iterations, 3u);
+    EXPECT_EQ(spec.cycleBudget, 1000u);
+    EXPECT_DOUBLE_EQ(spec.wallBudgetSeconds, 1.5);
+}
+
+TEST(SvcProtocol, KeyExtendsOnlyForOverrides)
+{
+    svc::JobSpec plain = bfsSpec();
+    svc::JobSpec custom = bfsSpec();
+    custom.source = 5;
+    custom.iterations = 2;
+    EXPECT_NE(plain.key(), custom.key());
+    // The plain spec's key is exactly the evaluation matrix's cell key,
+    // so daemon jobs share (and warm) the same cache entries.
+    EXPECT_EQ(plain.key(),
+              harness::cellKey("gds", algo::AlgorithmId::Bfs, "FR"));
+}
+
+TEST(SvcProtocol, RejectsMalformedRequests)
+{
+    // Not JSON at all.
+    EXPECT_EQ(svc::parseRequest("not json").status().code(),
+              ErrorCode::CorruptInput);
+    // Valid JSON, wrong shape / content: typed config errors.
+    for (const char *line : {
+             R"([1,2,3])",
+             R"({"algorithm":"bfs","dataset":"FR"})",
+             R"({"op":"frobnicate"})",
+             R"({"op":"submit","dataset":"FR"})",
+             R"({"op":"submit","algorithm":"nope","dataset":"FR"})",
+             R"({"op":"submit","algorithm":"bfs","dataset":"NOPE"})",
+             R"({"op":"submit","algorithm":"bfs","dataset":"FR","source":-1})",
+             R"({"op":"submit","algorithm":"bfs","dataset":"FR","source":"1x"})",
+             R"({"op":"submit","algorithm":"bfs","dataset":"FR",)"
+             R"("iterations":0})",
+             R"({"op":"submit","algorithm":"bfs","dataset":"FR",)"
+             R"("source":99999999999999999999999})",
+             R"({"op":"poll"})",
+             R"({"op":"result","job":""})",
+         }) {
+        auto req = svc::parseRequest(line);
+        EXPECT_FALSE(req.ok()) << "accepted: " << line;
+        EXPECT_EQ(req.status().code(), ErrorCode::Config) << line;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Service lifecycle.
+// ---------------------------------------------------------------------
+
+TEST_F(SvcTest, SubmitRunsJobAndServesRepeatFromCache)
+{
+    svc::ServiceConfig config;
+    config.workers = 2;
+    config.maxQueue = 4;
+    svc::SimService service(config);
+
+    auto first = service.submit(bfsSpec());
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    EXPECT_FALSE(first.value().cached);
+
+    const svc::JobView done = awaitJob(service, first.value().id);
+    EXPECT_EQ(done.state, svc::JobState::Done);
+    EXPECT_EQ(done.record.status, "ok");
+    EXPECT_GT(done.record.seconds, 0.0);
+    EXPECT_GT(done.latencySeconds, 0.0);
+
+    // result() mirrors poll() for finished jobs.
+    auto fetched = service.result(first.value().id);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched.value().record.configHash, done.record.configHash);
+
+    // Identical resubmission: served at admission, no queue slot used.
+    auto second = service.submit(bfsSpec());
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second.value().cached);
+    EXPECT_EQ(second.value().state, svc::JobState::Done);
+    EXPECT_EQ(second.value().record.seconds, done.record.seconds);
+
+    const svc::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.admitted, 1u);
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.cacheLookups, 2u);
+    EXPECT_EQ(stats.completed, 1u);
+
+    // The statsz line carries the hit rate and parses as JSON.
+    const std::string line = service.statszLine();
+    EXPECT_NE(line.find("\"cache_hit_rate\":0.5"), std::string::npos)
+        << line;
+    EXPECT_TRUE(common::parseJson(line).ok()) << line;
+}
+
+TEST_F(SvcTest, UnknownJobAndUnfinishedJobAreTypedErrors)
+{
+    svc::ServiceConfig config;
+    config.workers = 1;
+    svc::SimService service(config);
+    EXPECT_EQ(service.poll("j999").status().code(), ErrorCode::Config);
+    EXPECT_EQ(service.result("j999").status().code(), ErrorCode::Config);
+}
+
+TEST_F(SvcTest, AdmissionQueueBoundsAndDrainCheckpointsInFlightJobs)
+{
+    const std::string ckpt_dir = "svc_ckpt";
+    {
+        svc::ServiceConfig config;
+        config.workers = 1;
+        config.maxQueue = 1;
+        config.checkpointDir = ckpt_dir;
+        svc::SimService service(config);
+
+        // A deliberately long job (PR runs its full iteration budget).
+        svc::JobSpec slow = bfsSpec();
+        slow.algorithm = algo::AlgorithmId::Pr;
+        slow.iterations = 2000;
+        auto admitted = service.submit(slow);
+        ASSERT_TRUE(admitted.ok()) << admitted.status().toString();
+
+        // The queue is full (1/1): a distinct job is rejected with the
+        // typed resource error, not queued unboundedly.
+        auto rejected = service.submit(bfsSpec());
+        ASSERT_FALSE(rejected.ok());
+        EXPECT_EQ(rejected.status().code(), ErrorCode::Resource);
+        EXPECT_EQ(service.stats().rejected, 1u);
+
+        // SIGTERM path: drain stops the in-flight run at its next check
+        // boundary; the job is recorded as stopped, not lost.
+        service.drain();
+        auto stopped = service.poll(admitted.value().id);
+        ASSERT_TRUE(stopped.ok());
+        EXPECT_EQ(stopped.value().state, svc::JobState::Failed);
+        EXPECT_EQ(stopped.value().record.status, "stopped");
+
+        // ...and left a resumable checkpoint behind.
+        bool found = false;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(ckpt_dir))
+            found |= entry.path().extension() == ".ckpt";
+        EXPECT_TRUE(found) << "no checkpoint written under " << ckpt_dir;
+
+        // A draining service refuses new work.
+        auto late = service.submit(bfsSpec());
+        ASSERT_FALSE(late.ok());
+        EXPECT_EQ(late.status().code(), ErrorCode::Resource);
+    }
+
+    // A fresh service (fresh daemon) with the same checkpoint dir picks
+    // the job up from the checkpoint and completes it.
+    sim::clearStopRequest();
+    svc::ServiceConfig config;
+    config.workers = 1;
+    config.maxQueue = 1;
+    config.checkpointDir = ckpt_dir;
+    svc::SimService service(config);
+    svc::JobSpec slow = bfsSpec();
+    slow.algorithm = algo::AlgorithmId::Pr;
+    slow.iterations = 2000;
+    auto resumed = service.submit(slow);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
+    const svc::JobView done = awaitJob(service, resumed.value().id);
+    EXPECT_EQ(done.state, svc::JobState::Done);
+    EXPECT_EQ(done.record.status, "ok");
+    EXPECT_EQ(done.record.iterations, 2000u);
+}
+
+// ---------------------------------------------------------------------
+// Server: request dispatch and the socket end-to-end path.
+// ---------------------------------------------------------------------
+
+TEST_F(SvcTest, HandleLineSpeaksTheProtocol)
+{
+    svc::ServerConfig config;
+    config.service.workers = 1;
+    svc::Server server(config);
+
+    const std::string bad = server.handleLine("{\"op\":\"nope\"}");
+    EXPECT_NE(bad.find("\"ok\":false"), std::string::npos) << bad;
+    EXPECT_NE(bad.find("\"error\":\"config\""), std::string::npos) << bad;
+
+    const std::string submit = server.handleLine(
+        R"({"op":"submit","algorithm":"bfs","dataset":"FR"})");
+    EXPECT_NE(submit.find("\"ok\":true"), std::string::npos) << submit;
+    EXPECT_NE(submit.find("\"job\":\"j1\""), std::string::npos) << submit;
+
+    const std::string stats = server.handleLine("{\"op\":\"statsz\"}");
+    EXPECT_TRUE(common::parseJson(stats).ok()) << stats;
+    EXPECT_NE(stats.find("\"submitted\":1"), std::string::npos) << stats;
+
+    const std::string bye = server.handleLine("{\"op\":\"shutdown\"}");
+    EXPECT_NE(bye.find("draining"), std::string::npos) << bye;
+    server.service().drain();
+}
+
+TEST_F(SvcTest, SocketRoundTripAndShutdown)
+{
+    svc::ServerConfig config;
+    config.socketPath = (scratch / "svc_test.sock").string();
+    config.service.workers = 1;
+    svc::Server server(config);
+    std::thread serve_thread([&] {
+        const Status s = server.serve();
+        EXPECT_TRUE(s.ok()) << s.toString();
+    });
+
+    // The listener may not be bound yet; retry the connect briefly.
+    Result<common::LineChannel> chan =
+        Status::failure(ErrorCode::Internal, "never connected");
+    for (int i = 0; i < 100 && !chan.ok(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        chan = common::connectUnix(config.socketPath, 1000);
+    }
+    ASSERT_TRUE(chan.ok()) << chan.status().toString();
+
+    ASSERT_TRUE(chan.value()
+                    .writeLine(R"({"op":"submit","algorithm":"bfs",)"
+                               R"("dataset":"FR"})")
+                    .ok());
+    std::string response;
+    ASSERT_TRUE(chan.value().readLine(response, 30'000).ok());
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+
+    // In-band shutdown: the daemon answers, then drains and exits.
+    ASSERT_TRUE(chan.value().writeLine("{\"op\":\"shutdown\"}").ok());
+    ASSERT_TRUE(chan.value().readLine(response, 30'000).ok());
+    EXPECT_NE(response.find("draining"), std::string::npos) << response;
+    chan.value().close();
+    serve_thread.join();
+    // The socket file is unlinked on a clean exit.
+    EXPECT_FALSE(std::filesystem::exists(config.socketPath));
+}
+
+TEST_F(SvcTest, SecondListenerOnLiveSocketIsRefused)
+{
+    common::UnixListener first;
+    const std::string path = (scratch / "dup.sock").string();
+    ASSERT_TRUE(first.bind(path).ok());
+    common::UnixListener second;
+    const Status s = second.bind(path);
+    ASSERT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::Resource);
+}
+
+// ---------------------------------------------------------------------
+// Bugfix regressions: checked numeric parsing everywhere.
+// ---------------------------------------------------------------------
+
+TEST(SvcParse, RequireU64RejectsGarbageWithTypedError)
+{
+    EXPECT_EQ(common::requireU64("--pes", "8"), 8u);
+    // Bare std::stoul accepted "10x" (and crashed the old CLI on "abc"
+    // with an uncaught std::invalid_argument); now each is ConfigError.
+    EXPECT_TYPED_ERROR(common::requireU64("--pes", "abc"), ConfigError,
+                       "not a decimal number");
+    EXPECT_TYPED_ERROR(common::requireU64("--pes", "10x"), ConfigError,
+                       "trailing garbage after number");
+    EXPECT_TYPED_ERROR(common::requireU64("--pes", "-1"), ConfigError,
+                       "sign not allowed");
+    EXPECT_TYPED_ERROR(common::requireU64("--pes", "+1"), ConfigError,
+                       "sign not allowed");
+    EXPECT_TYPED_ERROR(common::requireU64("--pes", " 1"), ConfigError, "");
+    EXPECT_TYPED_ERROR(common::requireU64("--pes", ""), ConfigError, "");
+    EXPECT_TYPED_ERROR(
+        common::requireU64("--pes", "99999999999999999999999"), ConfigError,
+        "");
+    EXPECT_TYPED_ERROR(common::requireU64("--pes", "0", 1), ConfigError, "");
+    EXPECT_TYPED_ERROR(common::requireU64("--pes", "200", 1, 100),
+                       ConfigError, "");
+}
+
+TEST(SvcParse, EnvKnobsFallBackInsteadOfWrapping)
+{
+    // GDS_CELL_RETRIES=-1 used to strtoul-wrap to ~4 billion retries.
+    ::setenv("GDS_CELL_RETRIES", "-1", 1);
+    EXPECT_EQ(harness::cellRetryLimit(), 2u);
+    ::setenv("GDS_CELL_RETRIES", "7", 1);
+    EXPECT_EQ(harness::cellRetryLimit(), 7u);
+    ::unsetenv("GDS_CELL_RETRIES");
+
+    ::setenv("GDS_CELL_BUDGET", "50x", 1);
+    EXPECT_EQ(harness::cellCycleBudget(), 50'000'000'000ULL);
+    ::unsetenv("GDS_CELL_BUDGET");
+
+    ::setenv("GDS_CELL_WALL_BUDGET", "2.5s", 1);
+    EXPECT_DOUBLE_EQ(harness::cellWallBudgetSeconds(), 0.0);
+    ::setenv("GDS_CELL_WALL_BUDGET", "2.5", 1);
+    EXPECT_DOUBLE_EQ(harness::cellWallBudgetSeconds(), 2.5);
+    ::unsetenv("GDS_CELL_WALL_BUDGET");
+
+    // GDS_JOBS=-1 must not become ~4 billion workers.
+    ::setenv("GDS_JOBS", "-1", 1);
+    const unsigned jobs = harness::jobCount();
+    EXPECT_GE(jobs, 1u);
+    EXPECT_LE(jobs, 4096u);
+    ::unsetenv("GDS_JOBS");
+}
+
+TEST(SvcParse, ScaleDivisorRejectsTrailingGarbage)
+{
+    ::setenv("GDS_SCALE", "64abc", 1);
+    EXPECT_EQ(graph::datasetScaleDivisor(), 16u);
+    ::setenv("GDS_SCALE", "64", 1);
+    EXPECT_EQ(graph::datasetScaleDivisor(), 64u);
+    ::unsetenv("GDS_SCALE");
+}
+
+// ---------------------------------------------------------------------
+// Bugfix regression: GDS_PERFECT_MEM is run-scoped.
+// ---------------------------------------------------------------------
+
+TEST(SvcPerfectMem, EnvFlagIsResolvedOncePerRun)
+{
+    const graph::Csr g = graph::rmat(10, 8, 42, {}, false);
+    auto run_once = [&] {
+        auto a = algo::makeAlgorithm(algo::AlgorithmId::Bfs);
+        core::GdsConfig cfg;
+        core::GdsAccel accel(cfg, g, *a);
+        core::RunOptions options;
+        options.source = algo::defaultSource(g);
+        return accel.run(options);
+    };
+
+    // Old bug: dispatchChunk() latched GDS_PERFECT_MEM in a
+    // function-local static on the *first* run, while the quiescence
+    // predicate re-read it every run — flipping the env mid-process
+    // made the two halves of the scatter path disagree. Now the flag
+    // is resolved once at run() entry, so each run is self-consistent
+    // and later runs fully track the current environment.
+    ::setenv("GDS_PERFECT_MEM", "1", 1);
+    const auto perfect_first = run_once();
+    ::unsetenv("GDS_PERFECT_MEM");
+    const auto normal = run_once();
+    ::setenv("GDS_PERFECT_MEM", "1", 1);
+    const auto perfect_again = run_once();
+    ::unsetenv("GDS_PERFECT_MEM");
+
+    ASSERT_TRUE(perfect_first.completed());
+    ASSERT_TRUE(normal.completed());
+    ASSERT_TRUE(perfect_again.completed());
+    // Same env -> identical simulation, even with a differing run in
+    // between (the static would have made run 2 inherit run 1's value).
+    EXPECT_EQ(perfect_first.cycles, perfect_again.cycles);
+    EXPECT_EQ(perfect_first.memoryBytes, perfect_again.memoryBytes);
+    // Perfect memory must actually change the timing model.
+    EXPECT_NE(perfect_first.cycles, normal.cycles);
+    // Results (vertex properties) are timing-independent.
+    EXPECT_EQ(perfect_first.properties, normal.properties);
+}
+
+} // namespace
