@@ -11,8 +11,7 @@
 
 #include "bench_util.hh"
 
-#include <cstdlib>
-
+#include "common/parse.hh"
 #include "harness/experiment.hh"
 
 using namespace gds;
@@ -24,9 +23,8 @@ main()
     bench::banner("Fig. 14f",
                   "PR throughput (GTEPS) on RMAT scale 22-26");
 
-    unsigned max_scale = 26;
-    if (const char *env = std::getenv("GDS_RMAT_MAX"))
-        max_scale = static_cast<unsigned>(std::atoi(env));
+    const unsigned max_scale = static_cast<unsigned>(
+        common::parseEnvU64("GDS_RMAT_MAX", 26, 1, 40));
 
     harness::ResultCache cache;
     Table table({"graph", "|V|", "|E|", "Graphicionado", "GraphDynS",

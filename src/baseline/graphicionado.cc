@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/bitutil.hh"
+#include "common/parse.hh"
 #include "sim/checkpoint.hh"
 
 namespace gds::baseline
@@ -188,8 +189,8 @@ GraphicionadoAccel::run(const core::RunOptions &options)
         options.cycleBudget != 0 ? options.cycleBudget : 50'000'000'000ULL;
     if (options.stallCycles != 0)
         limits.stallCycles = options.stallCycles;
-    limits.fastForward = options.fastForward &&
-                         std::getenv("GDS_NO_FASTFORWARD") == nullptr;
+    limits.fastForward =
+        options.fastForward && !common::envFlag("GDS_NO_FASTFORWARD");
 
     std::optional<sim::FaultInjector> injector;
     if (options.faults.any()) {

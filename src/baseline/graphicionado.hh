@@ -188,16 +188,33 @@ class GraphicionadoAccel : public sim::Component
     VertexId sliceEnd(unsigned s) const;
     void buildInitialActives(VertexId source);
 
+    // gds-ckpt: skip(cfg) construction-time configuration; resume verifies
+    // the config hash instead of serializing it
     GraphicionadoConfig cfg;
+    // gds-ckpt: skip(fullGraph) non-owning reference to the immutable input
+    // graph the caller rebinds on resume
     const graph::Csr &fullGraph;
+    // gds-ckpt: skip(algo) non-owning reference to the stateless algorithm
+    // kernel the caller rebinds on resume
     algo::VcpmAlgorithm &algo;
+    // gds-ckpt: skip(weighted) derived from the algorithm kernel in the
+    // constructor
     bool weighted;
+    // gds-ckpt: skip(hasConstProp) derived from the algorithm kernel in the
+    // constructor
     bool hasConstProp;
 
+    // gds-ckpt: skip(sliceCount) derived from cfg and the graph in the
+    // constructor
     unsigned sliceCount = 1;
+    // gds-ckpt: skip(slices) deterministic re-partition of the immutable
+    // input graph, rebuilt in the constructor
     std::vector<graph::Slice> slices;
+    // gds-ckpt: skip(sliceEdgeStart) derived from slices in the constructor
     std::vector<EdgeId> sliceEdgeStart;
 
+    // gds-ckpt: skip(layout) address map derived from cfg and the graph in
+    // the constructor
     std::unique_ptr<core::MemoryLayout> layout;
     std::unique_ptr<mem::Hbm> hbm;
 

@@ -140,6 +140,13 @@ parseEnvF64(const char *name, double def)
     return r.value();
 }
 
+std::string
+parseEnvStr(const char *name, const std::string &def)
+{
+    const char *env = std::getenv(name);
+    return env != nullptr ? std::string(env) : def;
+}
+
 bool
 envFlag(const char *name)
 {

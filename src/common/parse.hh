@@ -76,6 +76,14 @@ parseEnvU64(const char *name, std::uint64_t def, std::uint64_t min = 0,
  */
 double parseEnvF64(const char *name, double def);
 
+/**
+ * Environment-variable policy for string knobs (paths, mode names):
+ * unset returns @p def verbatim. No validation beyond presence — the
+ * caller owns interpreting the value — but every GDS_* read still goes
+ * through one audited chokepoint (lint rule env-knob-discipline).
+ */
+std::string parseEnvStr(const char *name, const std::string &def);
+
 /** True when the environment variable @p name is set (to anything). */
 bool envFlag(const char *name);
 

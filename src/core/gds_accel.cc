@@ -209,7 +209,7 @@ GdsAccel::run(const RunOptions &options)
     startIteration();
 
     runStart = now;
-    const bool progress = std::getenv("GDS_PROGRESS") != nullptr;
+    const bool progress = common::envFlag("GDS_PROGRESS");
 
     // Supervised execution: a Simulator drives tick() under a watchdog
     // that distinguishes completion, deadlock, livelock and cycle-budget

@@ -419,17 +419,34 @@ class GdsAccel : public sim::Component
     // Configuration and bound inputs.
     // ------------------------------------------------------------------
 
+    // gds-ckpt: skip(cfg) construction-time configuration; resume verifies
+    // the config hash instead of serializing it
     GdsConfig cfg;
+    // gds-ckpt: skip(fullGraph) non-owning reference to the immutable input
+    // graph the caller rebinds on resume
     const graph::Csr &fullGraph;
+    // gds-ckpt: skip(algo) non-owning reference to the stateless algorithm
+    // kernel the caller rebinds on resume
     algo::VcpmAlgorithm &algo;
+    // gds-ckpt: skip(weighted) derived from the algorithm kernel in the
+    // constructor
     bool weighted;
+    // gds-ckpt: skip(hasConstProp) derived from the algorithm kernel in the
+    // constructor
     bool hasConstProp;
 
     // Slicing.
+    // gds-ckpt: skip(sliceCount) derived from cfg and the graph in the
+    // constructor
     unsigned sliceCount = 1;
+    // gds-ckpt: skip(slices) deterministic re-partition of the immutable
+    // input graph, rebuilt in the constructor
     std::vector<graph::Slice> slices; ///< empty when sliceCount == 1
+    // gds-ckpt: skip(sliceEdgeStart) derived from slices in the constructor
     std::vector<EdgeId> sliceEdgeStart;
 
+    // gds-ckpt: skip(layout) address map derived from cfg and the graph in
+    // the constructor
     std::unique_ptr<MemoryLayout> layout;
     std::unique_ptr<mem::Hbm> hbm;
     std::unique_ptr<mem::Crossbar> xbar;
@@ -474,6 +491,8 @@ class GdsAccel : public sim::Component
      * consistent behaviour within each run, and nothing latched in a
      * function-local static can leak across jobs sharing the process.
      */
+    // gds-ckpt: skip(perfectMem) run-scoped environment latch, re-resolved
+    // at run() entry on the resumed process before restore applies
     bool perfectMem = false;
     bool collectPeLoads = false;
     std::vector<std::uint64_t> peLoadThisIteration;

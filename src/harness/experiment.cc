@@ -139,8 +139,8 @@ cellCheckpointOptions(const std::string &algorithm,
                       const std::string &config_hash)
 {
     core::CheckpointOptions ckpt;
-    const char *dir = std::getenv("GDS_CHECKPOINT_DIR");
-    if (!dir || *dir == '\0')
+    const std::string dir = common::parseEnvStr("GDS_CHECKPOINT_DIR", "");
+    if (dir.empty())
         return ckpt; // disabled: empty dir, interval 0
     ckpt.dir = dir;
     // One checkpoint file per cell: the basename encodes what is being

@@ -134,6 +134,8 @@ class Crossbar : public sim::Component
 
   private:
     std::vector<bool> granted;
+    // gds-ckpt: skip(fault) non-owning injector hook, re-attached by the
+    // harness after restore (fault campaigns are not checkpointable)
     sim::FaultInjector *fault = nullptr;
     stats::Scalar statFlits;
     stats::Scalar statConflicts;

@@ -276,15 +276,21 @@ class Hbm : public sim::Component
     void serviceChannel(unsigned ch);
     void finishCompletions();
 
+    // gds-ckpt: skip(cfg) construction-time geometry/timing config; the
+    // restore path verifies the config hash instead of serializing it
     HbmConfig cfg;
     /**
      * Address mapping runs once per 32 B transaction, so with the default
      * all-power-of-two geometry the channel/bank/row splits use shifts and
      * masks instead of 64-bit divisions by runtime values.
      */
+    // gds-ckpt: skip(pow2Geometry) derived from cfg in the constructor
     bool pow2Geometry = false;
+    // gds-ckpt: skip(channelShift) derived from cfg in the constructor
     unsigned channelShift = 0;
+    // gds-ckpt: skip(rowShift) derived from cfg in the constructor
     unsigned rowShift = 0;  ///< log2(rowBytes / txBytes)
+    // gds-ckpt: skip(bankShift) derived from cfg in the constructor
     unsigned bankShift = 0; ///< log2(banksPerChannel)
     std::vector<Channel> channels;
     std::vector<Request> requests;       ///< slab of live requests
@@ -304,10 +310,14 @@ class Hbm : public sim::Component
     std::priority_queue<Completion, std::vector<Completion>,
                         std::greater<Completion>>
         requestFinishes;
+    // gds-ckpt: skip(demandScratch) per-call scratch, overwritten before
+    // every use in serviceChannel()
     std::vector<unsigned> demandScratch; ///< per-channel admission counts
     std::uint64_t inflightTx = 0;
     std::uint64_t queuedTxTotal = 0; ///< not-yet-issued tx across channels
     Cycle now = 0;
+    // gds-ckpt: skip(fault) non-owning injector hook, re-attached by the
+    // harness after restore (fault campaigns are not checkpointable)
     sim::FaultInjector *fault = nullptr;
 
     stats::Scalar statReadBytes;

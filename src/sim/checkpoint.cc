@@ -10,6 +10,7 @@
 #include <system_error>
 
 #include "common/fsio.hh"
+#include "common/parse.hh"
 
 namespace gds::sim
 {
@@ -51,19 +52,13 @@ tearThisWrite()
 {
     // Re-read the environment on every write (not latched in a static):
     // the crash tests fork and arm the hook in the child only, after the
-    // parent process has already written checkpoints of its own.
-    const char *env = std::getenv("GDS_CKPT_KILL_MID_WRITE");
-    if (env == nullptr || *env == '\0')
-        return false;
-    char *end = nullptr;
-    const unsigned long target = std::strtoul(env, &end, 10);
-    if (end == nullptr || *end != '\0') {
-        warn("ignoring unparsable GDS_CKPT_KILL_MID_WRITE='%s'", env);
-        return false;
-    }
+    // parent process has already written checkpoints of its own. An
+    // unparsable value warns and disables the hook (default 0).
+    const std::uint64_t target =
+        common::parseEnvU64("GDS_CKPT_KILL_MID_WRITE", 0);
     if (target == 0)
         return false;
-    static std::atomic<unsigned long> writes{0};
+    static std::atomic<std::uint64_t> writes{0};
     return writes.fetch_add(1) + 1 == target;
 }
 

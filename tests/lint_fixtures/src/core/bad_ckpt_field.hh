@@ -1,0 +1,31 @@
+// Fixture: R8 checkpoint-field-coverage — 'lost' is serialized by
+// neither hook, 'halfway' only by saveState().
+
+#pragma once
+
+#include "sim/component.hh"
+
+class LeakyWidget : public sim::Component
+{
+  public:
+    bool busy() const override { return false; }
+    std::string debugState() const override { return "idle"; }
+    std::uint64_t activityCounter() const override { return ticks; }
+    Cycle nextEventCycle() const override { return kNeverEvent; }
+
+    void saveState(sim::Serializer &s) const override
+    {
+        s.writeU64(ticks);
+        s.writeU64(halfway);
+    }
+
+    void restoreState(sim::Deserializer &d) override
+    {
+        ticks = d.readU64();
+    }
+
+  private:
+    std::uint64_t ticks = 0;
+    std::uint64_t halfway = 0;
+    std::uint64_t lost = 0;
+};

@@ -1,0 +1,32 @@
+// Fixture: R9 save-restore-symmetry — restoreState() reads 'head' and
+// 'tail' in the opposite order saveState() wrote them, so the restored
+// values land in the wrong fields while every byte count still matches.
+
+#pragma once
+
+#include "sim/component.hh"
+
+class TwistedWidget : public sim::Component
+{
+  public:
+    bool busy() const override { return false; }
+    std::string debugState() const override { return "idle"; }
+    std::uint64_t activityCounter() const override { return head; }
+    Cycle nextEventCycle() const override { return kNeverEvent; }
+
+    void saveState(sim::Serializer &s) const override
+    {
+        s.writeU64(head);
+        s.writeU64(tail);
+    }
+
+    void restoreState(sim::Deserializer &d) override
+    {
+        tail = d.readU64();
+        head = d.readU64();
+    }
+
+  private:
+    std::uint64_t head = 0;
+    std::uint64_t tail = 0;
+};

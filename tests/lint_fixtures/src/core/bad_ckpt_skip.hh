@@ -1,0 +1,35 @@
+// Fixture: bad gds-ckpt directives — one without a justification, one
+// naming a field no component in this file declares, and one stale skip
+// on a field both hooks already serialize.
+
+#pragma once
+
+#include "sim/component.hh"
+
+// gds-ckpt: skip(phantom) justification for a field that does not exist
+class SlipperyWidget : public sim::Component
+{
+  public:
+    bool busy() const override { return false; }
+    std::string debugState() const override { return "idle"; }
+    std::uint64_t activityCounter() const override { return ticks; }
+    Cycle nextEventCycle() const override { return kNeverEvent; }
+
+    void saveState(sim::Serializer &s) const override
+    {
+        s.writeU64(ticks);
+        s.writeU64(credits);
+    }
+
+    void restoreState(sim::Deserializer &d) override
+    {
+        ticks = d.readU64();
+        credits = d.readU64();
+    }
+
+  private:
+    // gds-ckpt: skip(ticks)
+    std::uint64_t ticks = 0;
+    // gds-ckpt: skip(credits) stale: both hooks serialize this field
+    std::uint64_t credits = 0;
+};

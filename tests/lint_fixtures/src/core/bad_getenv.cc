@@ -1,0 +1,10 @@
+// Fixture: R10 env-knob-discipline — a raw getenv of a GDS_* knob
+// outside the sanctioned common/parse and common/debug homes.
+
+#include <cstdlib>
+
+bool
+turboEnabled()
+{
+    return std::getenv("GDS_TURBO") != nullptr;
+}

@@ -1,0 +1,36 @@
+// Fixture: R8/R9-clean component — every field is either serialized by
+// both hooks in the same order, stats-typed (the Component base walks
+// registered stats), or carries a justified gds-ckpt skip.
+
+#pragma once
+
+#include "sim/component.hh"
+#include "stats/stats.hh"
+
+class TidyWidget : public sim::Component
+{
+  public:
+    bool busy() const override { return false; }
+    std::string debugState() const override { return "idle"; }
+    std::uint64_t activityCounter() const override { return ticks; }
+    Cycle nextEventCycle() const override { return kNeverEvent; }
+
+    void saveState(sim::Serializer &s) const override
+    {
+        s.writeU64(ticks);
+        s.writeU64(credits);
+    }
+
+    void restoreState(sim::Deserializer &d) override
+    {
+        ticks = d.readU64();
+        credits = d.readU64();
+    }
+
+  private:
+    std::uint64_t ticks = 0;
+    std::uint64_t credits = 0;
+    // gds-ckpt: skip(fanout) derived from the config in the constructor
+    unsigned fanout = 4;
+    stats::Scalar statTicks;
+};

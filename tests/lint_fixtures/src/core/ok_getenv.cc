@@ -1,0 +1,18 @@
+// Fixture: env-knob-discipline boundaries — non-GDS variables are out of
+// scope, and a justified suppression covers a deliberate raw read.
+
+#include <cstdlib>
+
+const char *
+homeDir()
+{
+    return std::getenv("HOME"); // not a GDS_* knob: legal
+}
+
+bool
+legacyKnob()
+{
+    // gds-lint: allow(env-knob-discipline) fixture demonstrates a
+    // justified raw read of a GDS_* knob
+    return std::getenv("GDS_LEGACY") != nullptr;
+}

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,9 +44,16 @@ signatures(const LintResult &result)
 TEST(LintRules, KnownRuleSetIsStable)
 {
     const std::vector<std::string> expected = {
-        "no-naked-assert", "no-raw-stderr",  "no-unseeded-rng",
-        "no-float-eq",     "header-hygiene", "component-hooks",
+        "no-naked-assert",
+        "no-raw-stderr",
+        "no-unseeded-rng",
+        "no-float-eq",
+        "header-hygiene",
+        "component-hooks",
         "checkpoint-hooks",
+        "checkpoint-field-coverage",
+        "save-restore-symmetry",
+        "env-knob-discipline",
     };
     EXPECT_EQ(knownRules(), expected);
 }
@@ -246,6 +254,214 @@ TEST(LintRules, CheckpointHooksSatisfiedByDeclarationPair)
     EXPECT_TRUE(found);
 }
 
+// --- R8: checkpoint-field-coverage ---------------------------------------
+
+TEST(LintModel, UnserializedFieldsFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_ckpt_field.hh");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"checkpoint-field-coverage@29",
+                                        "checkpoint-field-coverage@30"}));
+    // 'halfway' is written but never restored; 'lost' appears in neither.
+    EXPECT_NE(r.diagnostics[0].message.find("'halfway'"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[0].message.find("never read back"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[1].message.find("'lost'"), std::string::npos);
+    EXPECT_NE(r.diagnostics[1].message.find("neither"), std::string::npos);
+}
+
+TEST(LintModel, SkipDirectiveAndStatsFieldsExempt)
+{
+    // ok_ckpt.hh: full coverage, a justified gds-ckpt skip, and a
+    // stats:: member the Component base serializes.
+    EXPECT_TRUE(lintFixture("src/core/ok_ckpt.hh").clean());
+}
+
+TEST(LintModel, CoverageAnalyzedAcrossFiles)
+{
+    // Class in a header, bodies out-of-line in the matching source: the
+    // model stitches them together and anchors the R8 finding to the
+    // field's declaration in the header.
+    const std::string header =
+        "#pragma once\n"
+        "class SplitWidget : public sim::Component\n"
+        "{\n"
+        "  public:\n"
+        "    bool busy() const override { return false; }\n"
+        "    std::string debugState() const override { return \"\"; }\n"
+        "    std::uint64_t activityCounter() const override { return 0; }\n"
+        "    Cycle nextEventCycle() const override { return 1; }\n"
+        "    void saveState(sim::Serializer &s) const override;\n"
+        "    void restoreState(sim::Deserializer &d) override;\n"
+        "  private:\n"
+        "    std::uint64_t ticks = 0;\n"
+        "    std::uint64_t dropped = 0;\n"
+        "};\n";
+    const std::string source =
+        "#include \"split_widget.hh\"\n"
+        "void SplitWidget::saveState(sim::Serializer &s) const\n"
+        "{\n"
+        "    s.writeU64(ticks);\n"
+        "}\n"
+        "void SplitWidget::restoreState(sim::Deserializer &d)\n"
+        "{\n"
+        "    ticks = d.readU64();\n"
+        "}\n";
+    const LintResult r = lintBuffers(
+        {{"split_widget.hh", "src/core/split_widget.hh", header},
+         {"split_widget.cc", "src/core/split_widget.cc", source}});
+    ASSERT_EQ(r.diagnostics.size(), 1u);
+    EXPECT_EQ(r.diagnostics[0].rule, "checkpoint-field-coverage");
+    EXPECT_EQ(r.diagnostics[0].path, "split_widget.hh");
+    EXPECT_EQ(r.diagnostics[0].line, 13u);
+    EXPECT_NE(r.diagnostics[0].message.find("'dropped'"),
+              std::string::npos);
+}
+
+TEST(LintModel, HeaderAloneWithoutBodiesIsNotFlagged)
+{
+    // Linting just the header must not false-positive: the hook bodies
+    // live in the unseen source file, and R7 already polices existence.
+    const std::string header =
+        "#pragma once\n"
+        "class SplitWidget : public sim::Component\n"
+        "{\n"
+        "  public:\n"
+        "    bool busy() const override { return false; }\n"
+        "    std::string debugState() const override { return \"\"; }\n"
+        "    std::uint64_t activityCounter() const override { return 0; }\n"
+        "    Cycle nextEventCycle() const override { return 1; }\n"
+        "    void saveState(sim::Serializer &s) const override;\n"
+        "    void restoreState(sim::Deserializer &d) override;\n"
+        "  private:\n"
+        "    std::uint64_t ticks = 0;\n"
+        "};\n";
+    EXPECT_TRUE(
+        lintBuffer("x.hh", "src/core/x.hh", header).empty());
+}
+
+/** Read a fixture into memory so tests can mutate it. */
+std::string
+slurpFixture(const std::string &rel)
+{
+    std::ifstream in(fixtureRoot + "/" + rel, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Remove the first source line containing @p needle. */
+std::string
+deleteLineContaining(const std::string &text, const std::string &needle)
+{
+    std::istringstream in(text);
+    std::ostringstream out;
+    std::string line;
+    bool deleted = false;
+    while (std::getline(in, line)) {
+        if (!deleted && line.find(needle) != std::string::npos) {
+            deleted = true;
+            continue;
+        }
+        out << line << "\n";
+    }
+    EXPECT_TRUE(deleted) << "mutation needle not found: " << needle;
+    return out.str();
+}
+
+TEST(LintModel, MutationDeletingSaveLineTripsCoverage)
+{
+    // The gate guards itself: start from the R8/R9-clean fixture, delete
+    // the one line that serializes 'credits' in saveState(), and the
+    // coverage rule must fire.
+    const std::string clean = slurpFixture("src/core/ok_ckpt.hh");
+    ASSERT_TRUE(
+        lintBuffer("ok_ckpt.hh", "src/core/ok_ckpt.hh", clean).empty());
+    const std::string mutated =
+        deleteLineContaining(clean, "s.writeU64(credits);");
+    const auto diags =
+        lintBuffer("ok_ckpt.hh", "src/core/ok_ckpt.hh", mutated);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "checkpoint-field-coverage");
+    EXPECT_NE(diags[0].message.find("'credits'"), std::string::npos);
+    EXPECT_NE(diags[0].message.find("never written by"),
+              std::string::npos);
+}
+
+TEST(LintModel, MutationDeletingRestoreLineTripsCoverage)
+{
+    const std::string clean = slurpFixture("src/core/ok_ckpt.hh");
+    const std::string mutated =
+        deleteLineContaining(clean, "credits = d.readU64();");
+    const auto diags =
+        lintBuffer("ok_ckpt.hh", "src/core/ok_ckpt.hh", mutated);
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].rule, "checkpoint-field-coverage");
+    EXPECT_NE(diags[0].message.find("never read back"),
+              std::string::npos);
+}
+
+// --- R9: save-restore-symmetry -------------------------------------------
+
+TEST(LintModel, SwappedRestoreOrderFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_ckpt_order.hh");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"save-restore-symmetry@24"}));
+    EXPECT_NE(r.diagnostics[0].message.find(
+                  "saveState writes 'head' where restoreState reads "
+                  "'tail'"),
+              std::string::npos);
+}
+
+// --- R10: env-knob-discipline --------------------------------------------
+
+TEST(LintRules, RawGdsGetenvFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_getenv.cc");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"env-knob-discipline@9"}));
+    EXPECT_NE(r.diagnostics[0].message.find("GDS_TURBO"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[0].message.find("common::parseEnvU64"),
+              std::string::npos);
+}
+
+TEST(LintRules, NonGdsGetenvAndSuppressedReadAreClean)
+{
+    EXPECT_TRUE(lintFixture("src/core/ok_getenv.cc").clean());
+}
+
+TEST(LintRules, EnvKnobExemptInsideParseAndDebug)
+{
+    const std::string body = "#include <cstdlib>\n"
+                             "bool f() { return std::getenv(\"GDS_X\"); }\n";
+    EXPECT_TRUE(
+        lintBuffer("parse.cc", "src/common/parse.cc", body).empty());
+    EXPECT_TRUE(
+        lintBuffer("debug.cc", "src/common/debug.cc", body).empty());
+    EXPECT_FALSE(
+        lintBuffer("other.cc", "src/common/other.cc", body).empty());
+}
+
+// --- gds-ckpt directive hygiene ------------------------------------------
+
+TEST(LintModel, BadCkptDirectivesFlagged)
+{
+    const LintResult r = lintFixture("src/core/bad_ckpt_skip.hh");
+    ASSERT_EQ(signatures(r),
+              (std::vector<std::string>{"bad-suppression@9",
+                                        "bad-suppression@31",
+                                        "bad-suppression@34"}));
+    EXPECT_NE(r.diagnostics[0].message.find(
+                  "names no data member"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[1].message.find("needs a justification"),
+              std::string::npos);
+    EXPECT_NE(r.diagnostics[2].message.find("stale"), std::string::npos);
+}
+
 // --- bad-suppression meta rule -------------------------------------------
 
 TEST(LintRules, BadDirectivesFlagged)
@@ -323,20 +539,44 @@ TEST(LintDriver, JsonSummaryCountsRules)
     std::ostringstream os;
     writeJsonSummary(r, os);
     const std::string json = os.str();
-    EXPECT_NE(json.find("\"files_scanned\": 16"), std::string::npos);
-    EXPECT_NE(json.find("\"violations\": 18"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 22"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 25"), std::string::npos);
     EXPECT_NE(json.find("\"tool_errors\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"no-naked-assert\": 2"), std::string::npos);
-    EXPECT_NE(json.find("\"bad-suppression\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"bad-suppression\": 6"), std::string::npos);
     EXPECT_NE(json.find("\"component-hooks\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"checkpoint-hooks\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"checkpoint-field-coverage\": 2"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"save-restore-symmetry\": 1"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"env-knob-discipline\": 1"), std::string::npos);
+}
+
+TEST(LintDriver, SarifLogHasToolRulesAndResults)
+{
+    const LintResult r = lintFixture("src/core/bad_ckpt_order.hh");
+    std::ostringstream os;
+    writeSarif(r, os);
+    const std::string sarif = os.str();
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"gds-lint\""), std::string::npos);
+    // Every known rule is described in the driver metadata.
+    for (const std::string &rule : knownRules())
+        EXPECT_NE(sarif.find("\"id\": \"" + rule + "\""),
+                  std::string::npos);
+    // The one finding lands as a result with a physical location.
+    EXPECT_NE(sarif.find("\"ruleId\": \"save-restore-symmetry\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 24"), std::string::npos);
+    EXPECT_NE(sarif.find("bad_ckpt_order.hh"), std::string::npos);
 }
 
 TEST(LintDriver, FixtureTreeExitsOne)
 {
     const LintResult r = lintPaths({fixtureRoot}, fixtureRoot);
-    EXPECT_EQ(r.filesScanned, 16u);
-    EXPECT_EQ(r.diagnostics.size(), 18u);
+    EXPECT_EQ(r.filesScanned, 22u);
+    EXPECT_EQ(r.diagnostics.size(), 25u);
     EXPECT_EQ(exitCode(r), 1);
 }
 

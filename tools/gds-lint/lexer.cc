@@ -39,10 +39,10 @@ constexpr const char *twoCharOps[] = {
     "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
 };
 
-/** Parse a comment body as a gds-lint directive. Only comments that BEGIN
- *  with "gds-lint" (after whitespace / doc-comment asterisks) are
- *  directives, so prose that merely mentions the syntax is ignored.
- *  Returns true when the comment was a directive attempt. */
+/** Parse a comment body as a gds-lint or gds-ckpt directive. Only
+ *  comments that BEGIN with the tag (after whitespace / doc-comment
+ *  asterisks) are directives, so prose that merely mentions the syntax
+ *  is ignored. Returns true when the comment was a directive attempt. */
 bool
 parseDirective(std::string_view body, std::size_t line, bool own_line,
                LexedFile &out)
@@ -52,42 +52,55 @@ parseDirective(std::string_view body, std::size_t line, bool own_line,
            (body[tag] == '*' ||
             std::isspace(static_cast<unsigned char>(body[tag]))))
         ++tag;
-    if (body.compare(tag, 8, "gds-lint") != 0)
+    const bool is_lint = body.compare(tag, 8, "gds-lint") == 0;
+    const bool is_ckpt = !is_lint && body.compare(tag, 8, "gds-ckpt") == 0;
+    if (!is_lint && !is_ckpt)
         return false;
-    std::string_view rest = body.substr(tag + 8); // past "gds-lint"
-    // Accept "gds-lint: allow(rule) why" with flexible spacing.
+    std::string_view rest = body.substr(tag + 8); // past the tag
+    // Accept "gds-lint: allow(rule) why" / "gds-ckpt: skip(field) why"
+    // with flexible spacing.
     std::size_t i = 0;
     while (i < rest.size() &&
            (rest[i] == ':' ||
             std::isspace(static_cast<unsigned char>(rest[i]))))
         ++i;
-    if (rest.compare(i, 6, "allow(") != 0) {
+    const std::string_view verb = is_lint ? "allow(" : "skip(";
+    if (rest.compare(i, verb.size(), verb) != 0) {
         out.badDirectives.push_back(
-            {line, "gds-lint directive must be "
-                   "'gds-lint: allow(<rule>) <justification>'"});
+            {line, is_lint
+                       ? "gds-lint directive must be "
+                         "'gds-lint: allow(<rule>) <justification>'"
+                       : "gds-ckpt directive must be "
+                         "'gds-ckpt: skip(<field>) <justification>'"});
         return true;
     }
-    i += 6;
+    i += verb.size();
     const std::size_t close = rest.find(')', i);
     if (close == std::string_view::npos) {
         out.badDirectives.push_back(
-            {line, "unterminated allow(...) in gds-lint directive"});
+            {line, "unterminated " + std::string(verb) + "...) in " +
+                   (is_lint ? "gds-lint" : "gds-ckpt") + " directive"});
         return true;
     }
-    const std::string rule = trim(rest.substr(i, close - i));
+    const std::string name = trim(rest.substr(i, close - i));
     const std::string justification = trim(rest.substr(close + 1));
-    if (rule.empty()) {
+    if (name.empty()) {
         out.badDirectives.push_back(
-            {line, "allow() needs a rule name"});
+            {line, is_lint ? "allow() needs a rule name"
+                           : "skip() needs a field name"});
         return true;
     }
     if (justification.empty()) {
         out.badDirectives.push_back(
-            {line, "suppression of '" + rule +
-                   "' needs a justification after allow(" + rule + ")"});
+            {line, (is_lint ? "suppression of '" : "checkpoint skip of '") +
+                   name + "' needs a justification after " +
+                   std::string(verb) + name + ")"});
         return true;
     }
-    out.suppressions.push_back({line, rule, justification, own_line});
+    if (is_lint)
+        out.suppressions.push_back({line, name, justification, own_line});
+    else
+        out.ckptSkips.push_back({line, name, justification});
     return true;
 }
 
@@ -111,20 +124,25 @@ lexFile(std::string path, std::string_view content)
     };
 
     // Scan a quoted region ('"' or '\''), honouring backslash escapes.
+    // Returns the contents between the quotes, escapes unprocessed.
     auto skipQuoted = [&](char quote) {
+        std::string body;
         ++i; // opening quote
         while (i < n) {
             if (content[i] == '\\' && i + 1 < n) {
+                body.append(content.substr(i, 2));
                 i += 2;
             } else if (content[i] == quote) {
                 ++i;
-                return;
+                return body;
             } else {
                 if (content[i] == '\n')
                     ++line;
+                body += content[i];
                 ++i;
             }
         }
+        return body;
     };
 
     while (i < n) {
@@ -170,8 +188,7 @@ lexFile(std::string path, std::string_view content)
         // String and character literals.
         if (c == '"') {
             const std::size_t at = line;
-            skipQuoted('"');
-            push(TokKind::String, "\"\"", at);
+            push(TokKind::String, skipQuoted('"'), at);
             continue;
         }
         if (c == '\'') {
@@ -234,15 +251,19 @@ lexFile(std::string path, std::string_view content)
                     delim += content[i++];
                 const std::string closer = ")" + delim + "\"";
                 const std::size_t endpos = content.find(closer, i);
+                std::string body;
                 if (endpos == std::string_view::npos) {
                     i = n;
                 } else {
+                    // Past the '(' that ends the delimiter.
+                    body = std::string(
+                        content.substr(i + 1, endpos - i - 1));
                     for (std::size_t k = i; k < endpos; ++k)
                         if (content[k] == '\n')
                             ++line;
                     i = endpos + closer.size();
                 }
-                push(TokKind::String, "\"\"", at);
+                push(TokKind::String, std::move(body), at);
                 continue;
             }
             push(TokKind::Identifier, std::move(text), line);

@@ -3,10 +3,12 @@
  * A lightweight C++ lexer for gds-lint. It is not a full C++ front end:
  * it splits a translation unit into identifier / number / string / char /
  * punctuation tokens with line numbers, strips comments (harvesting
- * `// gds-lint: allow(<rule>) <justification>` suppressions on the way),
- * and handles raw strings, digit separators, and multi-char operators.
- * That is exactly enough surface for the project rules in rules.hh while
- * staying dependency-free (no libclang).
+ * `// gds-lint: allow(<rule>) <justification>` suppressions and
+ * `// gds-ckpt: skip(<field>) <justification>` checkpoint exemptions on
+ * the way), and handles raw strings, digit separators, and multi-char
+ * operators. That is exactly enough surface for the project rules in
+ * rules.hh and the class model in model.hh while staying dependency-free
+ * (no libclang).
  */
 
 #pragma once
@@ -32,6 +34,9 @@ enum class TokKind
 struct Token
 {
     TokKind kind;
+    /** Identifier/Number/Punct: the spelling. String: the literal's
+     *  contents without quotes (escapes unprocessed) so rules can match
+     *  arguments like getenv("GDS_..."). CharLit: always "''". */
     std::string text;
     std::size_t line; ///< 1-based line the token starts on
     bool isFloat = false; ///< Number only: has a '.' or an exponent
@@ -49,7 +54,21 @@ struct Suppression
     bool ownLine;
 };
 
-/** A comment that mentions gds-lint but does not parse as a directive. */
+/**
+ * A parsed `// gds-ckpt: skip(<field>) <justification>` directive: the
+ * named data member of a Component declared in this file is exempt from
+ * R8 checkpoint-field-coverage (config-derived or per-call scratch state
+ * that the constructor rebuilds and saveState() must not serialize).
+ */
+struct CkptSkip
+{
+    std::size_t line; ///< line the comment starts on
+    std::string field;
+    std::string justification;
+};
+
+/** A comment that mentions gds-lint/gds-ckpt but does not parse as a
+ *  directive. */
 struct BadDirective
 {
     std::size_t line;
@@ -62,6 +81,7 @@ struct LexedFile
     std::string path;
     std::vector<Token> tokens;
     std::vector<Suppression> suppressions;
+    std::vector<CkptSkip> ckptSkips;
     std::vector<BadDirective> badDirectives;
     std::size_t lineCount = 0;
 };

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <system_error>
 
+#include "model.hh"
 #include "stats/json.hh"
 
 namespace fs = std::filesystem;
@@ -79,11 +80,58 @@ relativeTo(const fs::path &file, const fs::path &root)
 
 } // namespace
 
+LintResult
+lintBuffers(const std::vector<BufferInput> &buffers)
+{
+    LintResult result;
+    std::vector<LexedFile> lexed;
+    std::vector<std::string> rels;
+    lexed.reserve(buffers.size());
+    rels.reserve(buffers.size());
+    for (const BufferInput &b : buffers) {
+        lexed.push_back(lexFile(b.displayPath, b.content));
+        rels.push_back(b.relPath);
+    }
+    result.filesScanned = lexed.size();
+
+    // Pass 1: token-local rules, unfiltered so the cross-file findings
+    // can be merged in before suppressions apply.
+    std::vector<std::vector<Diagnostic>> per_file(lexed.size());
+    std::map<std::string, std::size_t> by_path;
+    for (std::size_t i = 0; i < lexed.size(); ++i) {
+        per_file[i] = runFileRules(lexed[i], rels[i]);
+        by_path.emplace(lexed[i].path, i);
+    }
+
+    // Pass 2: the class model over the whole set. Each model diagnostic
+    // is routed to the file it anchors to (field declaration for R8,
+    // restore body for R9) so that file's allow() directives cover it.
+    const ClassModel model = buildModel(lexed, rels);
+    std::vector<Diagnostic> model_diags;
+    runModelRules(model, model_diags);
+    for (Diagnostic &d : model_diags) {
+        const auto it = by_path.find(d.path);
+        if (it != by_path.end())
+            per_file[it->second].push_back(std::move(d));
+        else
+            result.diagnostics.push_back(std::move(d));
+    }
+
+    for (std::size_t i = 0; i < lexed.size(); ++i) {
+        auto kept = applySuppressions(std::move(per_file[i]), lexed[i]);
+        result.diagnostics.insert(result.diagnostics.end(),
+                                  std::make_move_iterator(kept.begin()),
+                                  std::make_move_iterator(kept.end()));
+    }
+    return result;
+}
+
 std::vector<Diagnostic>
 lintBuffer(const std::string &display_path, const std::string &rel_path,
            std::string_view content)
 {
-    return runRules(lexFile(display_path, content), rel_path);
+    return lintBuffers({{display_path, rel_path, std::string(content)}})
+        .diagnostics;
 }
 
 LintResult
@@ -98,6 +146,8 @@ lintPaths(const std::vector<std::string> &paths, const std::string &root)
     const fs::path abs_root =
         fs::absolute(root.empty() ? fs::path(".") : fs::path(root), ec);
 
+    std::vector<BufferInput> buffers;
+    buffers.reserve(files.size());
     for (const fs::path &file : files) {
         std::ifstream in(file, std::ios::binary);
         if (!in) {
@@ -110,13 +160,13 @@ lintPaths(const std::vector<std::string> &paths, const std::string &root)
             result.errors.push_back({file.string(), "read failure"});
             continue;
         }
-        ++result.filesScanned;
-        auto diags = lintBuffer(file.string(), relativeTo(file, abs_root),
-                                buf.str());
-        result.diagnostics.insert(result.diagnostics.end(),
-                                  std::make_move_iterator(diags.begin()),
-                                  std::make_move_iterator(diags.end()));
+        buffers.push_back(
+            {file.string(), relativeTo(file, abs_root), buf.str()});
     }
+
+    LintResult linted = lintBuffers(buffers);
+    result.filesScanned = linted.filesScanned;
+    result.diagnostics = std::move(linted.diagnostics);
     return result;
 }
 
@@ -178,6 +228,158 @@ writeJsonSummary(const LintResult &result, std::ostream &os)
         os << "}";
     }
     os << "]}\n";
+}
+
+namespace
+{
+
+/** Short rule descriptions for the SARIF tool.driver.rules table. */
+std::string
+ruleDescription(const std::string &rule)
+{
+    if (rule == "no-naked-assert")
+        return "C assert() is compiled out under NDEBUG; throw a typed "
+               "SimError or use gds_assert in core model code";
+    if (rule == "no-raw-stderr")
+        return "raw stderr bypasses serialized emission; report through "
+               "common/logging or common/debug";
+    if (rule == "no-unseeded-rng")
+        return "unseeded randomness breaks run-to-run determinism; seed "
+               "explicitly via gds::Rng";
+    if (rule == "no-float-eq")
+        return "==/!= on floating-point values is representation-"
+               "sensitive; compare against a tolerance";
+    if (rule == "header-hygiene")
+        return "headers carry #pragma once and never 'using namespace'";
+    if (rule == "component-hooks")
+        return "Component subclasses override the diagnostic hooks "
+               "busy()/debugState()/activityCounter() (and "
+               "nextEventCycle() when busy() is overridden)";
+    if (rule == "checkpoint-hooks")
+        return "Component subclasses override the serialization pair "
+               "saveState()/restoreState()";
+    if (rule == "checkpoint-field-coverage")
+        return "every component data member is serialized by both "
+               "saveState() and restoreState(), or carries a justified "
+               "gds-ckpt: skip(<field>) exemption";
+    if (rule == "save-restore-symmetry")
+        return "saveState() and restoreState() serialize fields in the "
+               "same order; the checkpoint byte stream has no field tags";
+    if (rule == "env-knob-discipline")
+        return "GDS_* environment knobs are read through the "
+               "common/parse helpers, never raw std::getenv";
+    if (rule == "bad-suppression")
+        return "a gds-lint/gds-ckpt directive that does not parse, names "
+               "an unknown rule or field, lacks a justification, or is "
+               "stale";
+    return rule;
+}
+
+/** SARIF artifact URIs must be repo-relative; strip a leading "./". */
+std::string
+sarifUri(const std::string &path)
+{
+    if (path.compare(0, 2, "./") == 0)
+        return path.substr(2);
+    return path;
+}
+
+} // namespace
+
+void
+writeSarif(const LintResult &result, std::ostream &os)
+{
+    std::vector<std::string> rules = knownRules();
+    rules.push_back("bad-suppression");
+
+    os << "{";
+    stats::emitJsonString(os, "$schema");
+    os << ": ";
+    stats::emitJsonString(
+        os, "https://json.schemastore.org/sarif-2.1.0.json");
+    os << ", ";
+    stats::emitJsonString(os, "version");
+    os << ": ";
+    stats::emitJsonString(os, "2.1.0");
+    os << ", ";
+    stats::emitJsonString(os, "runs");
+    os << ": [{";
+    stats::emitJsonString(os, "tool");
+    os << ": {";
+    stats::emitJsonString(os, "driver");
+    os << ": {";
+    stats::emitJsonString(os, "name");
+    os << ": ";
+    stats::emitJsonString(os, "gds-lint");
+    os << ", ";
+    stats::emitJsonString(os, "informationUri");
+    os << ": ";
+    stats::emitJsonString(os, "tools/gds-lint");
+    os << ", ";
+    stats::emitJsonString(os, "rules");
+    os << ": [";
+    bool first = true;
+    for (const std::string &rule : rules) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "{";
+        stats::emitJsonString(os, "id");
+        os << ": ";
+        stats::emitJsonString(os, rule);
+        os << ", ";
+        stats::emitJsonString(os, "shortDescription");
+        os << ": {";
+        stats::emitJsonString(os, "text");
+        os << ": ";
+        stats::emitJsonString(os, ruleDescription(rule));
+        os << "}, ";
+        stats::emitJsonString(os, "defaultConfiguration");
+        os << ": {";
+        stats::emitJsonString(os, "level");
+        os << ": ";
+        stats::emitJsonString(os, "error");
+        os << "}}";
+    }
+    os << "]}}, ";
+    stats::emitJsonString(os, "results");
+    os << ": [";
+    first = true;
+    for (const Diagnostic &d : result.diagnostics) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << "{";
+        stats::emitJsonString(os, "ruleId");
+        os << ": ";
+        stats::emitJsonString(os, d.rule);
+        os << ", ";
+        stats::emitJsonString(os, "level");
+        os << ": ";
+        stats::emitJsonString(os, "error");
+        os << ", ";
+        stats::emitJsonString(os, "message");
+        os << ": {";
+        stats::emitJsonString(os, "text");
+        os << ": ";
+        stats::emitJsonString(os, d.message);
+        os << "}, ";
+        stats::emitJsonString(os, "locations");
+        os << ": [{";
+        stats::emitJsonString(os, "physicalLocation");
+        os << ": {";
+        stats::emitJsonString(os, "artifactLocation");
+        os << ": {";
+        stats::emitJsonString(os, "uri");
+        os << ": ";
+        stats::emitJsonString(os, sarifUri(d.path));
+        os << "}, ";
+        stats::emitJsonString(os, "region");
+        os << ": {";
+        stats::emitJsonString(os, "startLine");
+        os << ": " << (d.line == 0 ? 1 : d.line) << "}}}]}";
+    }
+    os << "]}]}\n";
 }
 
 int

@@ -1,9 +1,11 @@
 /**
  * @file
  * gds-lint driver: collects files (walking directories deterministically,
- * skipping build trees and lint fixtures), lexes them, runs the project
- * rules, and renders results as text diagnostics or a machine-readable
- * JSON summary.
+ * skipping build trees and lint fixtures), lexes them all, runs the
+ * per-file rules plus the cross-file class-model rules (R8/R9, see
+ * model.hh) over the whole set, and renders results as text diagnostics,
+ * a machine-readable JSON summary, or a SARIF 2.1.0 log for CI code
+ * scanning.
  */
 
 #pragma once
@@ -43,7 +45,24 @@ struct LintResult
 LintResult lintPaths(const std::vector<std::string> &paths,
                      const std::string &root);
 
-/** Lint one in-memory buffer (for tests). */
+/** One in-memory file for lintBuffers() (tests, or embedding). */
+struct BufferInput
+{
+    std::string displayPath; ///< path reported in diagnostics
+    std::string relPath;     ///< repo-relative path for rule scoping
+    std::string content;
+};
+
+/**
+ * Lint a set of in-memory buffers as one analysis unit: per-file rules
+ * on each buffer, then the cross-file model rules (R8/R9) over the whole
+ * set, with every diagnostic filtered through the suppressions of the
+ * file it anchors to. lintPaths() is this over files on disk.
+ */
+LintResult lintBuffers(const std::vector<BufferInput> &buffers);
+
+/** Lint one in-memory buffer (for tests). Includes the model rules, so
+ *  a fixture with inline saveState/restoreState bodies gets R8/R9. */
 std::vector<Diagnostic> lintBuffer(const std::string &display_path,
                                    const std::string &rel_path,
                                    std::string_view content);
@@ -53,6 +72,10 @@ void printDiagnostics(const LintResult &result, std::ostream &os);
 
 /** Render the JSON summary (rule counts plus every diagnostic). */
 void writeJsonSummary(const LintResult &result, std::ostream &os);
+
+/** Render a SARIF 2.1.0 log (tool + rule metadata, one result per
+ *  diagnostic) suitable for GitHub code-scanning upload. */
+void writeSarif(const LintResult &result, std::ostream &os);
 
 /** Process exit code: 0 clean, 1 violations, 2 tool errors. */
 int exitCode(const LintResult &result);

@@ -375,21 +375,56 @@ ruleCheckpointHooks(const LexedFile &f, std::vector<Diagnostic> &out)
     }
 }
 
+// --- R10: env-knob discipline ---------------------------------------------
+
+void
+ruleEnvKnob(const LexedFile &f, const std::string &rel,
+            std::vector<Diagnostic> &out)
+{
+    // The two sanctioned homes of raw getenv: the strict parse helpers
+    // themselves, and the GDS_DEBUG bootstrap that runs before they load.
+    if (startsWith(rel, "src/common/parse") ||
+        startsWith(rel, "src/common/debug"))
+        return;
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        if (!isIdent(toks[i], "getenv") || !isPunct(toks[i + 1], "("))
+            continue;
+        const Token &arg = toks[i + 2];
+        if (arg.kind != TokKind::String ||
+            arg.text.compare(0, 4, "GDS_") != 0)
+            continue;
+        out.push_back({f.path, toks[i].line, "env-knob-discipline",
+                       "raw getenv(\"" + arg.text + "\") bypasses the "
+                       "env-knob policy (strict parse, warn-and-default on "
+                       "bad input); use common::parseEnvU64 / parseEnvF64 "
+                       "/ parseEnvStr / envFlag from common/parse.hh",
+                       false});
+    }
+}
+
 } // namespace
 
 const std::vector<std::string> &
 knownRules()
 {
     static const std::vector<std::string> rules = {
-        "no-naked-assert", "no-raw-stderr",   "no-unseeded-rng",
-        "no-float-eq",     "header-hygiene",  "component-hooks",
+        "no-naked-assert",
+        "no-raw-stderr",
+        "no-unseeded-rng",
+        "no-float-eq",
+        "header-hygiene",
+        "component-hooks",
         "checkpoint-hooks",
+        "checkpoint-field-coverage",
+        "save-restore-symmetry",
+        "env-knob-discipline",
     };
     return rules;
 }
 
 std::vector<Diagnostic>
-runRules(const LexedFile &file, const std::string &rel_path)
+runFileRules(const LexedFile &file, const std::string &rel_path)
 {
     std::vector<Diagnostic> found;
     ruleNakedAssert(file, rel_path, found);
@@ -399,6 +434,7 @@ runRules(const LexedFile &file, const std::string &rel_path)
     ruleHeaderHygiene(file, rel_path, found);
     ruleComponentHooks(file, found);
     ruleCheckpointHooks(file, found);
+    ruleEnvKnob(file, rel_path, found);
 
     // Malformed directives and unknown rule names are violations too:
     // a suppression that silently fails to apply would be worse.
@@ -413,7 +449,12 @@ runRules(const LexedFile &file, const std::string &rel_path)
                              false});
         }
     }
+    return found;
+}
 
+std::vector<Diagnostic>
+applySuppressions(std::vector<Diagnostic> diags, const LexedFile &file)
+{
     // An own-line suppression covers the next line that has code on it
     // (justifications are allowed to wrap over several comment lines).
     std::vector<std::size_t> token_lines;
@@ -428,7 +469,7 @@ runRules(const LexedFile &file, const std::string &rel_path)
     };
 
     std::vector<Diagnostic> kept;
-    for (Diagnostic &d : found) {
+    for (Diagnostic &d : diags) {
         bool suppressed = false;
         for (const Suppression &s : file.suppressions) {
             if (s.rule != d.rule)
@@ -450,6 +491,12 @@ runRules(const LexedFile &file, const std::string &rel_path)
                   return a.rule < b.rule;
               });
     return kept;
+}
+
+std::vector<Diagnostic>
+runRules(const LexedFile &file, const std::string &rel_path)
+{
+    return applySuppressions(runFileRules(file, rel_path), file);
 }
 
 } // namespace gds::lint

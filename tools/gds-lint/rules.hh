@@ -29,8 +29,25 @@
  *                      the serialization pair saveState()/restoreState();
  *                      a component missing either silently drops its state
  *                      from every mid-run checkpoint.
- *  - bad-suppression   meta: a gds-lint directive that does not parse, names
- *                      an unknown rule, or lacks a justification.
+ *  - checkpoint-field-coverage
+ *                      R8: every non-static data member of a component is
+ *                      referenced in BOTH saveState() and restoreState(),
+ *                      or carries an own-line `// gds-ckpt: skip(<field>)
+ *                      <justification>` exemption (cross-file; see
+ *                      model.hh).
+ *  - save-restore-symmetry
+ *                      R9: saveState() and restoreState() reference the
+ *                      serialized fields in the same order (cross-file;
+ *                      see model.hh).
+ *  - env-knob-discipline
+ *                      R10: `std::getenv("GDS_…")` only inside
+ *                      src/common/parse.cc and src/common/debug.cc; every
+ *                      other knob goes through the common/parse helpers
+ *                      (parseEnvU64 / parseEnvF64 / parseEnvStr / envFlag)
+ *                      so parsing stays strict and defaults documented.
+ *  - bad-suppression   meta: a gds-lint/gds-ckpt directive that does not
+ *                      parse, names an unknown rule or field, lacks a
+ *                      justification, or is stale.
  */
 
 #pragma once
@@ -60,9 +77,27 @@ struct Diagnostic
 const std::vector<std::string> &knownRules();
 
 /**
- * Run every rule over @p file and filter the results through the file's
- * suppressions. @p rel_path is the path relative to the repository root
- * (forward slashes) and drives per-directory rule scoping.
+ * Run every per-file rule over @p file WITHOUT suppression filtering.
+ * @p rel_path is the path relative to the repository root (forward
+ * slashes) and drives per-directory rule scoping. The cross-file rules
+ * (R8/R9) live in model.hh; the driver appends their diagnostics before
+ * filtering everything through applySuppressions().
+ */
+std::vector<Diagnostic> runFileRules(const LexedFile &file,
+                                     const std::string &rel_path);
+
+/**
+ * Filter @p diags (all anchored to @p file) through the file's allow()
+ * suppressions and return the survivors sorted by line then rule. An
+ * own-line suppression covers the next line with code on it; file-level
+ * diagnostics are suppressible from anywhere in the file.
+ */
+std::vector<Diagnostic> applySuppressions(std::vector<Diagnostic> diags,
+                                          const LexedFile &file);
+
+/**
+ * Convenience for single-file analysis: runFileRules() filtered through
+ * applySuppressions(). Does NOT include the cross-file model rules.
  */
 std::vector<Diagnostic> runRules(const LexedFile &file,
                                  const std::string &rel_path);
