@@ -32,6 +32,7 @@
 
 #include "algo/vcpm.hh"
 #include "baseline/graphicionado.hh"
+#include "common/rss.hh"
 #include "core/gds_accel.hh"
 #include "graph/generators.hh"
 #include "harness/walltime.hh"
@@ -69,6 +70,9 @@ struct CellResult
     Cycle steppedCycles = 0;
     Cycle skippedCycles = 0;
     std::uint64_t skipWindows = 0;
+    /** Process peak RSS after this cell (high-water mark, monotone
+     *  across the bench run); 0 when the probe is unavailable. */
+    std::uint64_t peakRssBytes = 0;
 };
 
 CellResult
@@ -119,6 +123,7 @@ runCellOnce(const Workload &w, const graph::Csr &g, bool fast_forward,
     cell.steppedCycles = result.report.steppedCycles;
     cell.skippedCycles = result.report.skippedCycles;
     cell.skipWindows = result.report.skipWindows;
+    cell.peakRssBytes = common::peakRssBytes();
     return cell;
 }
 
@@ -170,6 +175,7 @@ emitCellJson(std::ostream &os, const Workload &w, const char *mode,
     os << ",\"steppedCycles\":" << cell.steppedCycles
        << ",\"skippedCycles\":" << cell.skippedCycles
        << ",\"skipWindows\":" << cell.skipWindows
+       << ",\"peakRssBytes\":" << cell.peakRssBytes
        << ",\"speedupVsNaive\":";
     stats::emitJsonNumber(os, speedup);
     os << "}";
@@ -294,9 +300,11 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
+    const std::uint64_t peak_rss = common::peakRssBytes();
     json << "\n  ],\n  \"memoryBoundBfsSpeedupTelemetryOff\": ";
     stats::emitJsonNumber(json, target_speedup_quiet);
-    json << ",\n  \"equivalent\": " << (mismatch ? "false" : "true")
+    json << ",\n  \"peakRssBytes\": " << peak_rss
+         << ",\n  \"equivalent\": " << (mismatch ? "false" : "true")
          << "\n}\n";
     json.close();
 
@@ -305,6 +313,10 @@ main(int argc, char **argv)
                        std::to_string(target_speedup_quiet) + "x");
     bench::expectation("ff vs naive simulated statistics", "identical",
                        mismatch ? "MISMATCH" : "identical");
+    if (peak_rss > 0) {
+        std::printf("\npeak RSS: %.1f MiB\n",
+                    static_cast<double>(peak_rss) / (1024.0 * 1024.0));
+    }
     std::printf("\nwrote BENCH_simperf.json\n");
     return mismatch ? 1 : 0;
 }

@@ -17,6 +17,17 @@
  *                          which submits are rejected (default 8)
  *   --checkpoint-dir DIR   checkpoint in-flight jobs into DIR so a
  *                          drained job's resubmission resumes mid-run
+ *   --metrics-socket PATH  serve Prometheus text exposition on PATH:
+ *                          each accepted connection receives one scrape
+ *                          and is closed (also available in-band as
+ *                          {"op":"metricsz"})
+ *   --trace FILE           write a Perfetto trace of per-job
+ *                          queue/load/sim/validate/store spans to FILE
+ *                          at drain
+ *
+ * Logging honours GDS_LOG_LEVEL (debug|info|warn|error, default info)
+ * and GDS_LOG_FORMAT (human|json) — JSON-lines logs carry per-job
+ * job/configHash correlation fields.
  *
  * SIGINT/SIGTERM trigger a graceful drain: admission stops, in-flight
  * jobs halt at their next check boundary (writing checkpoints when
@@ -54,7 +65,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--socket PATH] [--workers N] "
                  "[--max-queue N]\n"
-                 "       [--checkpoint-dir DIR]\n",
+                 "       [--checkpoint-dir DIR] [--metrics-socket PATH] "
+                 "[--trace FILE]\n",
                  argv0);
     std::exit(1);
 }
@@ -95,6 +107,10 @@ parseArgs(int argc, char **argv)
                 static_cast<std::size_t>(need_u64(1, 1 << 20));
         else if (arg == "--checkpoint-dir")
             config.service.checkpointDir = need_value();
+        else if (arg == "--metrics-socket")
+            config.metricsSocketPath = need_value();
+        else if (arg == "--trace")
+            config.service.tracePath = need_value();
         else
             usage(argv[0]);
     }

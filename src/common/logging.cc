@@ -1,8 +1,11 @@
 #include "common/logging.hh"
 
 #include <cstdarg>
+#include <cstring>
 #include <mutex>
 #include <vector>
+
+#include "common/log.hh"
 
 namespace gds
 {
@@ -43,10 +46,32 @@ vformat(const char *fmt, ...)
 }
 
 void
-emit(const char *prefix, const std::string &msg)
+emitRawLine(const std::string &line)
 {
     const std::lock_guard<std::mutex> lock(emitMutex());
-    std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
+    std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+void
+emit(const char *prefix, const std::string &msg)
+{
+    // Route the legacy severity prefixes through the structured logger
+    // (common/log) so warn()/inform() call sites inherit level filtering
+    // and GDS_LOG_FORMAT=json. An empty prefix stays verbatim: it carries
+    // pre-formatted output such as CLI usage text.
+    if (std::strcmp(prefix, "warn: ") == 0) {
+        log::write(log::Level::Warn, "", {}, msg);
+        return;
+    }
+    if (std::strcmp(prefix, "info: ") == 0) {
+        log::write(log::Level::Info, "", {}, msg);
+        return;
+    }
+    if (std::strcmp(prefix, "[harness] ") == 0) {
+        log::write(log::Level::Info, "harness", {}, msg);
+        return;
+    }
+    emitRawLine(std::string(prefix) + msg);
 }
 
 void

@@ -22,6 +22,10 @@ namespace detail
 [[noreturn]] void terminateFatal(const std::string &msg);
 void emit(const char *prefix, const std::string &msg);
 
+/** Emit one already-formatted line through the mutex-serialized stderr
+ *  path, verbatim. The low-level chokepoint under common/log. */
+void emitRawLine(const std::string &line);
+
 /** Minimal printf-style formatter returning a std::string. */
 std::string vformat(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

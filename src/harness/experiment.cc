@@ -15,6 +15,7 @@
 
 #include "common/fsio.hh"
 #include "common/parse.hh"
+#include "common/rss.hh"
 #include "energy/energy_model.hh"
 #include "graph/loader.hh"
 #include "harness/dataset_pool.hh"
@@ -272,6 +273,7 @@ cellRunOptions(algo::AlgorithmId algorithm, const std::string &dataset,
             ? *policy->checkpoint
             : cellCheckpointOptions(algo::algorithmName(algorithm), dataset,
                                     config_hash);
+    options.sampler = policy ? policy->sampler : nullptr;
     return options;
 }
 
@@ -529,6 +531,8 @@ evaluationMatrix(ResultCache &cache)
         entry.wallLoadSeconds = r.wallLoadSeconds;
         entry.wallSimSeconds = r.wallSimSeconds;
         entry.wallValidateSeconds = r.wallValidateSeconds;
+        entry.peakRssBytes =
+            static_cast<double>(common::peakRssBytes());
         manifest.add(std::move(entry));
     }
     manifest.writeFile("manifest.json");

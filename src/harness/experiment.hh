@@ -177,6 +177,13 @@ struct CellPolicy
     /** Checkpoint options; null falls back to cellCheckpointOptions()
      *  (the GDS_CHECKPOINT_DIR policy). Not owned; must outlive the run. */
     const core::CheckpointOptions *checkpoint = nullptr;
+    /**
+     * Interval sampler to attach to the run (core::RunOptions::sampler):
+     * the simulation service uses it, with Sampler::setOnSample, to
+     * stream live progress to subscribed clients. Not owned; must
+     * outlive the run. Null leaves sampling off (the matrix default).
+     */
+    obs::Sampler *sampler = nullptr;
 };
 
 /** Run one cell on GraphDynS (optionally an ablation variant). */

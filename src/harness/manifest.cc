@@ -227,6 +227,8 @@ Manifest::write(std::ostream &os) const
         num("wallSimSeconds", c.wallSimSeconds);
         os << ',';
         num("wallValidateSeconds", c.wallValidateSeconds);
+        os << ',';
+        num("peakRssBytes", c.peakRssBytes);
         os << '}';
     }
     os << "]}\n";

@@ -58,6 +58,11 @@ struct ManifestCell
     double wallLoadSeconds = 0.0;     ///< dataset load/generation
     double wallSimSeconds = 0.0;      ///< cycle-level simulation
     double wallValidateSeconds = 0.0; ///< post-run models + bookkeeping
+    /** Process peak RSS in bytes when the cell finished (the memory
+     *  footprint track, ROADMAP item 3); 0 when the probe is
+     *  unavailable. Monotone across a run: the high-water mark as of
+     *  this cell, not the cell's own footprint in isolation. */
+    double peakRssBytes = 0.0;
 };
 
 /**

@@ -54,6 +54,8 @@ Sampler::sample(Cycle cycle)
     for (std::size_t i = 0; i < probes.size(); ++i)
         row[i] = probes[i].fn();
     table.addRow(cycle, row);
+    if (onSample)
+        onSample(cycle, row);
 }
 
 bool

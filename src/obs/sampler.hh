@@ -66,6 +66,21 @@ class Sampler
     std::size_t probeCount() const { return probes.size(); }
 
     /**
+     * Observer called after every recorded snapshot with the sample
+     * cycle and the freshly sampled row (ordered like series().columns()
+     * once sealed). The simulation service uses this to forward live
+     * progress to subscribed clients; the callback runs on the
+     * simulating thread, so it must be cheap and must not call back into
+     * this sampler.
+     */
+    void
+    setOnSample(
+        std::function<void(Cycle, const std::vector<double> &)> callback)
+    {
+        onSample = std::move(callback);
+    }
+
+    /**
      * Per-cycle hook; samples when the interval divides @p cycle. The
      * cached next-boundary cycle turns the consecutive-cycle hot path
      * into one compare; the divide only runs when a boundary is reached
@@ -176,6 +191,7 @@ class Sampler
     Cycle _interval = 0;
     Cycle _nextBoundary = 0; ///< first cycle the fast tick() path re-checks
     bool sealed = false;
+    std::function<void(Cycle, const std::vector<double> &)> onSample;
     std::vector<Probe> probes;
     std::vector<double> row; ///< scratch, avoids per-sample allocation
     stats::TimeSeries table;

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Service-level metrics: a bounded log-scaled histogram and a
+ * counter/gauge/histogram registry with Prometheus text exposition.
+ *
+ * The simulator core keeps its gem5-style Scalar/Vector/Distribution
+ * stats (stats/stats.hh): those are per-run, dumped once at the end, and
+ * deliberately lock-free because a single simulated system owns them. The
+ * service layer has the opposite profile — many worker threads observing
+ * latencies concurrently into state that lives for the daemon's whole
+ * life and is scraped while jobs are in flight. This header provides that
+ * side:
+ *
+ *  - Histogram: fixed log-scaled buckets chosen at construction, O(1)
+ *    memory forever (replacing the unbounded sorted-vector percentile
+ *    tracking the service used to do), thread-safe observe/merge under a
+ *    short internal lock, and quantile estimates read from bucket
+ *    boundaries.
+ *
+ *  - MetricsRegistry: named counter families (optionally with one label,
+ *    e.g. outcome="completed"), callback gauges sampled at scrape time,
+ *    and registered histograms; expose() renders the whole registry in
+ *    Prometheus text exposition format (`# HELP`/`# TYPE`,
+ *    `_bucket{le=...}`/`_sum`/`_count` for histograms).
+ *
+ * Counter handles returned by the registry are stable references:
+ * callers cache them once and increment lock-free on the hot path. The
+ * registry lock is only taken at registration and at scrape.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gds::stats
+{
+
+/**
+ * A fixed-bucket histogram with exponentially growing upper bounds:
+ * bucket i covers values <= lowest * growth^i, plus one implicit +Inf
+ * overflow bucket. Bounds are frozen at construction so two histograms
+ * with identical shape merge bucket-by-bucket (worker-local histograms
+ * folding into a fleet-level one).
+ *
+ * percentile() returns the upper bound of the bucket where the requested
+ * cumulative rank lands — an overestimate by at most one growth factor,
+ * which is the standard accuracy/memory trade for log-scaled buckets.
+ * The exact maximum is tracked separately since "worst latency ever" is
+ * too load-bearing to quantize.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lowest upper bound of the first bucket (must be > 0)
+     * @param growth per-bucket bound multiplier (must be > 1)
+     * @param buckets number of finite buckets (must be >= 1)
+     */
+    Histogram(double lowest, double growth, int buckets);
+
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one observation (negative values clamp into bucket 0). */
+    void observe(double value);
+
+    /** Fold another histogram's counts into this one. The two must have
+     *  identical bucket shape (same lowest/growth/bucket count). */
+    void merge(const Histogram &other);
+
+    /** Estimated quantile for rank @p q in [0,1]: the upper bound of the
+     *  bucket containing the q-th observation, clamped to the exact
+     *  maximum. Returns 0 when empty. */
+    double percentile(double q) const;
+
+    /** Exact largest observed value (0 when empty). */
+    double max() const;
+
+    /** Sum of all observations. */
+    double sum() const;
+
+    /** Number of observations. */
+    std::uint64_t count() const;
+
+    /** Finite bucket upper bounds, ascending (the +Inf bucket is
+     *  implicit). Immutable after construction. */
+    const std::vector<double> &upperBounds() const { return bounds; }
+
+    /** Per-bucket counts, size upperBounds().size() + 1: the last entry
+     *  is the +Inf overflow bucket. */
+    std::vector<std::uint64_t> bucketCounts() const;
+
+  private:
+    std::vector<double> bounds;
+    mutable std::mutex mu;
+    std::vector<std::uint64_t> counts;
+    double total = 0;
+    double largest = 0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * A process-wide registry of named metrics with Prometheus text
+ * exposition. Metric families are exposed in registration order so the
+ * scrape output is deterministic (golden-testable).
+ */
+class MetricsRegistry
+{
+  public:
+    /** A monotonically increasing counter. Stable reference; inc() is a
+     *  single relaxed atomic add. */
+    class Counter
+    {
+      public:
+        void inc(std::uint64_t by = 1)
+        {
+            value_.fetch_add(by, std::memory_order_relaxed);
+        }
+        std::uint64_t value() const
+        {
+            return value_.load(std::memory_order_relaxed);
+        }
+
+      private:
+        std::atomic<std::uint64_t> value_{0};
+    };
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Register (or look up) an unlabeled counter. Re-registering the
+     * same name returns the same Counter; @p help must match the first
+     * registration (ConfigError otherwise).
+     */
+    Counter &counter(const std::string &name, const std::string &help);
+
+    /**
+     * Register (or look up) one labeled series of a counter family,
+     * e.g. counter("gds_svc_jobs_total", "...", "outcome", "completed").
+     * All series of a family share one label key.
+     */
+    Counter &counter(const std::string &name, const std::string &help,
+                     const std::string &label_key,
+                     const std::string &label_value);
+
+    /**
+     * Register a gauge whose value is sampled by calling @p read at
+     * scrape time. The callback must not call back into this registry
+     * (expose() holds the registry lock while sampling).
+     */
+    void gauge(const std::string &name, const std::string &help,
+               std::function<double()> read);
+
+    /** Register a histogram with the given bucket shape; returns a
+     *  stable reference for direct observe() calls. */
+    Histogram &histogram(const std::string &name, const std::string &help,
+                         double lowest, double growth, int buckets);
+
+    /** Render every registered metric in Prometheus text exposition
+     *  format (ends with a trailing newline). */
+    std::string expose() const;
+
+  private:
+    enum class Kind { CounterKind, GaugeKind, HistogramKind };
+
+    struct Series
+    {
+        std::string labelValue; // empty for unlabeled counters
+        std::unique_ptr<Counter> counter;
+    };
+
+    struct Family
+    {
+        std::string name;
+        std::string help;
+        Kind kind;
+        std::string labelKey; // counters only; empty when unlabeled
+        std::vector<Series> series;
+        std::function<double()> read;       // gauges
+        std::unique_ptr<Histogram> hist;    // histograms
+    };
+
+    Family &family(const std::string &name, const std::string &help,
+                   Kind kind);
+
+    mutable std::mutex mu;
+    std::vector<std::unique_ptr<Family>> families;
+};
+
+} // namespace gds::stats

@@ -175,6 +175,14 @@ parseSubmit(const common::JsonValue &obj)
         spec.wallBudgetSeconds = parsed.value();
     }
 
+    u64.reset();
+    if (Status s = readU64Field(obj, "progress_interval", u64,
+                                std::numeric_limits<Cycle>::max());
+        !s.ok())
+        return s;
+    if (u64)
+        spec.progressInterval = *u64;
+
     return spec;
 }
 
@@ -233,8 +241,11 @@ parseRequest(const std::string &line)
         req.spec = spec.value();
         return req;
     }
-    if (name == "poll" || name == "result") {
-        req.op = name == "poll" ? RequestOp::Poll : RequestOp::Result;
+    if (name == "poll" || name == "result" || name == "subscribe") {
+        req.op = name == "poll"
+                     ? RequestOp::Poll
+                     : name == "result" ? RequestOp::Result
+                                        : RequestOp::Subscribe;
         const common::JsonValue *job = root.find("job");
         if (!job || !job->isString() || job->asString().empty())
             return badRequest("'" + name +
@@ -246,12 +257,17 @@ parseRequest(const std::string &line)
         req.op = RequestOp::Statsz;
         return req;
     }
+    if (name == "metricsz") {
+        req.op = RequestOp::Metricsz;
+        return req;
+    }
     if (name == "shutdown") {
         req.op = RequestOp::Shutdown;
         return req;
     }
     return badRequest("unknown op '" + op->asString() +
-                      "' (want submit, poll, result, statsz or shutdown)");
+                      "' (want submit, poll, result, subscribe, statsz, "
+                      "metricsz or shutdown)");
 }
 
 std::string

@@ -10,11 +10,19 @@
  * Requests:
  *   {"op":"submit","system":"gds","algorithm":"bfs","dataset":"FR",
  *    "source":3,"iterations":10,"cycle_budget":1000000,
- *    "wall_budget_seconds":2.5}        (all but algorithm/dataset optional)
+ *    "wall_budget_seconds":2.5,"progress_interval":100000}
+ *                                      (all but algorithm/dataset optional)
  *   {"op":"poll","job":"j1"}
  *   {"op":"result","job":"j1"}
+ *   {"op":"subscribe","job":"j1"}
  *   {"op":"statsz"}
+ *   {"op":"metricsz"}
  *   {"op":"shutdown"}
+ *
+ * subscribe is the one streaming op: after the {"ok":true,...} ack the
+ * server keeps the connection and pushes one JSON-lines progress event
+ * per line ({"event":"start"|"progress"|"done",...}) until the terminal
+ * "done" event, after which the connection reverts to request/response.
  *
  * Every numeric request field is re-parsed from its raw lexeme through
  * the same strict common/parse.hh helpers the CLI flags use, so
@@ -35,14 +43,16 @@
 namespace gds::svc
 {
 
-/** The five request operations. */
+/** The request operations. */
 enum class RequestOp
 {
-    Submit,   ///< enqueue one simulation job
-    Poll,     ///< query a job's state
-    Result,   ///< fetch a finished job's record
-    Statsz,   ///< service metrics snapshot
-    Shutdown, ///< request a graceful drain (same path as SIGTERM)
+    Submit,    ///< enqueue one simulation job
+    Poll,      ///< query a job's state
+    Result,    ///< fetch a finished job's record
+    Subscribe, ///< stream a job's live progress events
+    Statsz,    ///< service metrics snapshot (JSON)
+    Metricsz,  ///< Prometheus text exposition of the metrics registry
+    Shutdown,  ///< request a graceful drain (same path as SIGTERM)
 };
 
 /** One validated simulation job request. */
@@ -59,6 +69,13 @@ struct JobSpec
     Cycle cycleBudget = 0;
     /** Wall budget override in seconds; negative uses the env policy. */
     double wallBudgetSeconds = -1.0;
+    /**
+     * Simulated-cycle interval between live progress samples streamed to
+     * subscribed clients; 0 turns sampling off for this job. Pure
+     * telemetry — it never changes the simulated outcome, so it is
+     * deliberately NOT part of key().
+     */
+    Cycle progressInterval = 1'000'000;
 
     /**
      * Result-cache key. Extends the harness cellKey() (system tag,
@@ -77,7 +94,7 @@ struct Request
 {
     RequestOp op = RequestOp::Statsz;
     JobSpec spec;      ///< Submit only
-    std::string jobId; ///< Poll / Result only
+    std::string jobId; ///< Poll / Result / Subscribe only
 };
 
 /**

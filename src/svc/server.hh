@@ -2,14 +2,24 @@
  * @file
  * Socket front-end of the simulation service: binds a Unix-domain
  * listener, reads JSON-line requests, dispatches them to SimService and
- * writes JSON-line responses. Connections are served one at a time —
- * requests are cheap registry operations (the simulations themselves run
- * on the service's worker pool), so a serial accept loop keeps the
- * protocol surface single-threaded and trivially race-free.
+ * writes JSON-line responses. Each accepted connection is served on its
+ * own thread — requests themselves are cheap registry operations (the
+ * simulations run on the service's worker pool), but a subscribe stream
+ * holds its connection open for a job's whole lifetime, so a busy
+ * subscriber must not block submitters on other connections.
  *
- * Shutdown: the loop polls sim::stopRequested() between accepts (the
- * daemon's SIGTERM handler raises it) and also honours an in-band
- * {"op":"shutdown"} request; either way serve() drains the service —
+ * Two listeners:
+ *  - the protocol socket (JSON-lines request/response, plus the
+ *    subscribe streaming mode — see svc/protocol.hh);
+ *  - an optional plain-text metrics socket (--metrics-socket): every
+ *    accepted connection receives one Prometheus text exposition of the
+ *    service registry and is closed, i.e. scrape semantics, so a
+ *    Prometheus agent can read the daemon without speaking the JSON
+ *    protocol.
+ *
+ * Shutdown: every loop polls sim::stopRequested() (the daemon's SIGTERM
+ * handler raises it) and the in-band {"op":"shutdown"} request; either
+ * way serve() joins the connection threads, drains the service —
  * in-flight jobs checkpoint and stop — and returns an ok Status for a
  * clean exit.
  */
@@ -17,7 +27,11 @@
 #pragma once
 
 #include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/error.hh"
 #include "common/socket.hh"
@@ -29,6 +43,8 @@ namespace gds::svc
 struct ServerConfig
 {
     std::string socketPath = "gds_simd.sock";
+    /** Prometheus scrape socket ("" disables). */
+    std::string metricsSocketPath;
     ServiceConfig service;
 };
 
@@ -51,15 +67,44 @@ class Server
     void requestStop();
 
     /** Dispatch one request line to one response line (exposed for
-     *  in-process tests; no socket involved). */
+     *  in-process tests; no socket involved). For subscribe this is the
+     *  ack line only — the event stream needs a real connection. */
     std::string handleLine(const std::string &line);
 
     SimService &service() { return sim_service; }
 
   private:
+    /** One tracked connection thread (joined when finished or at exit). */
+    struct Connection
+    {
+        std::thread thread;
+        std::atomic<bool> finished{false};
+    };
+
+    bool stopRequested() const;
+
+    /** The response line for an already-parsed request. */
+    std::string handleParsed(const Result<Request> &parsed);
+
+    /** Serve one protocol connection until close/stop. */
+    void serveConnection(common::LineChannel chan);
+
+    /** Push a job's progress events down @p chan until its terminal
+     *  event, a write failure, or a stop request. */
+    void streamJob(common::LineChannel &chan, const std::string &job_id);
+
+    /** Accept loop of the metrics socket: one scrape per connection. */
+    void serveMetrics(common::UnixListener &listener);
+
+    /** Join connection threads; @p only_finished prunes as it goes. */
+    void reapConnections(bool only_finished);
+
     ServerConfig config;
     SimService sim_service;
     std::atomic<bool> stop{false};
+
+    std::mutex connectionsMu;
+    std::list<std::unique_ptr<Connection>> connections;
 };
 
 } // namespace gds::svc

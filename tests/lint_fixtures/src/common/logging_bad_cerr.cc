@@ -1,0 +1,11 @@
+// Fixture for R11 (no-raw-cerr-logging): this path sits inside R2's
+// src/common/logging carve-out, so only R11 fires — iostream streaming
+// bypasses the emitRawLine() chokepoint even where raw stderr is legal.
+
+#include <iostream>
+
+void
+reportFailure()
+{
+    std::cerr << "failed\n";
+}

@@ -1,0 +1,11 @@
+// Fixture: R11 suppressed with the shared allow() grammar.
+
+#include <iostream>
+
+void
+reportFailure()
+{
+    // gds-lint: allow(no-raw-cerr-logging) fixture exercising the
+    // suppression grammar against the R11 rule
+    std::cerr << "failed\n";
+}

@@ -54,6 +54,7 @@ TEST(LintRules, KnownRuleSetIsStable)
         "checkpoint-field-coverage",
         "save-restore-symmetry",
         "env-knob-discipline",
+        "no-raw-cerr-logging",
     };
     EXPECT_EQ(knownRules(), expected);
 }
@@ -81,15 +82,36 @@ TEST(LintRules, NakedAssertSuppressed)
 
 TEST(LintRules, RawStderrFlagged)
 {
+    // The std::cerr stream on line 9 violates both R2 and R11; the raw
+    // stderr handle on line 10 only R2.
     const LintResult r = lintFixture("src/graph/bad_stderr.cc");
     EXPECT_EQ(signatures(r),
-              (std::vector<std::string>{"no-raw-stderr@9",
+              (std::vector<std::string>{"no-raw-cerr-logging@9",
+                                        "no-raw-stderr@9",
                                         "no-raw-stderr@10"}));
 }
 
 TEST(LintRules, RawStderrSuppressedByWrappedOwnLineDirective)
 {
     EXPECT_TRUE(lintFixture("src/graph/ok_stderr.cc").clean());
+}
+
+// --- R11: no-raw-cerr-logging --------------------------------------------
+
+TEST(LintRules, RawCerrLoggingFlaggedInsideR2CarveOut)
+{
+    // The fixture lives under src/common/logging…, where R2 is scoped
+    // out — only R11 fires, proving the rules compose rather than alias.
+    const LintResult r = lintFixture("src/common/logging_bad_cerr.cc");
+    EXPECT_EQ(signatures(r),
+              (std::vector<std::string>{"no-raw-cerr-logging@10"}));
+    EXPECT_NE(r.diagnostics[0].message.find("mutex-serialized"),
+              std::string::npos);
+}
+
+TEST(LintRules, RawCerrLoggingSuppressed)
+{
+    EXPECT_TRUE(lintFixture("src/common/logging_ok_cerr.cc").clean());
 }
 
 // --- R3: no-unseeded-rng -------------------------------------------------
@@ -539,8 +561,8 @@ TEST(LintDriver, JsonSummaryCountsRules)
     std::ostringstream os;
     writeJsonSummary(r, os);
     const std::string json = os.str();
-    EXPECT_NE(json.find("\"files_scanned\": 22"), std::string::npos);
-    EXPECT_NE(json.find("\"violations\": 25"), std::string::npos);
+    EXPECT_NE(json.find("\"files_scanned\": 24"), std::string::npos);
+    EXPECT_NE(json.find("\"violations\": 27"), std::string::npos);
     EXPECT_NE(json.find("\"tool_errors\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"no-naked-assert\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"bad-suppression\": 6"), std::string::npos);
@@ -551,6 +573,7 @@ TEST(LintDriver, JsonSummaryCountsRules)
     EXPECT_NE(json.find("\"save-restore-symmetry\": 1"),
               std::string::npos);
     EXPECT_NE(json.find("\"env-knob-discipline\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"no-raw-cerr-logging\": 2"), std::string::npos);
 }
 
 TEST(LintDriver, SarifLogHasToolRulesAndResults)
@@ -575,8 +598,8 @@ TEST(LintDriver, SarifLogHasToolRulesAndResults)
 TEST(LintDriver, FixtureTreeExitsOne)
 {
     const LintResult r = lintPaths({fixtureRoot}, fixtureRoot);
-    EXPECT_EQ(r.filesScanned, 22u);
-    EXPECT_EQ(r.diagnostics.size(), 25u);
+    EXPECT_EQ(r.filesScanned, 24u);
+    EXPECT_EQ(r.diagnostics.size(), 27u);
     EXPECT_EQ(exitCode(r), 1);
 }
 

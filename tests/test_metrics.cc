@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the service-level metrics layer (stats/metrics.hh): the
+ * bounded log-scaled Histogram (bucket placement, merge, percentile
+ * estimation against the exact tracked max) and the MetricsRegistry
+ * (stable counter handles, labeled families, scrape-time gauges, and the
+ * Prometheus text exposition rendered as a golden string).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hh"
+#include "stats/metrics.hh"
+#include "expect_error.hh"
+
+using namespace gds;
+using stats::Histogram;
+using stats::MetricsRegistry;
+
+namespace
+{
+
+TEST(MetricsHistogram, RejectsDegenerateShapes)
+{
+    EXPECT_TYPED_ERROR(Histogram(0.0, 2.0, 4), ConfigError, "");
+    EXPECT_TYPED_ERROR(Histogram(-1.0, 2.0, 4), ConfigError, "");
+    EXPECT_TYPED_ERROR(Histogram(1.0, 1.0, 4), ConfigError, "");
+    EXPECT_TYPED_ERROR(Histogram(1.0, 2.0, 0), ConfigError, "");
+}
+
+TEST(MetricsHistogram, BucketBoundsGrowGeometrically)
+{
+    const Histogram h(1.0, 2.0, 4);
+    EXPECT_EQ(h.upperBounds(), (std::vector<double>{1, 2, 4, 8}));
+}
+
+TEST(MetricsHistogram, ObservationsLandInTheRightBuckets)
+{
+    Histogram h(1.0, 2.0, 4); // bounds 1, 2, 4, 8, +Inf
+    h.observe(-3.0);          // clamps into bucket 0
+    h.observe(1.0);           // boundary: <= 1 stays in bucket 0
+    h.observe(1.5);
+    h.observe(3.0);
+    h.observe(3.5);
+    h.observe(100.0); // overflow
+    EXPECT_EQ(h.bucketCounts(),
+              (std::vector<std::uint64_t>{2, 1, 2, 0, 1}));
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.sum(), -3.0 + 1.0 + 1.5 + 3.0 + 3.5 + 100.0);
+}
+
+TEST(MetricsHistogram, PercentileReadsBucketBoundsClampedToExactMax)
+{
+    Histogram h(1.0, 2.0, 4); // bounds 1, 2, 4, 8, +Inf
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0); // empty
+
+    for (const double v : {0.5, 1.5, 3.0, 3.0, 7.0})
+        h.observe(v);
+    // Ranks are nearest-rank over 5 observations: p50 -> 3rd value,
+    // which lives in the (2,4] bucket -> its upper bound.
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 4.0);
+    // The top rank would report the (4,8] bound, but the exact tracked
+    // maximum (7) is tighter.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 7.0);
+    // Bottom rank: bucket 0's bound already caps the smallest value.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+}
+
+TEST(MetricsHistogram, OverflowPercentileIsTheExactMax)
+{
+    Histogram h(1.0, 2.0, 2); // bounds 1, 2, +Inf
+    h.observe(100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(MetricsHistogram, MergeFoldsCountsAndRequiresIdenticalShape)
+{
+    Histogram a(1.0, 2.0, 3);
+    Histogram b(1.0, 2.0, 3);
+    a.observe(0.5);
+    b.observe(3.0);
+    b.observe(100.0);
+    a.merge(b);
+    EXPECT_EQ(a.bucketCounts(), (std::vector<std::uint64_t>{1, 0, 1, 1}));
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.sum(), 103.5);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+
+    Histogram narrower(1.0, 2.0, 2);
+    EXPECT_TYPED_ERROR(a.merge(narrower), ConfigError, "");
+}
+
+TEST(MetricsHistogram, ConcurrentObserversStayConsistent)
+{
+    Histogram h(1e-3, 2.0, 20);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10'000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&h, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.observe(0.001 * ((t + i) % 1000));
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(h.count(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : h.bucketCounts())
+        total += c;
+    EXPECT_EQ(total, h.count());
+}
+
+TEST(MetricsRegistry, CounterHandlesAreStableAndSharedByName)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Counter &a = reg.counter("gds_test_total", "Help");
+    MetricsRegistry::Counter &b = reg.counter("gds_test_total", "Help");
+    EXPECT_EQ(&a, &b);
+    a.inc();
+    b.inc(2);
+    EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(MetricsRegistry, MismatchedReregistrationIsATypedError)
+{
+    MetricsRegistry reg;
+    reg.counter("gds_test_total", "Help");
+    EXPECT_TYPED_ERROR(reg.counter("gds_test_total", "Other help"),
+                       ConfigError, "");
+    reg.counter("gds_labeled_total", "Help", "outcome", "ok");
+    EXPECT_TYPED_ERROR(
+        reg.counter("gds_labeled_total", "Help", "status", "ok"),
+        ConfigError, "");
+}
+
+TEST(MetricsRegistry, ExposeRendersPrometheusTextExposition)
+{
+    MetricsRegistry reg;
+    reg.counter("jobs_total", "Total jobs").inc(3);
+    reg.counter("outcomes_total", "Outcomes", "outcome", "ok").inc(2);
+    reg.counter("outcomes_total", "Outcomes", "outcome", "failed").inc();
+    reg.gauge("queue_depth", "Depth", [] { return 2.5; });
+    Histogram &h =
+        reg.histogram("latency_seconds", "Latency", 1.0, 2.0, 3);
+    h.observe(0.5);
+    h.observe(3.0);
+    h.observe(100.0);
+
+    // Families render in registration order, histogram buckets are
+    // cumulative and close with +Inf/_sum/_count: golden-testable.
+    EXPECT_EQ(reg.expose(),
+              "# HELP jobs_total Total jobs\n"
+              "# TYPE jobs_total counter\n"
+              "jobs_total 3\n"
+              "# HELP outcomes_total Outcomes\n"
+              "# TYPE outcomes_total counter\n"
+              "outcomes_total{outcome=\"ok\"} 2\n"
+              "outcomes_total{outcome=\"failed\"} 1\n"
+              "# HELP queue_depth Depth\n"
+              "# TYPE queue_depth gauge\n"
+              "queue_depth 2.5\n"
+              "# HELP latency_seconds Latency\n"
+              "# TYPE latency_seconds histogram\n"
+              "latency_seconds_bucket{le=\"1\"} 1\n"
+              "latency_seconds_bucket{le=\"2\"} 1\n"
+              "latency_seconds_bucket{le=\"4\"} 2\n"
+              "latency_seconds_bucket{le=\"+Inf\"} 3\n"
+              "latency_seconds_sum 103.5\n"
+              "latency_seconds_count 3\n");
+}
+
+} // namespace

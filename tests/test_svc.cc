@@ -17,10 +17,13 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "common/jsonio.hh"
+#include "common/log.hh"
 #include "common/parse.hh"
 #include "common/socket.hh"
 #include "core/gds_accel.hh"
@@ -80,11 +83,15 @@ bfsSpec(const std::string &dataset = "FR")
     return spec;
 }
 
-/** Poll until the job leaves the queue (bounded; these jobs are tiny). */
+/**
+ * Poll until the job leaves the queue. Bounded, but generously: these
+ * jobs are tiny in real time, yet a full PR run under TSan can take
+ * tens of seconds, and success returns at the first completed poll.
+ */
 svc::JobView
 awaitJob(svc::SimService &service, const std::string &id)
 {
-    for (int i = 0; i < 600; ++i) {
+    for (int i = 0; i < 2400; ++i) {
         auto view = service.poll(id);
         EXPECT_TRUE(view.ok()) << view.status().toString();
         if (view.value().state == svc::JobState::Done ||
@@ -227,10 +234,13 @@ TEST_F(SvcTest, AdmissionQueueBoundsAndDrainCheckpointsInFlightJobs)
         config.checkpointDir = ckpt_dir;
         svc::SimService service(config);
 
-        // A deliberately long job (PR runs its full iteration budget).
+        // A deliberately long job (PR runs its full iteration budget):
+        // orders of magnitude slower than the drain that interrupts it,
+        // yet short enough that the resumed run below completes under
+        // TSan within awaitJob's bound.
         svc::JobSpec slow = bfsSpec();
         slow.algorithm = algo::AlgorithmId::Pr;
-        slow.iterations = 2000;
+        slow.iterations = 300;
         auto admitted = service.submit(slow);
         ASSERT_TRUE(admitted.ok()) << admitted.status().toString();
 
@@ -272,13 +282,13 @@ TEST_F(SvcTest, AdmissionQueueBoundsAndDrainCheckpointsInFlightJobs)
     svc::SimService service(config);
     svc::JobSpec slow = bfsSpec();
     slow.algorithm = algo::AlgorithmId::Pr;
-    slow.iterations = 2000;
+    slow.iterations = 300;
     auto resumed = service.submit(slow);
     ASSERT_TRUE(resumed.ok()) << resumed.status().toString();
     const svc::JobView done = awaitJob(service, resumed.value().id);
     EXPECT_EQ(done.state, svc::JobState::Done);
     EXPECT_EQ(done.record.status, "ok");
-    EXPECT_EQ(done.record.iterations, 2000u);
+    EXPECT_EQ(done.record.iterations, 300u);
 }
 
 // ---------------------------------------------------------------------
@@ -462,6 +472,323 @@ TEST(SvcPerfectMem, EnvFlagIsResolvedOncePerRun)
     EXPECT_NE(perfect_first.cycles, normal.cycles);
     // Results (vertex properties) are timing-independent.
     EXPECT_EQ(perfect_first.properties, normal.properties);
+}
+
+// ---------------------------------------------------------------------
+// Observability: log formats, metrics, progress streams, job spans.
+// ---------------------------------------------------------------------
+
+TEST(SvcLog, HumanFormatMatchesHistoricalLinesWhenUnstructured)
+{
+    // Empty subsystem + no fields is byte-identical to what the legacy
+    // warn()/inform() macros always printed — scripts grepping daemon
+    // stderr (CI's svc-smoke among them) must keep working.
+    EXPECT_EQ(log::formatHuman(log::Level::Warn, "", "queue full", {}),
+              "warn: queue full");
+    EXPECT_EQ(log::formatHuman(log::Level::Info, "svc", "job admitted",
+                               {{"job", "j1"}, {"key", "gds|BFS|FR"}}),
+              "info: [svc] job admitted (job=j1, key=gds|BFS|FR)");
+}
+
+TEST(SvcLog, JsonFormatRoundTripsThroughTheParser)
+{
+    const std::string line = log::formatJson(
+        log::Level::Error, "svc", "job failed: \"tilt\"\nline two",
+        {{"job", "j9"}, {"configHash", "964470a381724da7"}});
+    auto parsed = common::parseJson(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const common::JsonValue &obj = parsed.value();
+    ASSERT_TRUE(obj.isObject());
+    EXPECT_EQ(obj.find("level")->asString(), "error");
+    EXPECT_EQ(obj.find("subsys")->asString(), "svc");
+    // Quotes and newlines survive the escape/parse round trip.
+    EXPECT_EQ(obj.find("msg")->asString(), "job failed: \"tilt\"\nline two");
+    EXPECT_EQ(obj.find("job")->asString(), "j9");
+    EXPECT_EQ(obj.find("configHash")->asString(), "964470a381724da7");
+
+    // The subsys member is omitted entirely when empty.
+    const std::string bare =
+        log::formatJson(log::Level::Info, "", "hello", {});
+    auto bare_parsed = common::parseJson(bare);
+    ASSERT_TRUE(bare_parsed.ok()) << bare;
+    EXPECT_EQ(bare_parsed.value().find("subsys"), nullptr);
+}
+
+TEST_F(SvcTest, MetricszAgreesWithStatsz)
+{
+    svc::ServiceConfig config;
+    config.workers = 2;
+    config.maxQueue = 4;
+    svc::SimService service(config);
+
+    auto first = service.submit(bfsSpec());
+    ASSERT_TRUE(first.ok()) << first.status().toString();
+    awaitJob(service, first.value().id);
+    auto second = service.submit(bfsSpec());
+    ASSERT_TRUE(second.ok());
+    EXPECT_TRUE(second.value().cached);
+
+    // Every number /statsz reports must appear, equal, in /metricsz —
+    // two views over one registry, not two counters that can drift.
+    const svc::ServiceStats stats = service.stats();
+    const std::string text = service.metricsText();
+    auto expect_line = [&](const std::string &needle) {
+        EXPECT_NE(text.find(needle + "\n"), std::string::npos)
+            << "missing '" << needle << "' in:\n" << text;
+    };
+    expect_line("gds_svc_submitted_total " +
+                std::to_string(stats.submitted));
+    expect_line("gds_svc_admitted_total " + std::to_string(stats.admitted));
+    expect_line("gds_svc_admission_rejected_total " +
+                std::to_string(stats.rejected));
+    expect_line("gds_svc_cache_hits_total " +
+                std::to_string(stats.cacheHits));
+    expect_line("gds_svc_cache_lookups_total " +
+                std::to_string(stats.cacheLookups));
+    expect_line("gds_svc_jobs_total{outcome=\"ok\"} 1");
+    expect_line("gds_svc_jobs_total{outcome=\"cached\"} 1");
+    expect_line("gds_svc_queue_depth 0");
+    expect_line("gds_svc_e2e_latency_seconds_count 1");
+    expect_line("gds_svc_queue_wait_seconds_count 1");
+    expect_line("gds_svc_run_seconds_count 1");
+    // The RSS gauges read /proc at scrape time; assert presence, not value.
+    EXPECT_NE(text.find("gds_process_resident_memory_bytes "),
+              std::string::npos);
+    EXPECT_NE(text.find("gds_process_peak_resident_memory_bytes "),
+              std::string::npos);
+
+    // statsz percentiles come from the same bounded histogram.
+    EXPECT_GT(stats.latencyP50, 0.0);
+    EXPECT_LE(stats.latencyP50, stats.latencyMax * 2.0 + 1.0);
+}
+
+TEST_F(SvcTest, ProgressSinceStreamsLifecycleEvents)
+{
+    svc::ServiceConfig config;
+    config.workers = 1;
+    svc::SimService service(config);
+    EXPECT_EQ(service.progressSince("j404", 0, 10).status().code(),
+              ErrorCode::Config);
+
+    svc::JobSpec spec = bfsSpec();
+    spec.progressInterval = 100; // tiny FR runs a few thousand cycles
+    auto admitted = service.submit(spec);
+    ASSERT_TRUE(admitted.ok()) << admitted.status().toString();
+    const std::string id = admitted.value().id;
+
+    std::vector<svc::ProgressEvent> events;
+    std::uint64_t after = 0;
+    for (int i = 0;
+         i < 600 && (events.empty() || !events.back().terminal); ++i) {
+        auto batch = service.progressSince(id, after, 100);
+        ASSERT_TRUE(batch.ok()) << batch.status().toString();
+        for (svc::ProgressEvent &event : batch.value()) {
+            EXPECT_GT(event.seq, after);
+            after = event.seq;
+            events.push_back(std::move(event));
+        }
+    }
+    ASSERT_FALSE(events.empty());
+    ASSERT_TRUE(events.back().terminal);
+
+    EXPECT_NE(events.front().line.find("\"event\":\"start\""),
+              std::string::npos)
+        << events.front().line;
+    std::size_t progress_seen = 0;
+    double last_cycle = -1.0;
+    for (std::size_t i = 1; i + 1 < events.size(); ++i) {
+        auto parsed = common::parseJson(events[i].line);
+        ASSERT_TRUE(parsed.ok()) << events[i].line;
+        EXPECT_EQ(parsed.value().find("event")->asString(), "progress");
+        const double cycle = parsed.value().find("cycle")->asNumber();
+        EXPECT_GT(cycle, last_cycle);
+        last_cycle = cycle;
+        ++progress_seen;
+    }
+    EXPECT_GE(progress_seen, 1u);
+
+    auto done = common::parseJson(events.back().line);
+    ASSERT_TRUE(done.ok()) << events.back().line;
+    EXPECT_EQ(done.value().find("event")->asString(), "done");
+    EXPECT_EQ(done.value().find("state")->asString(), "done");
+    ASSERT_NE(done.value().find("record"), nullptr);
+    EXPECT_EQ(done.value().find("record")->find("status")->asString(),
+              "ok");
+
+    // A late subscriber (after completion) still gets the whole retained
+    // stream from seq 0 — poll/watch of finished jobs is not a race.
+    auto replay = service.progressSince(id, 0, 10);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay.value().size(), events.size());
+}
+
+/**
+ * The acceptance path of the observability stack, end to end over real
+ * sockets: submit -> subscribe -> streamed progress events -> completion,
+ * then /metricsz exposes the job in the right outcome counter and
+ * latency-histogram bucket, and the daemon trace holds the full
+ * queue/load/sim/validate/store span chain for the job.
+ */
+TEST_F(SvcTest, ObservabilityEndToEndOverTheSocket)
+{
+    svc::ServerConfig config;
+    config.socketPath = (scratch / "e2e.sock").string();
+    config.metricsSocketPath = (scratch / "e2e_metrics.sock").string();
+    config.service.workers = 1;
+    config.service.tracePath = (scratch / "e2e_trace.json").string();
+    svc::Server server(config);
+    std::thread serve_thread([&] {
+        const Status s = server.serve();
+        EXPECT_TRUE(s.ok()) << s.toString();
+    });
+
+    auto connect = [&](const std::string &path) {
+        Result<common::LineChannel> chan =
+            Status::failure(ErrorCode::Internal, "never connected");
+        for (int i = 0; i < 100 && !chan.ok(); ++i) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            chan = common::connectUnix(path, 1000);
+        }
+        return chan;
+    };
+
+    auto chan = connect(config.socketPath);
+    ASSERT_TRUE(chan.ok()) << chan.status().toString();
+    ASSERT_TRUE(chan.value()
+                    .writeLine(R"({"op":"submit","algorithm":"bfs",)"
+                               R"("dataset":"FR","progress_interval":200})")
+                    .ok());
+    std::string line;
+    ASSERT_TRUE(chan.value().readLine(line, 30'000).ok());
+    ASSERT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+    ASSERT_NE(line.find("\"job\":\"j1\""), std::string::npos) << line;
+
+    // Subscribe on the same connection: ack, then pushed events through
+    // the terminal "done".
+    ASSERT_TRUE(
+        chan.value().writeLine(R"({"op":"subscribe","job":"j1"})").ok());
+    ASSERT_TRUE(chan.value().readLine(line, 30'000).ok());
+    ASSERT_NE(line.find("\"subscribed\":true"), std::string::npos) << line;
+
+    std::vector<std::string> events;
+    for (int i = 0; i < 600; ++i) {
+        ASSERT_TRUE(chan.value().readLine(line, 30'000).ok());
+        events.push_back(line);
+        if (line.find("\"event\":\"done\"") != std::string::npos)
+            break;
+    }
+    ASSERT_GE(events.size(), 3u) << "start + >=1 progress + done";
+    EXPECT_NE(events.front().find("\"event\":\"start\""),
+              std::string::npos);
+    EXPECT_NE(events[1].find("\"event\":\"progress\""), std::string::npos);
+    auto done = common::parseJson(events.back());
+    ASSERT_TRUE(done.ok()) << events.back();
+    EXPECT_EQ(done.value().find("state")->asString(), "done");
+    const double latency =
+        done.value().find("latency_seconds")->asNumber();
+    const std::string config_hash =
+        done.value().find("record")->find("configHash")->asString();
+    EXPECT_GT(latency, 0.0);
+
+    // A second subscriber that disconnects mid-stream must not wedge
+    // anything (unsubscribe-by-close).
+    {
+        auto sub2 = connect(config.socketPath);
+        ASSERT_TRUE(sub2.ok());
+        ASSERT_TRUE(sub2.value()
+                        .writeLine(R"({"op":"subscribe","job":"j1"})")
+                        .ok());
+        ASSERT_TRUE(sub2.value().readLine(line, 30'000).ok());
+        sub2.value().close();
+    }
+
+    // Scrape the Prometheus socket: one exposition per connection.
+    auto scrape = connect(config.metricsSocketPath);
+    ASSERT_TRUE(scrape.ok()) << scrape.status().toString();
+    std::string exposition;
+    while (scrape.value().readLine(line, 5000).ok())
+        exposition += line + "\n";
+    EXPECT_NE(exposition.find("gds_svc_jobs_total{outcome=\"ok\"} 1\n"),
+              std::string::npos)
+        << exposition;
+    EXPECT_NE(exposition.find("gds_svc_e2e_latency_seconds_count 1\n"),
+              std::string::npos);
+
+    // The latency histogram puts the job in the right bucket: every
+    // finite bound below the observed latency has cumulative count 0,
+    // every bound at/above it has count 1.
+    std::istringstream lines(exposition);
+    const std::string bucket_prefix =
+        "gds_svc_e2e_latency_seconds_bucket{le=\"";
+    std::size_t buckets_checked = 0;
+    for (std::string l; std::getline(lines, l);) {
+        if (l.compare(0, bucket_prefix.size(), bucket_prefix) != 0)
+            continue;
+        const std::size_t quote = l.find('"', bucket_prefix.size());
+        ASSERT_NE(quote, std::string::npos) << l;
+        const std::string bound = l.substr(
+            bucket_prefix.size(), quote - bucket_prefix.size());
+        const std::uint64_t cumulative =
+            std::stoull(l.substr(quote + 2));
+        if (bound == "+Inf") {
+            EXPECT_EQ(cumulative, 1u) << l;
+        } else {
+            EXPECT_EQ(cumulative, latency <= std::stod(bound) ? 1u : 0u)
+                << l << " (latency " << latency << ")";
+        }
+        ++buckets_checked;
+    }
+    EXPECT_GE(buckets_checked, 2u);
+
+    // Drain; the daemon writes its span trace on the way out.
+    ASSERT_TRUE(chan.value().writeLine("{\"op\":\"shutdown\"}").ok());
+    ASSERT_TRUE(chan.value().readLine(line, 30'000).ok());
+    chan.value().close();
+    serve_thread.join();
+
+    // The trace is Chrome trace-event JSON with one named track per job;
+    // j1's track must carry the full span chain plus the configHash link
+    // back to the per-run simulator trace.
+    std::ifstream trace_in(config.service.tracePath);
+    ASSERT_TRUE(trace_in.good()) << config.service.tracePath;
+    std::stringstream buffer;
+    buffer << trace_in.rdbuf();
+    auto trace = common::parseJson(buffer.str());
+    ASSERT_TRUE(trace.ok()) << trace.status().toString();
+    const common::JsonValue *trace_events =
+        trace.value().find("traceEvents");
+    ASSERT_NE(trace_events, nullptr);
+    ASSERT_TRUE(trace_events->isArray());
+
+    double job_tid = -1;
+    for (const common::JsonValue &event : trace_events->asArray()) {
+        const common::JsonValue *ph = event.find("ph");
+        if (ph && ph->asString() == "M" &&
+            event.find("name")->asString() == "thread_name" &&
+            event.find("args")->find("name")->asString() == "j1")
+            job_tid = event.find("tid")->asNumber();
+    }
+    ASSERT_GE(job_tid, 0.0) << "no trace track for j1";
+
+    std::vector<std::string> spans;
+    bool saw_config_hash = false;
+    for (const common::JsonValue &event : trace_events->asArray()) {
+        const common::JsonValue *tid = event.find("tid");
+        if (!tid || tid->asNumber() != job_tid)
+            continue;
+        const std::string ph = event.find("ph")->asString();
+        if (ph == "B")
+            spans.push_back(event.find("name")->asString());
+        if (ph == "i" &&
+            event.find("name")->asString() == "configHash") {
+            saw_config_hash = true;
+            EXPECT_EQ(event.find("args")->find("detail")->asString(),
+                      config_hash);
+        }
+    }
+    EXPECT_EQ(spans, (std::vector<std::string>{"queue", "load", "sim",
+                                               "validate", "store"}));
+    EXPECT_TRUE(saw_config_hash);
 }
 
 } // namespace

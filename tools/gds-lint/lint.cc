@@ -268,6 +268,10 @@ ruleDescription(const std::string &rule)
     if (rule == "env-knob-discipline")
         return "GDS_* environment knobs are read through the "
                "common/parse helpers, never raw std::getenv";
+    if (rule == "no-raw-cerr-logging")
+        return "streaming to std::cerr can shear lines under "
+               "concurrency; log through common/log so emission stays "
+               "mutex-serialized";
     if (rule == "bad-suppression")
         return "a gds-lint/gds-ckpt directive that does not parse, names "
                "an unknown rule or field, lacks a justification, or is "

@@ -403,6 +403,32 @@ ruleEnvKnob(const LexedFile &f, const std::string &rel,
     }
 }
 
+// --- R11: no raw cerr logging ---------------------------------------------
+
+void
+ruleRawCerrLogging(const LexedFile &f, const std::string &rel,
+                   std::vector<Diagnostic> &out)
+{
+    // Narrower than R2: even R2's src/common/logging carve-out may not
+    // stream to std::cerr — iostream writes are not atomic per line, so
+    // concurrent daemon threads would shear log lines. Everything funnels
+    // through detail::emitRawLine() (one fprintf under one mutex); only
+    // the structured logger and the debug bootstrap own the stream.
+    if (rel == "src/common/log.cc" || startsWith(rel, "src/common/debug"))
+        return;
+    const auto &toks = f.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (isIdent(toks[i], "cerr") && isPunct(toks[i + 1], "<<")) {
+            out.push_back({f.path, toks[i].line, "no-raw-cerr-logging",
+                           "streaming to std::cerr can shear lines under "
+                           "concurrency; log through common/log "
+                           "(log::write / log::warnf) so emission stays "
+                           "mutex-serialized",
+                           false});
+        }
+    }
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -419,6 +445,7 @@ knownRules()
         "checkpoint-field-coverage",
         "save-restore-symmetry",
         "env-knob-discipline",
+        "no-raw-cerr-logging",
     };
     return rules;
 }
@@ -435,6 +462,7 @@ runFileRules(const LexedFile &file, const std::string &rel_path)
     ruleComponentHooks(file, found);
     ruleCheckpointHooks(file, found);
     ruleEnvKnob(file, rel_path, found);
+    ruleRawCerrLogging(file, rel_path, found);
 
     // Malformed directives and unknown rule names are violations too:
     // a suppression that silently fails to apply would be worse.

@@ -45,6 +45,14 @@
  *                      other knob goes through the common/parse helpers
  *                      (parseEnvU64 / parseEnvF64 / parseEnvStr / envFlag)
  *                      so parsing stays strict and defaults documented.
+ *  - no-raw-cerr-logging
+ *                      R11: streaming with `std::cerr <<` is banned
+ *                      everywhere except src/common/log.cc and
+ *                      src/common/debug — narrower than R2: even inside
+ *                      R2's src/common/logging carve-out, iostream writes
+ *                      bypass the emitRawLine() chokepoint and can shear
+ *                      under concurrency; log through common/log
+ *                      (log::write / warnf) instead.
  *  - bad-suppression   meta: a gds-lint/gds-ckpt directive that does not
  *                      parse, names an unknown rule or field, lacks a
  *                      justification, or is stale.

@@ -9,15 +9,23 @@
  *   gds_cli [--socket PATH] submit --algo bfs --dataset FR
  *           [--system gds|graphicionado|gunrock] [--source VID]
  *           [--iters N] [--cycle-budget N] [--wall-budget SECONDS]
+ *           [--progress-interval CYCLES]
  *   gds_cli [--socket PATH] poll JOB
  *   gds_cli [--socket PATH] result JOB
  *   gds_cli [--socket PATH] wait JOB [--timeout SECONDS]
+ *   gds_cli [--socket PATH] watch JOB [--timeout SECONDS]
  *   gds_cli [--socket PATH] statsz
+ *   gds_cli [--socket PATH] metricsz
  *   gds_cli [--socket PATH] shutdown
  *
  * wait polls the daemon until the job leaves the queue (done or failed)
  * and prints its final "result" response; --timeout (default 300 s)
  * bounds the polling.
+ *
+ * watch subscribes to the job's live progress stream and prints one
+ * JSON event per line ({"event":"start"|"progress"|"done",...}) until
+ * the terminal "done" event; exit status follows the job's final state.
+ * metricsz prints the daemon's Prometheus text exposition verbatim.
  *
  * Numeric flags go through the same checked parser as gds_sim's flags
  * and the daemon's own request fields: trailing garbage, signs and
@@ -51,8 +59,10 @@ usage()
         "  submit --algo bfs|sssp|cc|sswp|pr --dataset NAME\n"
         "         [--system gds|graphicionado|gunrock] [--source VID]\n"
         "         [--iters N] [--cycle-budget N] [--wall-budget SEC]\n"
+        "         [--progress-interval CYCLES]\n"
         "  poll JOB | result JOB | wait JOB [--timeout SEC]\n"
-        "  statsz | shutdown");
+        "  watch JOB [--timeout SEC]\n"
+        "  statsz | metricsz | shutdown");
     std::exit(1);
 }
 
@@ -108,6 +118,7 @@ struct Cli
     std::optional<std::uint64_t> iters;
     std::optional<std::uint64_t> cycleBudget;
     std::optional<double> wallBudget;
+    std::optional<std::uint64_t> progressInterval;
     double waitTimeoutSeconds = 300.0;
 };
 
@@ -151,6 +162,8 @@ parseArgs(int argc, char **argv)
             cli.cycleBudget = need_u64();
         else if (arg == "--wall-budget")
             cli.wallBudget = common::requireF64(arg, need_value());
+        else if (arg == "--progress-interval")
+            cli.progressInterval = need_u64();
         else if (arg == "--timeout")
             cli.waitTimeoutSeconds = common::requireF64(arg, need_value());
         else if (arg.rfind("--", 0) == 0)
@@ -208,6 +221,10 @@ buildRequest(const Cli &cli)
             req += ",\"wall_budget_seconds\":";
             req += std::to_string(*cli.wallBudget);
         }
+        if (cli.progressInterval) {
+            req += ",\"progress_interval\":";
+            req += std::to_string(*cli.progressInterval);
+        }
         req += '}';
         return req;
     }
@@ -218,6 +235,8 @@ buildRequest(const Cli &cli)
     }
     if (cli.command == "statsz")
         return "{\"op\":\"statsz\"}";
+    if (cli.command == "metricsz")
+        return "{\"op\":\"metricsz\"}";
     if (cli.command == "shutdown")
         return "{\"op\":\"shutdown\"}";
     usage();
@@ -254,6 +273,55 @@ runWait(const Cli &cli)
     }
 }
 
+/** "event" field of a streamed line ("" when absent). */
+std::string
+eventKind(const std::string &line)
+{
+    auto parsed = common::parseJson(line);
+    if (!parsed.ok() || !parsed.value().isObject())
+        return "";
+    const common::JsonValue *event = parsed.value().find("event");
+    return event && event->isString() ? event->asString() : "";
+}
+
+int
+runWatch(const Cli &cli)
+{
+    auto chan = common::connectUnix(cli.socketPath);
+    if (!chan.ok())
+        fatal("%s", chan.status().toString().c_str());
+    if (Status s = chan.value().writeLine(jobRequest("subscribe", cli.job));
+        !s.ok())
+        fatal("%s", s.toString().c_str());
+
+    // The ack line carries the job's current state; after it the daemon
+    // pushes event lines until the terminal "done" event.
+    std::string line;
+    if (Status s = chan.value().readLine(line, 30'000); !s.ok())
+        fatal("%s", s.toString().c_str());
+    std::printf("%s\n", line.c_str());
+    if (!responseOk(line))
+        return 1;
+
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration<double>(cli.waitTimeoutSeconds);
+    for (;;) {
+        const Status s = chan.value().readLine(line, 1000);
+        if (s.ok()) {
+            std::printf("%s\n", line.c_str());
+            std::fflush(stdout);
+            if (eventKind(line) == "done")
+                return responseState(line) == "done" ? 0 : 1;
+            continue;
+        }
+        if (s.code() != ErrorCode::Timeout)
+            fatal("%s", s.toString().c_str());
+        if (std::chrono::steady_clock::now() >= deadline)
+            fatal("timed out watching %s", cli.job.c_str());
+    }
+}
+
 } // namespace
 
 int
@@ -272,11 +340,31 @@ main(int argc, char **argv)
             usage();
         return runWait(cli);
     }
+    if (cli.command == "watch") {
+        if (cli.job.empty())
+            usage();
+        return runWatch(cli);
+    }
 
     const std::string request = buildRequest(cli);
     auto response = roundTrip(cli.socketPath, request);
     if (!response.ok())
         fatal("%s", response.status().toString().c_str());
+
+    if (cli.command == "metricsz" && responseOk(response.value())) {
+        // Unwrap the exposition so `gds_cli metricsz` pipes straight
+        // into promtool/grep without a JSON parser.
+        auto parsed = common::parseJson(response.value());
+        const common::JsonValue *metrics =
+            parsed.ok() && parsed.value().isObject()
+                ? parsed.value().find("metrics")
+                : nullptr;
+        if (metrics && metrics->isString()) {
+            std::fputs(metrics->asString().c_str(), stdout);
+            return 0;
+        }
+    }
+
     std::printf("%s\n", response.value().c_str());
     return responseOk(response.value()) ? 0 : 1;
 }
