@@ -7,6 +7,7 @@
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 namespace gds
@@ -46,6 +47,24 @@ constexpr std::uint64_t
 alignDown(std::uint64_t x, std::uint64_t align)
 {
     return x & ~(align - 1);
+}
+
+/**
+ * FNV-1a 64-bit hash of a raw byte range. One shared definition for
+ * every integrity checksum in the tree: the binary graph format's
+ * section checksums, checkpoint payloads, and the provenance
+ * configHash (harness::fnv1a delegates here).
+ */
+inline std::uint64_t
+fnv1a64(const void *data, std::size_t size,
+        std::uint64_t hash = 0xcbf29ce484222325ULL)
+{
+    const unsigned char *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
 }
 
 } // namespace gds

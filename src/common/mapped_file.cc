@@ -1,0 +1,120 @@
+#include "common/mapped_file.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace gds::common
+{
+
+std::shared_ptr<const MappedFile>
+MappedFile::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        throw ConfigError("cannot open '" + path +
+                          "' for mapping: " + std::strerror(errno));
+    }
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        throw ConfigError("cannot stat '" + path +
+                          "': " + std::strerror(saved));
+    }
+    const std::size_t length = static_cast<std::size_t>(st.st_size);
+
+    const std::byte *base = nullptr;
+    if (length > 0) {
+        void *map =
+            ::mmap(nullptr, length, PROT_READ, MAP_SHARED, fd, 0);
+        if (map == MAP_FAILED) {
+            const int saved = errno;
+            ::close(fd);
+            throw CorruptInputError(path, 0,
+                                    std::string("mmap failed: ") +
+                                        std::strerror(saved));
+        }
+        base = static_cast<const std::byte *>(map);
+    }
+    // The mapping keeps the inode alive; the fd is no longer needed.
+    ::close(fd);
+    return std::shared_ptr<const MappedFile>(
+        new MappedFile(path, base, length));
+}
+
+MappedFile::~MappedFile()
+{
+    if (base != nullptr && length > 0) {
+        // munmap takes a non-const pointer; the mapping itself was
+        // created read-only, so the cast does not enable any write.
+        ::munmap(const_cast<std::byte *>(base), length);
+    }
+}
+
+void
+MappedFile::checkRange(std::uint64_t offset, std::uint64_t count,
+                       std::size_t elem_size, std::size_t elem_align) const
+{
+    const std::uint64_t max_count =
+        elem_size == 0 ? 0 : (UINT64_MAX - offset) / elem_size;
+    if (offset > length || count > max_count ||
+        offset + count * elem_size > length) {
+        throw CorruptInputError(
+            file_path, 0,
+            detail::vformat("short map: need bytes [%llu, %llu) of a "
+                            "%zu-byte mapping",
+                            static_cast<unsigned long long>(offset),
+                            static_cast<unsigned long long>(
+                                offset + count * elem_size),
+                            length));
+    }
+    if (offset % elem_align != 0) {
+        throw CorruptInputError(
+            file_path, 0,
+            detail::vformat("misaligned section: offset %llu is not "
+                            "%zu-byte aligned",
+                            static_cast<unsigned long long>(offset),
+                            elem_align));
+    }
+}
+
+namespace
+{
+
+void
+advise(const std::byte *base, std::size_t length, std::uint64_t offset,
+       std::uint64_t len, int hint)
+{
+    if (base == nullptr || offset >= length)
+        return;
+    len = std::min<std::uint64_t>(len, length - offset);
+    if (len == 0)
+        return;
+    // Round down to a page boundary as madvise requires; best effort.
+    const std::uint64_t page = 4096;
+    const std::uint64_t start = offset & ~(page - 1);
+    ::madvise(const_cast<std::byte *>(base) + start,
+              static_cast<std::size_t>(len + (offset - start)), hint);
+}
+
+} // namespace
+
+void
+MappedFile::adviseWillNeed(std::uint64_t offset, std::uint64_t len) const
+{
+    advise(base, length, offset, len, MADV_WILLNEED);
+}
+
+void
+MappedFile::adviseSequential(std::uint64_t offset, std::uint64_t len) const
+{
+    advise(base, length, offset, len, MADV_SEQUENTIAL);
+}
+
+} // namespace gds::common

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Read-only memory-mapped files for the zero-copy dataset layer.
+ *
+ * Large immutable graph arrays (the binary CSR cache) are served straight
+ * from the page cache instead of being copied into heap vectors: mapping
+ * is O(1) in the file size, concurrent processes (daemon restarts, the
+ * evaluation matrix and the service sharing one cache directory) share
+ * physical pages, and memory pressure evicts clean pages instead of
+ * swapping anonymous heap. The wrapper owns the fd and the mapping
+ * (munmap/close in the destructor) and hands out bounds-checked typed
+ * views; consumers keep the file alive through a shared_ptr.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/error.hh"
+
+namespace gds::common
+{
+
+/**
+ * An immutable, shared, memory-mapped view of a whole file.
+ *
+ * Mappings are PROT_READ/MAP_SHARED: every process mapping the same
+ * dataset file shares one set of physical pages. Empty files map to a
+ * null, zero-length view (valid, never dereferenced).
+ */
+class MappedFile
+{
+  public:
+    /**
+     * Map @p path read-only in its entirety.
+     *
+     * @throws ConfigError when the file cannot be opened or stat'ed
+     * @throws CorruptInputError when the mapping itself fails
+     */
+    static std::shared_ptr<const MappedFile> open(const std::string &path);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const std::byte *data() const { return base; }
+    std::size_t size() const { return length; }
+    const std::string &path() const { return file_path; }
+
+    /**
+     * A typed view of @p count elements of T starting at byte @p offset.
+     * Alignment and bounds are checked against the live mapping, so a
+     * file truncated after its header was written (a "short map") raises
+     * a typed error instead of a SIGBUS at first dereference.
+     *
+     * @throws CorruptInputError when the range leaves the mapping or is
+     *         misaligned for T
+     */
+    template <typename T>
+    std::span<const T>
+    viewAt(std::uint64_t offset, std::uint64_t count) const
+    {
+        checkRange(offset, count, sizeof(T), alignof(T));
+        return std::span<const T>(
+            reinterpret_cast<const T *>(base + offset),
+            static_cast<std::size_t>(count));
+    }
+
+    /**
+     * Advise the kernel that [offset, offset+len) will be needed soon
+     * (readahead). Best effort: failures are ignored, the hint can only
+     * affect performance.
+     */
+    void adviseWillNeed(std::uint64_t offset, std::uint64_t len) const;
+
+    /** Advise sequential access over [offset, offset+len). Best effort. */
+    void adviseSequential(std::uint64_t offset, std::uint64_t len) const;
+
+  private:
+    MappedFile(std::string mapped_path, const std::byte *map_base,
+               std::size_t map_length)
+        : file_path(std::move(mapped_path)), base(map_base),
+          length(map_length)
+    {}
+
+    void checkRange(std::uint64_t offset, std::uint64_t count,
+                    std::size_t elem_size, std::size_t elem_align) const;
+
+    std::string file_path;
+    const std::byte *base = nullptr;
+    std::size_t length = 0;
+};
+
+} // namespace gds::common

@@ -1,11 +1,11 @@
-#include "harness/parallel.hh"
+#include "common/parallel.hh"
 
 #include <algorithm>
 
 #include "common/logging.hh"
 #include "common/parse.hh"
 
-namespace gds::harness
+namespace gds::common
 {
 
 unsigned
@@ -108,4 +108,4 @@ parallelFor(std::size_t n, unsigned jobs,
     pool.wait();
 }
 
-} // namespace gds::harness
+} // namespace gds::common

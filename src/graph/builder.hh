@@ -1,6 +1,14 @@
 /**
  * @file
  * COO (edge list) to CSR conversion.
+ *
+ * The conversion is a stable counting sort over source vertices, run in
+ * up to BuildOptions::jobs chunks: parallel per-chunk degree histograms,
+ * a blocked prefix sum, and a per-chunk scatter through precomputed
+ * cursors. Chunks partition the edge list in order, so within a vertex's
+ * edge list the global edge order is preserved exactly — the output is
+ * byte-identical at every job count, including the strictly serial
+ * jobs=1 path.
  */
 
 #pragma once
@@ -29,11 +37,18 @@ struct BuildOptions
     bool removeDuplicates = false;
     /** Emit per-edge weights into the CSR. */
     bool keepWeights = false;
+    /**
+     * Worker threads for the build. 0 means the global policy
+     * (common::jobCount(): GDS_JOBS, else hardware concurrency); 1 forces
+     * the serial path. The result is byte-identical for every value.
+     */
+    unsigned jobs = 0;
 };
 
 /**
  * Build a CSR graph from an edge list using a counting sort over sources
- * (O(V + E), stable within a vertex's edge list).
+ * (O(V + E), stable within a vertex's edge list; deterministic and
+ * byte-identical across BuildOptions::jobs values).
  *
  * @param num_vertices vertex count; every edge endpoint must be below it
  * @param edges the edge list (consumed by value; callers may move)

@@ -6,15 +6,24 @@
  * pointing at the start of each vertex's outgoing edge list), the edge array
  * (neighbour ids, plus weights for weighted graphs), and the vertex property
  * array (owned by the processing engines, not by the graph).
+ *
+ * Storage is decoupled from access: every array is exposed as a non-owning
+ * span that points either at heap vectors owned by this object (graphs
+ * built in memory) or at a live read-only file mapping shared through a
+ * common::MappedFile (graphs served zero-copy from the binary dataset
+ * cache). Simulators only ever read through the span accessors, so results
+ * are bit-identical whichever storage backs a graph.
  */
 
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/mapped_file.hh"
 #include "common/types.hh"
 
 namespace gds::graph
@@ -40,10 +49,10 @@ class Csr
 {
   public:
     /** Construct an empty graph. */
-    Csr() { offsets.push_back(0); }
+    Csr();
 
     /**
-     * Construct from prebuilt arrays.
+     * Construct from prebuilt arrays (heap-owned storage).
      *
      * @param offset_array V+1 offsets, offset_array[V] == edge count
      * @param neighbor_array destination vertex per edge
@@ -53,6 +62,33 @@ class Csr
         std::vector<VertexId> neighbor_array,
         std::vector<Weight> weight_array = {});
 
+    /**
+     * Construct a zero-copy graph whose arrays are views into a live file
+     * mapping, kept alive by @p backing for this object's lifetime.
+     *
+     * Cheap structural invariants (first offset 0, last offset == edge
+     * count, weight array empty or edge-sized) are always checked — they
+     * touch at most two pages. @p deep_validate additionally runs the
+     * full O(V+E) validateArrays() scan, faulting in every page; the
+     * loader enables it when checksum verification was requested.
+     *
+     * @throws CorruptInputError when any checked invariant fails
+     */
+    static Csr fromMapping(std::span<const EdgeId> offset_view,
+                           std::span<const VertexId> neighbor_view,
+                           std::span<const Weight> weight_view,
+                           std::shared_ptr<const common::MappedFile> backing,
+                           bool deep_validate);
+
+    /** Copy re-binds owned views onto the copied vectors; mapped views
+     *  keep sharing the (refcounted) mapping. */
+    Csr(const Csr &other);
+    Csr &operator=(const Csr &other);
+    /** Vector moves preserve buffer addresses, so views stay valid. */
+    Csr(Csr &&other) noexcept = default;
+    Csr &operator=(Csr &&other) noexcept = default;
+    ~Csr() = default;
+
     VertexId numVertices() const
     {
         return static_cast<VertexId>(offsets.size() - 1);
@@ -61,6 +97,21 @@ class Csr
     EdgeId numEdges() const { return neighbors.size(); }
 
     bool hasWeights() const { return !weights.empty(); }
+
+    /** True when the arrays are views into a file mapping. */
+    bool isMapped() const { return backing != nullptr; }
+
+    /** Bytes of heap-owned array storage. */
+    std::uint64_t heapBytes() const;
+
+    /** Bytes of the live file mapping backing this graph (0 when owned). */
+    std::uint64_t mappedBytes() const;
+
+    /** The mapping keeping this graph's views alive; null when owned. */
+    const std::shared_ptr<const common::MappedFile> &mapping() const
+    {
+        return backing;
+    }
 
     /** Start of vertex v's edge list in the edge array. */
     EdgeId
@@ -122,11 +173,11 @@ class Csr
     }
 
     /** Raw offset array (V+1 entries). */
-    const std::vector<EdgeId> &offsetArray() const { return offsets; }
+    std::span<const EdgeId> offsetArray() const { return offsets; }
     /** Raw neighbour array (E entries). */
-    const std::vector<VertexId> &neighborArray() const { return neighbors; }
+    std::span<const VertexId> neighborArray() const { return neighbors; }
     /** Raw weight array (E entries or empty). */
-    const std::vector<Weight> &weightArray() const { return weights; }
+    std::span<const Weight> weightArray() const { return weights; }
 
     /** Edge-to-vertex ratio |E|/|V|. */
     double
@@ -143,11 +194,13 @@ class Csr
     /**
      * Return a copy with deterministic pseudo-random integer weights in
      * [1, 255] (the paper assigns random integer weights to unweighted
-     * real-world graphs for SSSP/SSWP).
+     * real-world graphs for SSSP/SSWP). A mapped graph keeps serving its
+     * offset/neighbour arrays from the mapping; only the weights are
+     * materialized on the heap.
      */
     Csr withRandomWeights(std::uint64_t seed) const;
 
-    /** Return the unweighted view (weights dropped). */
+    /** Return the unweighted view (weights dropped; mapping shared). */
     Csr withoutWeights() const;
 
     /**
@@ -157,9 +210,9 @@ class Csr
      * Returns a failed Status instead of aborting, so callers handling
      * untrusted input (file loaders) can raise a typed error.
      */
-    static Status validateArrays(const std::vector<EdgeId> &offset_array,
-                                 const std::vector<VertexId> &neighbor_array,
-                                 const std::vector<Weight> &weight_array);
+    static Status validateArrays(std::span<const EdgeId> offset_array,
+                                 std::span<const VertexId> neighbor_array,
+                                 std::span<const Weight> weight_array);
 
     /** Re-check this graph's invariants (O(V+E)). */
     Status validate() const
@@ -168,9 +221,21 @@ class Csr
     }
 
   private:
-    std::vector<EdgeId> offsets;
-    std::vector<VertexId> neighbors;
-    std::vector<Weight> weights;
+    /** Point every view whose source was owned at this object's stores. */
+    void rebindOwnedViews(const Csr &other);
+
+    // Owned storage: empty for arrays served from the mapping.
+    std::vector<EdgeId> offsets_store;
+    std::vector<VertexId> neighbors_store;
+    std::vector<Weight> weights_store;
+
+    // The views every accessor reads through (owned store or mapping).
+    std::span<const EdgeId> offsets;
+    std::span<const VertexId> neighbors;
+    std::span<const Weight> weights;
+
+    /** Keep-alive for mapped views; null for fully heap-owned graphs. */
+    std::shared_ptr<const common::MappedFile> backing;
 };
 
 } // namespace gds::graph

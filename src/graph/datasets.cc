@@ -104,7 +104,8 @@ datasetScaleDivisor()
 }
 
 Csr
-makeDataset(const DatasetSpec &spec, unsigned scale_divisor, bool weighted)
+makeDataset(const DatasetSpec &spec, unsigned scale_divisor, bool weighted,
+            unsigned jobs)
 {
     const std::uint64_t v_count = spec.scaledVertices(scale_divisor);
     const std::uint64_t e_count = spec.scaledEdges(scale_divisor);
@@ -115,14 +116,14 @@ makeDataset(const DatasetSpec &spec, unsigned scale_divisor, bool weighted)
     switch (spec.kind) {
       case DatasetKind::PowerLawSurrogate:
         return powerLaw(static_cast<VertexId>(v_count), e_count, spec.alpha,
-                        spec.seed, weighted);
+                        spec.seed, weighted, jobs);
       case DatasetKind::Rmat: {
         const unsigned shift =
             scale_divisor == 1 ? 0 : log2Floor(scale_divisor);
         const unsigned scaled_scale =
             spec.rmatScale > shift ? spec.rmatScale - shift : 4;
         return rmat(scaled_scale, spec.rmatEdgeFactor, spec.seed, {},
-                    weighted);
+                    weighted, jobs);
       }
     }
     panic("unreachable dataset kind");

@@ -74,6 +74,6 @@ unsigned datasetScaleDivisor();
  * @param weighted attach deterministic random weights in [1,255]
  */
 Csr makeDataset(const DatasetSpec &spec, unsigned scale_divisor,
-                bool weighted);
+                bool weighted, unsigned jobs = 0);
 
 } // namespace gds::graph

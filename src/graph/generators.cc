@@ -5,7 +5,9 @@
 #include <numeric>
 #include <vector>
 
+#include "common/bitutil.hh"
 #include "common/error.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "graph/builder.hh"
 
@@ -40,11 +42,51 @@ scramble(VertexId v, VertexId num_vertices, std::uint64_t salt)
     return static_cast<VertexId>(x);
 }
 
+/**
+ * Edges per generator chunk. Fixed (never derived from the job count) so
+ * that chunk boundaries — and therefore every chunk's random stream —
+ * are identical at any parallelism; jobs only decides how many chunks
+ * run concurrently.
+ */
+constexpr std::size_t generatorChunkEdges = 1u << 16;
+
+/** Independent per-chunk seed: counter-based, so chunk c's stream never
+ *  depends on how many edges earlier chunks drew. */
+std::uint64_t
+chunkSeed(std::uint64_t seed, std::size_t chunk)
+{
+    SplitMix64 sm(seed + 0x632be59bd9b4e019ULL * (chunk + 1));
+    return sm.next();
+}
+
+/**
+ * Fill @p edges by running @p fill(rng, e) for every edge index, in
+ * fixed-size chunks each with its own counter-seeded Rng.
+ */
+template <typename FillFn>
+void
+generateChunked(std::vector<CooEdge> &edges, std::uint64_t seed,
+                unsigned jobs, const FillFn &fill)
+{
+    const std::size_t num_edges = edges.size();
+    const std::size_t chunks =
+        std::max<std::size_t>(1, ceilDiv(num_edges, generatorChunkEdges));
+    const unsigned pool_jobs = jobs == 0 ? common::jobCount() : jobs;
+    common::parallelFor(chunks, pool_jobs, [&](std::size_t c) {
+        Rng rng(chunkSeed(seed, c));
+        const std::size_t begin = c * generatorChunkEdges;
+        const std::size_t end =
+            std::min(num_edges, begin + generatorChunkEdges);
+        for (std::size_t e = begin; e < end; ++e)
+            edges[e] = fill(rng);
+    });
+}
+
 } // namespace
 
 Csr
 rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
-     const RmatParams &params, bool weighted)
+     const RmatParams &params, bool weighted, unsigned jobs)
 {
     gds_require(scale >= 1 && scale <= 32, ConfigError,
                 "rmat scale %u unsupported", scale);
@@ -52,13 +94,10 @@ rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
     const EdgeId num_edges =
         static_cast<EdgeId>(edge_factor) * num_vertices;
 
-    Rng rng(seed);
-    std::vector<CooEdge> edges;
-    edges.reserve(num_edges);
-
+    std::vector<CooEdge> edges(num_edges);
     const double ab = params.a + params.b;
     const double abc = ab + params.c;
-    for (EdgeId e = 0; e < num_edges; ++e) {
+    generateChunked(edges, seed, jobs, [&](Rng &rng) {
         VertexId src = 0;
         VertexId dst = 0;
         for (unsigned bit = 0; bit < scale; ++bit) {
@@ -81,23 +120,21 @@ rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
             src = (src << 1) | src_bit;
             dst = (dst << 1) | dst_bit;
         }
-        edges.push_back(CooEdge{scramble(src, num_vertices, seed ^ 0x5bd1),
-                                scramble(dst, num_vertices, seed ^ 0x5bd1),
-                                1});
-    }
+        const Weight w =
+            weighted ? static_cast<Weight>(1 + rng.below(255)) : 1;
+        return CooEdge{scramble(src, num_vertices, seed ^ 0x5bd1),
+                       scramble(dst, num_vertices, seed ^ 0x5bd1), w};
+    });
 
     BuildOptions opts;
     opts.keepWeights = weighted;
-    if (weighted) {
-        for (auto &e : edges)
-            e.weight = static_cast<Weight>(1 + rng.below(255));
-    }
+    opts.jobs = jobs;
     return buildCsr(num_vertices, std::move(edges), opts);
 }
 
 Csr
 powerLaw(VertexId num_vertices, EdgeId num_edges, double alpha,
-         std::uint64_t seed, bool weighted)
+         std::uint64_t seed, bool weighted, unsigned jobs)
 {
     gds_require(num_vertices > 0, ConfigError, "need at least one vertex");
     gds_require(alpha > 0.0 && alpha < 1.0, ConfigError,
@@ -108,12 +145,11 @@ powerLaw(VertexId num_vertices, EdgeId num_edges, double alpha,
     // sequence without a V-sized cumulative table. Larger alpha means a
     // heavier tail; alpha in [0.5, 0.8] matches the hub sizes of the
     // paper's social/web graphs.
-    Rng rng(seed);
     const double s = alpha; // Zipf exponent in (0,1)
     const double v_pow = std::pow(static_cast<double>(num_vertices),
                                   1.0 - s);
 
-    auto sample_rank = [&]() -> VertexId {
+    auto sample_rank = [&](Rng &rng) -> VertexId {
         // Inverse of the continuous Zipf CDF F(x) = (x^(1-s) - 1) /
         // (V^(1-s) - 1), x in [1, V].
         const double u = rng.uniform();
@@ -122,44 +158,39 @@ powerLaw(VertexId num_vertices, EdgeId num_edges, double alpha,
         return std::min(rank, num_vertices - 1);
     };
 
-    std::vector<CooEdge> edges;
-    edges.reserve(num_edges);
-    for (EdgeId e = 0; e < num_edges; ++e) {
+    std::vector<CooEdge> edges(num_edges);
+    generateChunked(edges, seed, jobs, [&](Rng &rng) {
         const VertexId src =
-            scramble(sample_rank(), num_vertices, seed ^ 0xfeed);
+            scramble(sample_rank(rng), num_vertices, seed ^ 0xfeed);
         const VertexId dst =
-            scramble(sample_rank(), num_vertices, seed ^ 0xfeed);
-        edges.push_back(CooEdge{src, dst, 1});
-    }
+            scramble(sample_rank(rng), num_vertices, seed ^ 0xfeed);
+        const Weight w =
+            weighted ? static_cast<Weight>(1 + rng.below(255)) : 1;
+        return CooEdge{src, dst, w};
+    });
 
     BuildOptions opts;
     opts.keepWeights = weighted;
-    if (weighted) {
-        for (auto &e : edges)
-            e.weight = static_cast<Weight>(1 + rng.below(255));
-    }
+    opts.jobs = jobs;
     return buildCsr(num_vertices, std::move(edges), opts);
 }
 
 Csr
 uniform(VertexId num_vertices, EdgeId num_edges, std::uint64_t seed,
-        bool weighted)
+        bool weighted, unsigned jobs)
 {
     gds_require(num_vertices > 0, ConfigError, "need at least one vertex");
-    Rng rng(seed);
-    std::vector<CooEdge> edges;
-    edges.reserve(num_edges);
-    for (EdgeId e = 0; e < num_edges; ++e) {
-        edges.push_back(
-            CooEdge{static_cast<VertexId>(rng.below(num_vertices)),
-                    static_cast<VertexId>(rng.below(num_vertices)), 1});
-    }
+    std::vector<CooEdge> edges(num_edges);
+    generateChunked(edges, seed, jobs, [&](Rng &rng) {
+        const auto src = static_cast<VertexId>(rng.below(num_vertices));
+        const auto dst = static_cast<VertexId>(rng.below(num_vertices));
+        const Weight w =
+            weighted ? static_cast<Weight>(1 + rng.below(255)) : 1;
+        return CooEdge{src, dst, w};
+    });
     BuildOptions opts;
     opts.keepWeights = weighted;
-    if (weighted) {
-        for (auto &e : edges)
-            e.weight = static_cast<Weight>(1 + rng.below(255));
-    }
+    opts.jobs = jobs;
     return buildCsr(num_vertices, std::move(edges), opts);
 }
 

@@ -32,9 +32,14 @@ struct RmatParams
  * Generate an RMAT graph with 2^scale vertices and edge_factor * 2^scale
  * directed edges. Vertex ids are scrambled so degree does not correlate
  * with id (as Graph500 requires).
+ *
+ * Edges are generated in fixed-size chunks, each from its own
+ * counter-seeded generator, so the output is identical at every job
+ * count (0 = the GDS_JOBS/hardware policy, 1 = strictly serial).
  */
 Csr rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
-         const RmatParams &params = {}, bool weighted = false);
+         const RmatParams &params = {}, bool weighted = false,
+         unsigned jobs = 0);
 
 /**
  * Generate a Chung-Lu power-law graph: endpoints sampled independently
@@ -44,13 +49,17 @@ Csr rmat(unsigned scale, unsigned edge_factor, std::uint64_t seed,
  * @param num_edges |E| directed edges
  * @param alpha Zipf exponent in (0,1); larger alpha = heavier degree tail;
  *        0.5-0.8 produces social-network-like skew
+ *
+ * Chunked and counter-seeded like rmat(): identical output at every
+ * job count.
  */
 Csr powerLaw(VertexId num_vertices, EdgeId num_edges, double alpha,
-             std::uint64_t seed, bool weighted = false);
+             std::uint64_t seed, bool weighted = false,
+             unsigned jobs = 0);
 
 /** Generate a uniform Erdos-Renyi G(n, m) multigraph. */
 Csr uniform(VertexId num_vertices, EdgeId num_edges, std::uint64_t seed,
-            bool weighted = false);
+            bool weighted = false, unsigned jobs = 0);
 
 /**
  * Generate a two-dimensional grid/mesh graph (road-network-like: bounded

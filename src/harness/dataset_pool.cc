@@ -1,5 +1,6 @@
 #include "harness/dataset_pool.hh"
 
+#include <chrono>
 #include <utility>
 
 #include "common/debug.hh"
@@ -99,6 +100,50 @@ DatasetPool::residentKeys() const
         if (slot.future.valid())
             keys.push_back(k); // map iteration order is already sorted
     return keys;
+}
+
+namespace
+{
+
+/** The slot's graph if fully loaded; null while loading or failed. */
+DatasetPool::GraphPtr
+loadedGraph(const std::shared_future<DatasetPool::GraphPtr> &future)
+{
+    if (!future.valid() ||
+        future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+        return nullptr;
+    try {
+        return future.get();
+    } catch (...) {
+        return nullptr; // failed load: nothing resident to account
+    }
+}
+
+} // namespace
+
+std::uint64_t
+DatasetPool::mappedBytes() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t total = 0;
+    for (const auto &[k, slot] : slots) {
+        if (const GraphPtr g = loadedGraph(slot.future))
+            total += g->mappedBytes();
+    }
+    return total;
+}
+
+std::uint64_t
+DatasetPool::heapBytes() const
+{
+    const std::lock_guard<std::mutex> lock(mu);
+    std::uint64_t total = 0;
+    for (const auto &[k, slot] : slots) {
+        if (const GraphPtr g = loadedGraph(slot.future))
+            total += g->heapBytes();
+    }
+    return total;
 }
 
 std::size_t

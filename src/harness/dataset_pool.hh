@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
@@ -76,6 +77,16 @@ class DatasetPool
 
     /** Total refcount over all slots (consumers not yet released). */
     std::size_t pendingConsumers() const;
+
+    /**
+     * Total bytes of live file mappings behind resident graphs
+     * (mmap-served datasets; these pages are shared and reclaimable).
+     * Still-loading slots are skipped — gauges never block on a load.
+     */
+    std::uint64_t mappedBytes() const;
+
+    /** Total heap bytes of resident graphs' owned arrays. */
+    std::uint64_t heapBytes() const;
 
   private:
     struct Slot

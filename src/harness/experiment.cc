@@ -89,27 +89,58 @@ sourceFor(algo::AlgorithmId id, const graph::Csr &g)
     }
 }
 
+bool
+datasetMmapEnabled()
+{
+    // GDS_DATASET_MMAP=0 forces heap copies (e.g. to A/B the two storage
+    // paths); default is zero-copy mapped serving.
+    return common::parseEnvU64("GDS_DATASET_MMAP", 1, 0, 1) == 1;
+}
+
+std::string
+datasetCachePath(const std::string &name, unsigned scale, bool weighted)
+{
+    // "_g2" versions the generation scheme (chunked counter-seeded
+    // generators): a cache written by the old sequential generators holds
+    // different edges, so it must never satisfy a new-scheme request.
+    return "gds_dataset_" + name + "_s" + std::to_string(scale) +
+           (weighted ? "_w" : "_u") + "_g2.bin";
+}
+
 graph::Csr
 loadDataset(const std::string &name, bool weighted)
 {
     const unsigned scale = graph::datasetScaleDivisor();
-    const std::string cache_file = "gds_dataset_" + name + "_s" +
-                                   std::to_string(scale) +
-                                   (weighted ? "_w" : "_u") + ".bin";
+    const std::string cache_file = datasetCachePath(name, scale, weighted);
+    const bool mmap_enabled = datasetMmapEnabled();
     if (std::filesystem::exists(cache_file)) {
         try {
-            return graph::loadBinary(cache_file);
+            return mmap_enabled ? graph::loadBinaryMapped(cache_file)
+                                : graph::loadBinary(cache_file);
         } catch (const SimError &e) {
             warn("dataset cache '%s' unusable (%s); regenerating",
                  cache_file.c_str(), e.what());
             std::filesystem::remove(cache_file);
         }
     }
-    const graph::Csr g =
+    graph::Csr g =
         graph::makeDataset(graph::datasetByName(name), scale, weighted);
     // Atomic write: a crash or a concurrent process never leaves a
     // truncated cache file for the next run to trip over.
     graph::saveBinaryAtomic(g, cache_file);
+    if (mmap_enabled) {
+        // Serve the freshly written file zero-copy so the generation-time
+        // heap arrays are released and later processes share the same
+        // page-cache pages. Falls back to the in-memory graph if the
+        // re-map fails (e.g. read-only corner cases).
+        try {
+            return graph::loadBinaryMapped(cache_file);
+        } catch (const SimError &e) {
+            warn("cannot re-map fresh dataset cache '%s' (%s); serving "
+                 "from heap",
+                 cache_file.c_str(), e.what());
+        }
+    }
     return g;
 }
 

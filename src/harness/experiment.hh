@@ -98,8 +98,22 @@ VertexId sourceFor(algo::AlgorithmId id, const graph::Csr &g);
  * removed and the dataset regenerated (with a warning), never fatal.
  * The cache file is written atomically (temp file + rename), so a crash
  * or a concurrent process can never leave a truncated cache behind.
+ *
+ * By default a cached dataset is served zero-copy: the returned Csr's
+ * arrays are views into a read-only mapping of the cache file, so a
+ * cache hit costs no array copies and concurrent processes share the
+ * same page-cache pages. GDS_DATASET_MMAP=0 forces heap copies instead;
+ * simulation results are bit-identical either way.
  */
 graph::Csr loadDataset(const std::string &name, bool weighted);
+
+/** Whether loadDataset() serves cached datasets via mmap (GDS_DATASET_MMAP,
+ *  default on). */
+bool datasetMmapEnabled();
+
+/** The on-disk cache filename loadDataset() uses for a dataset. */
+std::string datasetCachePath(const std::string &name, unsigned scale,
+                             bool weighted);
 
 /**
  * Per-cell cycle budget applied to every simulated run (GraphDynS and

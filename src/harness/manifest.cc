@@ -3,6 +3,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/bitutil.hh"
 #include "common/logging.hh"
 #include "graph/datasets.hh"
 #include "stats/json.hh"
@@ -13,12 +14,7 @@ namespace gds::harness
 std::uint64_t
 fnv1a(std::string_view data)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ULL;
-    for (const char c : data) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001b3ULL;
-    }
-    return hash;
+    return fnv1a64(data.data(), data.size());
 }
 
 std::string

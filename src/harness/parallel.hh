@@ -1,87 +1,21 @@
 /**
  * @file
- * Minimal worker-pool scheduler for the experiment harness. Matrix cells
- * are independent cycle-level simulations, so the harness fans them out
- * across a fixed pool of workers; determinism is preserved by having each
- * task write into a pre-assigned result slot rather than by ordering the
- * execution itself.
+ * Harness-facing aliases for the shared worker-pool scheduler. The
+ * implementation moved to common/parallel.hh so the graph build pipeline
+ * can use the same pool without a graph→harness dependency cycle; the
+ * historical harness::ThreadPool / harness::parallelFor / harness::
+ * jobCount spellings keep working through these using-declarations.
  */
 
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <exception>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "common/parallel.hh"
 
 namespace gds::harness
 {
 
-/**
- * Worker-count policy for parallel harness work: the GDS_JOBS environment
- * variable when set to a positive integer, otherwise
- * std::thread::hardware_concurrency() (minimum 1). GDS_JOBS=1 forces the
- * strictly serial path.
- */
-unsigned jobCount();
-
-/**
- * A fixed-size pool of worker threads draining a FIFO task queue.
- *
- * Exceptions thrown by tasks are captured; wait() rethrows the first one
- * after the queue has fully drained, so no submitted work is silently
- * abandoned mid-flight. The destructor drains outstanding tasks and joins
- * every worker.
- */
-class ThreadPool
-{
-  public:
-    explicit ThreadPool(unsigned workers);
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool &) = delete;
-    ThreadPool &operator=(const ThreadPool &) = delete;
-
-    /** Enqueue one task; runs on an arbitrary worker. */
-    void submit(std::function<void()> task);
-
-    /**
-     * Block until every submitted task has finished, then rethrow the
-     * first exception any task raised (if any). Reusable: more tasks may
-     * be submitted after a wait().
-     */
-    void wait();
-
-    unsigned
-    workerCount() const
-    {
-        return static_cast<unsigned>(threads.size());
-    }
-
-  private:
-    void workerLoop();
-
-    std::vector<std::thread> threads;
-    std::deque<std::function<void()>> queue;
-    std::mutex mu;
-    std::condition_variable task_ready;
-    std::condition_variable all_done;
-    std::size_t running = 0;
-    bool stopping = false;
-    std::exception_ptr first_error;
-};
-
-/**
- * Run fn(0), ..., fn(n-1). With jobs <= 1 the calls happen strictly
- * serially on the calling thread in index order; otherwise on a pool of
- * min(jobs, n) workers in unspecified order. The first exception thrown
- * by any index is rethrown after all work has drained.
- */
-void parallelFor(std::size_t n, unsigned jobs,
-                 const std::function<void(std::size_t)> &fn);
+using common::jobCount;
+using common::parallelFor;
+using common::ThreadPool;
 
 } // namespace gds::harness

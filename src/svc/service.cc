@@ -129,6 +129,16 @@ SimService::SimService(ServiceConfig service_config)
                    "Datasets resident in the shared pool", [this] {
                        return static_cast<double>(pool.residentCount());
                    });
+    registry.gauge("gds_svc_dataset_mapped_bytes",
+                   "Bytes of mmap-served dataset storage (page-cache "
+                   "shared)",
+                   [this] {
+                       return static_cast<double>(pool.mappedBytes());
+                   });
+    registry.gauge("gds_svc_dataset_heap_bytes",
+                   "Bytes of heap-owned dataset storage", [this] {
+                       return static_cast<double>(pool.heapBytes());
+                   });
     registry.gauge("gds_process_resident_memory_bytes",
                    "Resident set size of the daemon process", [] {
                        return static_cast<double>(common::currentRssBytes());
@@ -549,6 +559,8 @@ SimService::stats() const
     }
     s.datasetsResident = pool.residentCount();
     s.datasetKeys = pool.residentKeys();
+    s.datasetMappedBytes = pool.mappedBytes();
+    s.datasetHeapBytes = pool.heapBytes();
     s.latencyP50 = histE2e->percentile(0.50);
     s.latencyP90 = histE2e->percentile(0.90);
     s.latencyMax = histE2e->max();
@@ -583,6 +595,9 @@ SimService::statszLine() const
     num("workers", s.workers);
     os << "\"draining\":" << (s.draining ? "true" : "false") << ',';
     num("datasets_resident", static_cast<double>(s.datasetsResident));
+    num("dataset_mapped_bytes",
+        static_cast<double>(s.datasetMappedBytes));
+    num("dataset_heap_bytes", static_cast<double>(s.datasetHeapBytes));
     os << "\"dataset_keys\":[";
     for (std::size_t i = 0; i < s.datasetKeys.size(); ++i) {
         if (i)

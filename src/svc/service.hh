@@ -107,6 +107,10 @@ struct ServiceStats
     bool draining = false;
     std::size_t datasetsResident = 0;
     std::vector<std::string> datasetKeys;
+    /** Bytes of mmap-served dataset storage behind resident graphs. */
+    std::uint64_t datasetMappedBytes = 0;
+    /** Bytes of heap-owned dataset storage behind resident graphs. */
+    std::uint64_t datasetHeapBytes = 0;
     /** Submit→finish latency percentiles over finished jobs (seconds),
      *  estimated from the bounded end-to-end latency histogram. */
     double latencyP50 = 0.0;

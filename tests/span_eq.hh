@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Element-wise span comparison for tests. Csr's array accessors return
+ * std::span (non-owning views over heap or mmap storage), and std::span
+ * deliberately has no operator==, so EXPECT_EQ cannot compare them
+ * directly; spanEq() restores gtest-style failure messages (first
+ * mismatching index and values).
+ */
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+
+namespace gds::testutil
+{
+
+template <typename T>
+::testing::AssertionResult
+spanEq(std::span<const T> a, std::span<const T> b)
+{
+    if (a.size() != b.size()) {
+        return ::testing::AssertionFailure()
+               << "span sizes differ: " << a.size() << " vs " << b.size();
+    }
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) {
+            return ::testing::AssertionFailure()
+                   << "spans differ at index " << i << ": " << +a[i]
+                   << " vs " << +b[i];
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+} // namespace gds::testutil
+
+#define EXPECT_SPAN_EQ(a, b) EXPECT_TRUE(::gds::testutil::spanEq((a), (b)))
+#define EXPECT_SPAN_NE(a, b) EXPECT_FALSE(::gds::testutil::spanEq((a), (b)))

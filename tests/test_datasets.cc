@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "graph/datasets.hh"
+#include "span_eq.hh"
 
 namespace gds::graph
 {
@@ -104,7 +105,7 @@ TEST(Datasets, DeterministicAcrossCalls)
 {
     const Csr a = makeDataset(datasetByName("PK"), 128, false);
     const Csr b = makeDataset(datasetByName("PK"), 128, false);
-    EXPECT_EQ(a.neighborArray(), b.neighborArray());
+    EXPECT_SPAN_EQ(a.neighborArray(), b.neighborArray());
 }
 
 } // namespace

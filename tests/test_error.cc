@@ -17,6 +17,7 @@
 #include <sstream>
 
 #include "common/error.hh"
+#include "span_eq.hh"
 #include "graph/generators.hh"
 #include "graph/loader.hh"
 #include "harness/experiment.hh"
@@ -129,33 +130,43 @@ TEST(ThrowStatus, DispatchesToMatchingSubclass)
 // Csr validation.
 // ---------------------------------------------------------------------
 
+/** Brace-friendly shim: validateArrays takes spans, which have no
+ *  initializer_list constructor. */
+Status
+validateArrays(const std::vector<EdgeId> &offsets,
+               const std::vector<VertexId> &neighbors,
+               const std::vector<Weight> &weights)
+{
+    return graph::Csr::validateArrays(offsets, neighbors, weights);
+}
+
 TEST(CsrValidate, AcceptsWellFormedArrays)
 {
-    EXPECT_TRUE(graph::Csr::validateArrays({0, 2, 3}, {1, 0, 0}, {}).ok());
+    EXPECT_TRUE(validateArrays({0, 2, 3}, {1, 0, 0}, {}).ok());
     EXPECT_TRUE(
-        graph::Csr::validateArrays({0, 2, 3}, {1, 0, 0}, {5, 6, 7}).ok());
+        validateArrays({0, 2, 3}, {1, 0, 0}, {5, 6, 7}).ok());
     EXPECT_TRUE(graph::uniform(100, 500, 1, true).validate().ok());
 }
 
 TEST(CsrValidate, RejectsEachBrokenInvariant)
 {
     // No offsets at all (needs V+1 >= 1 entries).
-    EXPECT_FALSE(graph::Csr::validateArrays({}, {}, {}).ok());
+    EXPECT_FALSE(validateArrays({}, {}, {}).ok());
     // Offsets not starting at zero.
-    EXPECT_FALSE(graph::Csr::validateArrays({1, 2}, {0}, {}).ok());
+    EXPECT_FALSE(validateArrays({1, 2}, {0}, {}).ok());
     // End of the offset array disagreeing with the edge count.
-    EXPECT_FALSE(graph::Csr::validateArrays({0, 5}, {0}, {}).ok());
+    EXPECT_FALSE(validateArrays({0, 5}, {0}, {}).ok());
     // Decreasing offsets.
     EXPECT_FALSE(
-        graph::Csr::validateArrays({0, 2, 1, 3}, {0, 1, 2}, {}).ok());
+        validateArrays({0, 2, 1, 3}, {0, 1, 2}, {}).ok());
     // Edge destination out of range.
     const Status dest =
-        graph::Csr::validateArrays({0, 1, 2}, {1, 9}, {});
+        validateArrays({0, 1, 2}, {1, 9}, {});
     EXPECT_FALSE(dest.ok());
     EXPECT_EQ(dest.code(), ErrorCode::CorruptInput);
     // Weight array of the wrong size.
     EXPECT_FALSE(
-        graph::Csr::validateArrays({0, 1, 2}, {1, 0}, {3}).ok());
+        validateArrays({0, 1, 2}, {1, 0}, {3}).ok());
 }
 
 // ---------------------------------------------------------------------
@@ -222,13 +233,13 @@ TEST(LoadBinary, RoundTripsThroughSaveBinary)
 {
     const ScratchFile file("roundtrip.bin");
     const auto g = graph::powerLaw(500, 4000, 0.6, 3, true);
-    graph::saveBinary(g, file.path());
+    graph::saveBinaryAtomic(g, file.path());
     const auto loaded = graph::loadBinary(file.path());
     EXPECT_EQ(loaded.numVertices(), g.numVertices());
     EXPECT_EQ(loaded.numEdges(), g.numEdges());
-    EXPECT_EQ(loaded.offsetArray(), g.offsetArray());
-    EXPECT_EQ(loaded.neighborArray(), g.neighborArray());
-    EXPECT_EQ(loaded.weightArray(), g.weightArray());
+    EXPECT_SPAN_EQ(loaded.offsetArray(), g.offsetArray());
+    EXPECT_SPAN_EQ(loaded.neighborArray(), g.neighborArray());
+    EXPECT_SPAN_EQ(loaded.weightArray(), g.weightArray());
 }
 
 TEST(LoadBinary, MissingFileIsConfigError)
@@ -255,7 +266,7 @@ TEST(LoadBinary, RejectsTruncatedFile)
 {
     const ScratchFile file("truncated.bin");
     const auto g = graph::uniform(200, 1600, 4, false);
-    graph::saveBinary(g, file.path());
+    graph::saveBinaryAtomic(g, file.path());
     fs::resize_file(file.path(), fs::file_size(file.path()) / 2);
     EXPECT_THROW((void)graph::loadBinary(file.path()), CorruptInputError);
 }

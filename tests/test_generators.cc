@@ -10,6 +10,7 @@
 
 #include "common/error.hh"
 #include "expect_error.hh"
+#include "span_eq.hh"
 #include "graph/generators.hh"
 
 namespace gds::graph
@@ -30,8 +31,8 @@ TEST(Rmat, DeterministicForSeed)
     const Csr a = rmat(8, 8, 42);
     const Csr b = rmat(8, 8, 42);
     const Csr c = rmat(8, 8, 43);
-    EXPECT_EQ(a.neighborArray(), b.neighborArray());
-    EXPECT_NE(a.neighborArray(), c.neighborArray());
+    EXPECT_SPAN_EQ(a.neighborArray(), b.neighborArray());
+    EXPECT_SPAN_NE(a.neighborArray(), c.neighborArray());
 }
 
 TEST(Rmat, WeightedVariantHasWeightsInRange)
@@ -63,7 +64,7 @@ TEST(PowerLaw, DeterministicForSeed)
 {
     const Csr a = powerLaw(1000, 8000, 0.6, 11);
     const Csr b = powerLaw(1000, 8000, 0.6, 11);
-    EXPECT_EQ(a.neighborArray(), b.neighborArray());
+    EXPECT_SPAN_EQ(a.neighborArray(), b.neighborArray());
 }
 
 TEST(PowerLaw, MoreSkewedThanUniform)
@@ -125,7 +126,7 @@ TEST(BarabasiAlbert, Deterministic)
 {
     const Csr a = barabasiAlbert(1000, 3, 7);
     const Csr b = barabasiAlbert(1000, 3, 7);
-    EXPECT_EQ(a.neighborArray(), b.neighborArray());
+    EXPECT_SPAN_EQ(a.neighborArray(), b.neighborArray());
 }
 
 TEST(BarabasiAlbertErrors, BadParameters)

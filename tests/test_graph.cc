@@ -12,6 +12,7 @@
 
 #include "common/error.hh"
 #include "expect_error.hh"
+#include "span_eq.hh"
 #include "graph/builder.hh"
 #include "graph/csr.hh"
 #include "graph/loader.hh"
@@ -86,8 +87,8 @@ TEST(Csr, RandomWeightsDeterministicAndInRange)
     const Csr w2 = g.withRandomWeights(9);
     const Csr w3 = g.withRandomWeights(10);
     ASSERT_TRUE(w1.hasWeights());
-    EXPECT_EQ(w1.weightArray(), w2.weightArray());
-    EXPECT_NE(w1.weightArray(), w3.weightArray());
+    EXPECT_SPAN_EQ(w1.weightArray(), w2.weightArray());
+    EXPECT_SPAN_NE(w1.weightArray(), w3.weightArray());
     for (const Weight w : w1.weightArray()) {
         EXPECT_GE(w, 1u);
         EXPECT_LE(w, 255u);
@@ -172,11 +173,11 @@ TEST(Loader, BinaryRoundTripPreservesEverything)
     const Csr g = fig1Graph();
     const auto path = std::filesystem::temp_directory_path() /
                       "gds_test_graph.bin";
-    saveBinary(g, path.string());
+    saveBinaryAtomic(g, path.string());
     const Csr h = loadBinary(path.string());
-    EXPECT_EQ(g.offsetArray(), h.offsetArray());
-    EXPECT_EQ(g.neighborArray(), h.neighborArray());
-    EXPECT_EQ(g.weightArray(), h.weightArray());
+    EXPECT_SPAN_EQ(g.offsetArray(), h.offsetArray());
+    EXPECT_SPAN_EQ(g.neighborArray(), h.neighborArray());
+    EXPECT_SPAN_EQ(g.weightArray(), h.weightArray());
     std::filesystem::remove(path);
 }
 

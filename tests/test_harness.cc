@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/generators.hh"
+#include "span_eq.hh"
 #include "harness/experiment.hh"
 
 namespace gds::harness
@@ -232,9 +233,9 @@ TEST_F(HarnessTest, DatasetLoaderCachesBinary)
 {
     ::setenv("GDS_SCALE", "512", 1);
     const auto g1 = loadDataset("FR", false);
-    EXPECT_TRUE(std::filesystem::exists("gds_dataset_FR_s512_u.bin"));
+    EXPECT_TRUE(std::filesystem::exists("gds_dataset_FR_s512_u_g2.bin"));
     const auto g2 = loadDataset("FR", false);
-    EXPECT_EQ(g1.neighborArray(), g2.neighborArray());
+    EXPECT_SPAN_EQ(g1.neighborArray(), g2.neighborArray());
     ::unsetenv("GDS_SCALE");
 }
 
@@ -242,7 +243,7 @@ TEST_F(HarnessTest, DatasetCacheWriteIsAtomicAndLeavesNoTempFiles)
 {
     ::setenv("GDS_SCALE", "16384", 1);
     loadDataset("FR", false);
-    EXPECT_TRUE(std::filesystem::exists("gds_dataset_FR_s16384_u.bin"));
+    EXPECT_TRUE(std::filesystem::exists("gds_dataset_FR_s16384_u_g2.bin"));
     for (const auto &entry : std::filesystem::directory_iterator(".")) {
         EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
             << "leftover temp file " << entry.path();

@@ -13,6 +13,7 @@
 #include "algo/reference_engine.hh"
 #include "common/error.hh"
 #include "expect_error.hh"
+#include "span_eq.hh"
 #include "graph/builder.hh"
 #include "graph/generators.hh"
 #include "graph/transforms.hh"
@@ -63,7 +64,7 @@ TEST(Transpose, IsAnInvolution)
 {
     const Csr g = powerLaw(500, 4000, 0.6, 3, true);
     const Csr tt = transpose(transpose(g));
-    EXPECT_EQ(tt.offsetArray(), g.offsetArray());
+    EXPECT_SPAN_EQ(tt.offsetArray(), g.offsetArray());
     // Within a vertex, transpose-of-transpose may reorder the edge list,
     // so compare sorted adjacency.
     for (VertexId v = 0; v < g.numVertices(); ++v) {
@@ -156,9 +157,9 @@ TEST(ApplyPermutation, IdentityIsNoop)
     std::vector<VertexId> identity(g.numVertices());
     std::iota(identity.begin(), identity.end(), 0);
     const Csr h = applyPermutation(g, identity);
-    EXPECT_EQ(h.offsetArray(), g.offsetArray());
-    EXPECT_EQ(h.neighborArray(), g.neighborArray());
-    EXPECT_EQ(h.weightArray(), g.weightArray());
+    EXPECT_SPAN_EQ(h.offsetArray(), g.offsetArray());
+    EXPECT_SPAN_EQ(h.neighborArray(), g.neighborArray());
+    EXPECT_SPAN_EQ(h.weightArray(), g.weightArray());
 }
 
 TEST(ApplyPermutationErrors, WrongSizeThrows)
